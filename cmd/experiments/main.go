@@ -1,0 +1,120 @@
+// Command experiments regenerates the tables and figures of the Shredder
+// paper's evaluation section (§3). Each run prints the same rows/series the
+// paper reports; see EXPERIMENTS.md for the recorded paper-vs-measured
+// comparison.
+//
+// Usage:
+//
+//	experiments -run all                      # everything, full scale
+//	experiments -run table1 -quick            # CI-scale smoke run
+//	experiments -run fig5 -nets lenet         # one figure, one network
+//	experiments -run all -workdir .cache      # cache pre-trained weights
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"shredder/internal/experiments"
+)
+
+func main() {
+	run := flag.String("run", "all", "what to regenerate: table1, fig3, fig4, fig5, fig6, or all")
+	quick := flag.Bool("quick", false, "CI-scale run: small datasets, short training")
+	workdir := flag.String("workdir", "", "directory for cached pre-trained weights")
+	seed := flag.Int64("seed", 1, "master seed")
+	nets := flag.String("nets", "", "comma-separated network filter (default: paper's set per experiment)")
+	out := flag.String("out", "", "also write the report to this file")
+	csvDir := flag.String("csv", "", "also write one CSV per experiment into this directory")
+	flag.Parse()
+
+	cfg := experiments.Config{
+		Workdir:  *workdir,
+		Quick:    *quick,
+		Seed:     *seed,
+		Progress: os.Stderr,
+	}
+	if *nets != "" {
+		cfg.Networks = strings.Split(*nets, ",")
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = io.MultiWriter(os.Stdout, f)
+	}
+
+	want := map[string]bool{}
+	if *run == "all" {
+		for _, r := range []string{"table1", "fig3", "fig4", "fig5", "fig6"} {
+			want[r] = true
+		}
+	} else {
+		for _, r := range strings.Split(*run, ",") {
+			want[strings.TrimSpace(r)] = true
+		}
+	}
+
+	type renderer interface {
+		Render(io.Writer)
+		WriteCSV(io.Writer) error
+	}
+	runners := []struct {
+		name string
+		fn   func(experiments.Config) (renderer, error)
+	}{
+		{"table1", func(c experiments.Config) (renderer, error) { return experiments.Table1(c) }},
+		{"fig3", func(c experiments.Config) (renderer, error) { return experiments.Fig3(c) }},
+		{"fig4", func(c experiments.Config) (renderer, error) { return experiments.Fig4(c) }},
+		{"fig5", func(c experiments.Config) (renderer, error) { return experiments.Fig5(c) }},
+		{"fig6", func(c experiments.Config) (renderer, error) { return experiments.Fig6(c) }},
+	}
+
+	ran := 0
+	for _, r := range runners {
+		if !want[r.name] {
+			continue
+		}
+		start := time.Now()
+		fmt.Fprintf(os.Stderr, "=== running %s ===\n", r.name)
+		res, err := r.fn(cfg)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", r.name, err))
+		}
+		fmt.Fprintln(w)
+		res.Render(w)
+		if *csvDir != "" {
+			if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+				fatal(err)
+			}
+			f, err := os.Create(filepath.Join(*csvDir, r.name+".csv"))
+			if err != nil {
+				fatal(err)
+			}
+			if err := res.WriteCSV(f); err != nil {
+				f.Close()
+				fatal(err)
+			}
+			f.Close()
+		}
+		fmt.Fprintf(os.Stderr, "=== %s done in %v ===\n", r.name, time.Since(start).Round(time.Second))
+		ran++
+	}
+	if ran == 0 {
+		fatal(fmt.Errorf("nothing to run: -run=%q (want table1, fig3, fig4, fig5, fig6, or all)", *run))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	os.Exit(1)
+}

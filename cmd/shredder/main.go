@@ -1,0 +1,283 @@
+// Command shredder is the command-line interface to the Shredder
+// reproduction: pre-train a benchmark network, learn a noise collection,
+// evaluate privacy/accuracy, and run split inference locally or across a
+// TCP edge/cloud pair.
+//
+// All state is derived deterministically from (network, seed, sizes), so
+// separate invocations (e.g. a serve process and an infer process) agree on
+// weights as long as they share flags; -cache reuses trained weights on
+// disk.
+//
+// Usage:
+//
+//	shredder pretrain    -net lenet [-seed 1] [-cache dir]
+//	shredder train-noise -net lenet [-count 8] [-out noise.gob]
+//	shredder eval        -net lenet [-noise noise.gob]
+//	shredder cuts        -net svhn
+//	shredder attack      -net lenet -cut conv0 [-noise noise.gob]
+//	shredder serve       -net lenet -addr 127.0.0.1:7777
+//	shredder infer       -net lenet -addr 127.0.0.1:7777 [-noise noise.gob] [-n 16]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"shredder"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "pretrain":
+		err = cmdPretrain(os.Args[2:])
+	case "train-noise":
+		err = cmdTrainNoise(os.Args[2:])
+	case "eval":
+		err = cmdEval(os.Args[2:])
+	case "serve":
+		err = cmdServe(os.Args[2:])
+	case "infer":
+		err = cmdInfer(os.Args[2:])
+	case "cuts":
+		err = cmdCuts(os.Args[2:])
+	case "attack":
+		err = cmdAttack(os.Args[2:])
+	case "help", "-h", "--help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "shredder: unknown command %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "shredder:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `shredder — learning noise distributions to protect inference privacy
+
+commands:
+  pretrain     pre-train a benchmark network (cached with -cache)
+  train-noise  learn a collection of noise tensors and save it
+  eval         evaluate accuracy and mutual-information loss
+  serve        host the remote (cloud) part of a split network over TCP
+  infer        run split inference against a serve process
+  cuts         print the cost model of every cutting point of a network
+  attack       measure inversion/gallery attack resistance of learned noise
+
+networks: lenet, cifar, svhn, alexnet`)
+}
+
+// commonFlags registers the flags shared by every subcommand.
+type commonFlags struct {
+	net    string
+	cut    string
+	seed   int64
+	trainN int
+	testN  int
+	epochs int
+	cache  string
+}
+
+func registerCommon(fs *flag.FlagSet) *commonFlags {
+	c := &commonFlags{}
+	fs.StringVar(&c.net, "net", "lenet", "benchmark network (lenet, cifar, svhn, alexnet)")
+	fs.StringVar(&c.cut, "cut", "", "cutting point (default: the network's last conv)")
+	fs.Int64Var(&c.seed, "seed", 1, "master seed: same seed → identical weights and data")
+	fs.IntVar(&c.trainN, "train", 0, "training-set size (0 = network default)")
+	fs.IntVar(&c.testN, "test", 0, "test-set size (0 = network default)")
+	fs.IntVar(&c.epochs, "epochs", 0, "pre-training epochs (0 = network default)")
+	fs.StringVar(&c.cache, "cache", "", "directory for cached pre-trained weights")
+	return c
+}
+
+func (c *commonFlags) system() (*shredder.System, error) {
+	return shredder.NewSystem(c.net, shredder.Config{
+		Cut: c.cut, Seed: c.seed,
+		TrainN: c.trainN, TestN: c.testN, Epochs: c.epochs,
+		WeightCacheDir: c.cache, Progress: os.Stderr,
+	})
+}
+
+func cmdPretrain(args []string) error {
+	fs := flag.NewFlagSet("pretrain", flag.ExitOnError)
+	c := registerCommon(fs)
+	out := fs.String("out", "", "also save weights to this file")
+	fs.Parse(args)
+	sys, err := c.system()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s pre-trained: test accuracy %.2f%%\n", sys.Network(), 100*sys.BaselineAccuracy())
+	if *out != "" {
+		if err := sys.SaveWeights(*out); err != nil {
+			return err
+		}
+		fmt.Println("weights saved to", *out)
+	}
+	return nil
+}
+
+func cmdTrainNoise(args []string) error {
+	fs := flag.NewFlagSet("train-noise", flag.ExitOnError)
+	c := registerCommon(fs)
+	count := fs.Int("count", 8, "noise tensors in the collection")
+	out := fs.String("out", "noise.gob", "output file for the collection")
+	scale := fs.Float64("scale", 0, "Laplace init scale b (0 = tuned default)")
+	lambda := fs.Float64("lambda", 0, "privacy knob λ (0 = tuned default)")
+	nepochs := fs.Float64("noise-epochs", 0, "noise-training epochs, fractional ok (0 = default)")
+	selfSup := fs.Bool("self-supervised", false, "train against the model's own predictions")
+	fs.Parse(args)
+	sys, err := c.system()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "training %d noise tensors for %s (cut %s)...\n", *count, sys.Network(), sys.Cut())
+	sys.LearnNoiseWith(*count, shredder.NoiseOptions{
+		Scale: *scale, Lambda: *lambda, Epochs: *nepochs, SelfSupervised: *selfSup,
+	})
+	if err := sys.SaveNoise(*out); err != nil {
+		return err
+	}
+	fmt.Println("noise collection saved to", *out)
+	return nil
+}
+
+func cmdEval(args []string) error {
+	fs := flag.NewFlagSet("eval", flag.ExitOnError)
+	c := registerCommon(fs)
+	noise := fs.String("noise", "", "noise collection file (default: train 8 fresh tensors)")
+	count := fs.Int("count", 8, "collection size when training fresh noise")
+	fs.Parse(args)
+	sys, err := c.system()
+	if err != nil {
+		return err
+	}
+	if *noise != "" {
+		if err := sys.LoadNoise(*noise); err != nil {
+			return err
+		}
+	} else {
+		fmt.Fprintf(os.Stderr, "no -noise file: training %d fresh noise tensors...\n", *count)
+		sys.LearnNoise(*count)
+	}
+	fmt.Println(sys.Evaluate())
+	return nil
+}
+
+func cmdServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	c := registerCommon(fs)
+	addr := fs.String("addr", "127.0.0.1:7777", "listen address")
+	fs.Parse(args)
+	sys, err := c.system()
+	if err != nil {
+		return err
+	}
+	cloud, err := sys.ServeCloud(*addr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("cloud part of %s (cut %s) serving on %s\n", sys.Network(), sys.Cut(), cloud.Addr)
+	select {} // serve until killed
+}
+
+func cmdInfer(args []string) error {
+	fs := flag.NewFlagSet("infer", flag.ExitOnError)
+	c := registerCommon(fs)
+	addr := fs.String("addr", "127.0.0.1:7777", "cloud server address")
+	noise := fs.String("noise", "", "noise collection file (empty = send raw activations)")
+	n := fs.Int("n", 16, "number of test samples to classify")
+	fs.Parse(args)
+	sys, err := c.system()
+	if err != nil {
+		return err
+	}
+	if *noise != "" {
+		if err := sys.LoadNoise(*noise); err != nil {
+			return err
+		}
+	}
+	edge, err := sys.ConnectEdge(*addr)
+	if err != nil {
+		return err
+	}
+	defer edge.Close()
+	correct := 0
+	for i := 0; i < *n && i < sys.TestSize(); i++ {
+		px, y := sys.TestSample(i)
+		got, err := edge.Classify(px)
+		if err != nil {
+			return err
+		}
+		mark := " "
+		if got == y {
+			correct++
+			mark = "✓"
+		}
+		fmt.Printf("sample %3d: predicted %2d, label %2d %s\n", i, got, y, mark)
+	}
+	fmt.Printf("accuracy: %d/%d\n", correct, *n)
+	return nil
+}
+
+func cmdCuts(args []string) error {
+	fs := flag.NewFlagSet("cuts", flag.ExitOnError)
+	net := fs.String("net", "lenet", "benchmark network")
+	fs.Parse(args)
+	cuts, err := shredder.CutPoints(*net)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-8s %14s %14s %16s\n", "cut", "edge MACs", "comm bytes", "KMAC x MB")
+	for _, c := range cuts {
+		mark := "  "
+		if c.Default {
+			mark = " *"
+		}
+		fmt.Printf("%-8s %14d %14d %16.4f%s\n", c.Cut, c.EdgeMACs, c.CommBytes, c.CostKMACMB, mark)
+	}
+	fmt.Println("(* = default cut: the deepest convolution layer)")
+	return nil
+}
+
+func cmdAttack(args []string) error {
+	fs := flag.NewFlagSet("attack", flag.ExitOnError)
+	c := registerCommon(fs)
+	noise := fs.String("noise", "", "noise collection file (default: train 4 fresh tensors)")
+	samples := fs.Int("samples", 3, "samples to invert")
+	steps := fs.Int("steps", 250, "gradient steps per inversion")
+	trials := fs.Int("trials", 30, "gallery identification trials")
+	fs.Parse(args)
+	sys, err := c.system()
+	if err != nil {
+		return err
+	}
+	if *noise != "" {
+		if err := sys.LoadNoise(*noise); err != nil {
+			return err
+		}
+	} else {
+		fmt.Fprintln(os.Stderr, "no -noise file: training 4 fresh noise tensors...")
+		sys.LearnNoise(4)
+	}
+	inv, err := sys.AttackResistance(*samples, *steps)
+	if err != nil {
+		return err
+	}
+	fmt.Println(inv)
+	gal, err := sys.GalleryAttack(*trials)
+	if err != nil {
+		return err
+	}
+	fmt.Println(gal)
+	return nil
+}

@@ -1,0 +1,42 @@
+package shredder
+
+import (
+	"shredder/internal/cost"
+	"shredder/internal/model"
+)
+
+// CutReport describes one cutting point of a network from the edge
+// device's perspective: how much computation the edge must perform, how
+// much data crosses the wire, and the paper's combined cost metric
+// (Computation × Communication, §3.4).
+type CutReport struct {
+	Cut        string  // cut name ("conv0", ...)
+	EdgeMACs   int64   // cumulative multiply-accumulates on the edge
+	CommBytes  int64   // wire size of the transmitted activation
+	CostKMACMB float64 // KiloMAC × MB, the paper's Figure 6 x-axis
+	Default    bool    // true for the network's paper-chosen cut
+}
+
+// CutPoints returns the cost model of every cutting point of a network,
+// shallow to deep. It needs no training: costs depend only on topology.
+func CutPoints(network string) ([]CutReport, error) {
+	spec, err := model.ByName(network)
+	if err != nil {
+		return nil, err
+	}
+	costs, err := cost.CutCosts(spec)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]CutReport, len(costs))
+	for i, c := range costs {
+		out[i] = CutReport{
+			Cut:        c.Cut,
+			EdgeMACs:   c.EdgeMACs,
+			CommBytes:  c.CommBytes,
+			CostKMACMB: c.Product,
+			Default:    c.Cut == spec.DefaultCut,
+		}
+	}
+	return out, nil
+}

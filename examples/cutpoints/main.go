@@ -1,0 +1,64 @@
+// Cutpoints: the cutting-point selection analysis of the paper's §3.4 and
+// Figure 6. For every cutting point of a network it prints the edge-side
+// computation, the communication volume, and the combined
+// Computation × Communication cost — then (optionally) measures the
+// privacy each cut actually buys by training noise at every cut.
+//
+// Run with:
+//
+//	go run ./examples/cutpoints [-net svhn] [-measure]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"shredder"
+)
+
+func main() {
+	log.SetFlags(0)
+	net := flag.String("net", "svhn", "benchmark network")
+	measure := flag.Bool("measure", false, "also train noise per cut and report accuracy with it")
+	flag.Parse()
+
+	// The cost model needs no training: it is pure topology.
+	cuts, err := shredder.CutPoints(*net)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("cutting-point cost model for %s (float32 transport):\n\n", *net)
+	fmt.Printf("  %8s %14s %14s %16s\n", "cut", "edge MACs", "comm bytes", "KMAC × MB")
+	for _, c := range cuts {
+		mark := " "
+		if c.Default {
+			mark = "*"
+		}
+		fmt.Printf("%s %8s %14d %14d %16.4f\n", mark, c.Cut, c.EdgeMACs, c.CommBytes, c.CostKMACMB)
+	}
+	fmt.Println("  (* = the paper's chosen cut: the deepest convolution layer)")
+	fmt.Println()
+	fmt.Println("deeper cuts cost more edge computation but usually less communication;")
+	fmt.Println("privacy is monotone in depth, so the deepest affordable cut wins (§3.4).")
+
+	if !*measure {
+		fmt.Println("\n(re-run with -measure to train noise at every cut and compare accuracy)")
+		return
+	}
+
+	fmt.Println("\nmeasuring accuracy with learned noise at every cut:")
+	for _, c := range cuts {
+		sys, err := shredder.NewSystem(*net, shredder.Config{
+			Cut: c.Cut, Seed: 1, Progress: os.Stderr, WeightCacheDir: ".shredder-cache",
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		sys.LearnNoise(4)
+		rep := sys.Evaluate()
+		fmt.Printf("  %8s: accuracy %.2f%% → %.2f%% (loss %.2f pts), MI loss %.1f%%\n",
+			c.Cut, 100*rep.BaselineAcc, 100*rep.NoisyAcc, rep.AccLossPct, rep.MILossPct)
+	}
+}

@@ -1,0 +1,54 @@
+// Privacyattack: make the mutual-information numbers concrete by attacking
+// the transmitted activation with two white-box adversaries — a
+// model-inversion attack that gradient-descends a reconstruction of the
+// input, and a gallery attack that matches the observation against a set
+// of candidate inputs. Both succeed against raw activations and degrade
+// sharply once Shredder's learned noise is applied.
+//
+// This is an extension beyond the paper's evaluation; the paper motivates
+// privacy via I(x; a′), and these attacks are what that quantity bounds.
+//
+// Run with:
+//
+//	go run ./examples/privacyattack [-net lenet] [-cut conv0]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"shredder"
+)
+
+func main() {
+	log.SetFlags(0)
+	net := flag.String("net", "lenet", "benchmark network")
+	cut := flag.String("cut", "conv0", "cutting point to attack (shallow cuts leak most)")
+	flag.Parse()
+
+	fmt.Printf("pre-training %s and learning noise at cut %s...\n", *net, *cut)
+	sys, err := shredder.NewSystem(*net, shredder.Config{Cut: *cut, Seed: 1, Progress: os.Stderr})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys.LearnNoiseWith(6, shredder.NoiseOptions{})
+
+	fmt.Println("\n1. model-inversion attack (gradient descent on the input):")
+	inv, err := sys.AttackResistance(3, 250)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("   %v\n", inv)
+
+	fmt.Println("\n2. gallery identification attack (nearest candidate match):")
+	gal, err := sys.GalleryAttack(40)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("   %v\n", gal)
+
+	fmt.Println("\nthe learned noise collection makes both adversaries much weaker while")
+	fmt.Printf("the model still classifies: baseline accuracy %.1f%%.\n", 100*sys.BaselineAccuracy())
+}

@@ -1,0 +1,56 @@
+// Quickstart: split LeNet at its last convolution layer, learn a noise
+// collection, and compare private inference against the noiseless baseline
+// — the whole Shredder pipeline in ~40 lines.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"shredder"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// Pre-train LeNet on the synthetic digits dataset. The network's
+	// weights are fixed from here on — Shredder never retrains them.
+	fmt.Println("pre-training lenet (this stands in for downloading a pre-trained model)...")
+	sys, err := shredder.NewSystem("lenet", shredder.Config{Seed: 1, Progress: os.Stderr})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("baseline test accuracy: %.2f%%\n\n", 100*sys.BaselineAccuracy())
+
+	// Learn a collection of 8 noise tensors (paper §2.5). At inference one
+	// is sampled per query; the randomness is what destroys the mutual
+	// information between input and transmitted activation.
+	fmt.Println("learning a collection of 8 noise tensors...")
+	sys.LearnNoise(8)
+
+	// Evaluate: accuracy with noise, and the information content of what
+	// would be sent to the cloud, with and without Shredder.
+	rep := sys.Evaluate()
+	fmt.Println()
+	fmt.Println(rep)
+	fmt.Println()
+
+	// Classify a few individual test samples privately.
+	for i := 0; i < 5; i++ {
+		pixels, label := sys.TestSample(i)
+		noisy, err := sys.Classify(pixels)
+		if err != nil {
+			log.Fatal(err)
+		}
+		clean, err := sys.ClassifyBaseline(pixels)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("sample %d: label %d, baseline %d, shredder %d\n", i, label, clean, noisy)
+	}
+}

@@ -1,0 +1,52 @@
+// Tradeoff: trace the accuracy–privacy frontier of Figure 3 on one
+// network by sweeping the noise operating point from gentle to aggressive.
+// Each point trains a fresh noise collection and reports the accuracy loss
+// and the mutual-information loss it buys.
+//
+// Run with:
+//
+//	go run ./examples/tradeoff [-net lenet] [-points 4]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"shredder"
+)
+
+func main() {
+	log.SetFlags(0)
+	net := flag.String("net", "lenet", "benchmark network")
+	points := flag.Int("points", 4, "operating points to sweep")
+	flag.Parse()
+
+	fmt.Printf("pre-training %s...\n", *net)
+	sys, err := shredder.NewSystem(*net, shredder.Config{Seed: 1, Progress: os.Stderr})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("baseline accuracy %.2f%%\n\n", 100*sys.BaselineAccuracy())
+	fmt.Printf("%10s %10s %14s %18s %16s\n", "scale b", "λ", "acc loss (%)", "MI loss (%)", "shredded MI")
+
+	// Sweep multipliers on the tuned (scale, λ) pair: small multipliers
+	// leave accuracy intact but shred less information; large ones push
+	// toward the Zero Leakage line at growing accuracy cost (Fig. 3).
+	base := 0.5
+	for i := 0; i < *points; i++ {
+		mul := base * float64(int(1)<<i) // 0.5, 1, 2, 4, ...
+		sys.LearnNoiseWith(4, shredder.NoiseOptions{
+			Scale:         2.0 * mul,
+			Lambda:        0.01 * mul,
+			PrivacyTarget: 4 * mul,
+		})
+		rep := sys.Evaluate()
+		fmt.Printf("%10.2f %10.4f %14.2f %18.2f %16.2f\n",
+			2.0*mul, 0.01*mul, rep.AccLossPct, rep.MILossPct, rep.ShreddedMI)
+	}
+	fmt.Println("\nreading the frontier: information loss rises steeply at first (excess")
+	fmt.Println("information is stripped), then flattens once only task-relevant bits remain —")
+	fmt.Println("pushing further costs accuracy (the knee of the paper's Figure 3).")
+}

@@ -1,0 +1,78 @@
+package shredder
+
+import (
+	"testing"
+)
+
+// Integration tests covering the full pipeline on the non-LeNet benchmarks
+// at reduced scale. They exercise every network topology end to end: data
+// generation → pre-training → split → noise learning → private inference.
+
+func runPipeline(t *testing.T, network string, trainN, testN, epochs int, noise NoiseOptions) {
+	t.Helper()
+	sys, err := NewSystem(network, Config{Seed: 11, TrainN: trainN, TestN: testN, Epochs: epochs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	chance := 1.0 / float64(sys.Classes())
+	if sys.BaselineAccuracy() < 2*chance {
+		t.Fatalf("%s baseline accuracy %.2f barely above chance %.2f", network, sys.BaselineAccuracy(), chance)
+	}
+	sys.LearnNoiseWith(2, noise)
+	rep := sys.Evaluate()
+	if rep.ShreddedMI >= rep.OriginalMI {
+		t.Fatalf("%s: MI did not drop (%.1f → %.1f)", network, rep.OriginalMI, rep.ShreddedMI)
+	}
+	if rep.NoisyAcc < 1.5*chance {
+		t.Fatalf("%s: noisy accuracy %.2f collapsed to chance", network, rep.NoisyAcc)
+	}
+	px, _ := sys.TestSample(0)
+	if _, err := sys.Classify(px); err != nil {
+		t.Fatalf("%s: Classify: %v", network, err)
+	}
+}
+
+func TestPipelineCifar(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping cifar pipeline in -short mode")
+	}
+	runPipeline(t, "cifar", 700, 150, 5,
+		NoiseOptions{Scale: 2, Lambda: 0.001, PrivacyTarget: 3, Epochs: 4})
+}
+
+func TestPipelineSvhn(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping svhn pipeline in -short mode")
+	}
+	runPipeline(t, "svhn", 700, 150, 5,
+		NoiseOptions{Scale: 2, Lambda: 0.0005, PrivacyTarget: 3, Epochs: 4})
+}
+
+func TestPipelineAlexNet(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping alexnet pipeline in -short mode")
+	}
+	runPipeline(t, "alexnet", 600, 120, 5,
+		NoiseOptions{Scale: 1.5, Lambda: 0.0003, PrivacyTarget: 2, Epochs: 3})
+}
+
+// Cutting the same network at different points must produce different
+// activation shapes and working pipelines at each.
+func TestPipelineAllLeNetCuts(t *testing.T) {
+	seen := map[int]bool{}
+	for _, cut := range []string{"conv0", "conv1", "conv2"} {
+		sys, err := NewSystem("lenet", Config{Cut: cut, Seed: 12, TrainN: 250, TestN: 60, Epochs: 2})
+		if err != nil {
+			t.Fatalf("%s: %v", cut, err)
+		}
+		sys.LearnNoiseWith(2, NoiseOptions{Scale: 2, Lambda: 0.01, PrivacyTarget: 4, Epochs: 2})
+		rep := sys.Evaluate()
+		if rep.NoiseParams <= 0 {
+			t.Fatalf("%s: no noise params", cut)
+		}
+		if seen[rep.NoiseParams] {
+			t.Fatalf("%s: duplicate activation size %d across cuts", cut, rep.NoiseParams)
+		}
+		seen[rep.NoiseParams] = true
+	}
+}

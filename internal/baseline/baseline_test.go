@@ -1,0 +1,75 @@
+package baseline
+
+import (
+	"math"
+	"testing"
+
+	"shredder/internal/core"
+	"shredder/internal/model"
+	"shredder/internal/tensor"
+)
+
+func TestLaplaceMechanismFreshPerQuery(t *testing.T) {
+	m := NewLaplaceMechanism(1, 1)
+	a := tensor.New(2, 8)
+	p1 := m.Perturb(a)
+	p2 := m.Perturb(a)
+	if tensor.Equal(p1, p2) {
+		t.Fatal("mechanism must draw fresh noise per query")
+	}
+	if tensor.Equal(p1.Slice(0), p1.Slice(1)) {
+		t.Fatal("mechanism must draw fresh noise per sample")
+	}
+}
+
+func TestLaplaceMechanismVariance(t *testing.T) {
+	m := NewLaplaceMechanism(2, 2)
+	a := tensor.New(1, 100000)
+	p := m.Perturb(a)
+	// Var(Laplace(0,2)) = 8.
+	if v := p.Variance(); math.Abs(v-8) > 0.5 {
+		t.Fatalf("perturbation variance %v, want ~8", v)
+	}
+}
+
+func TestScaleForInVivo(t *testing.T) {
+	// target = 1/SNR = Var/ea2 = 2b²/ea2 ⇒ with target=0.5, ea2=4: b=1.
+	if got := ScaleForInVivo(0.5, 4); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("ScaleForInVivo = %v, want 1", got)
+	}
+	if ScaleForInVivo(0, 1) != 0 || ScaleForInVivo(1, 0) != 0 {
+		t.Fatal("degenerate inputs should give 0")
+	}
+}
+
+func TestCompareShredderBeatsAgnosticNoise(t *testing.T) {
+	// The headline comparison of the paper's Figure 1: at matched noise
+	// power, learned noise preserves more accuracy than fresh Laplace
+	// noise.
+	pre, err := model.Train(model.LeNet(), model.TrainConfig{TrainN: 500, TestN: 150, Epochs: 3, Seed: 70})
+	if err != nil {
+		t.Fatal(err)
+	}
+	layer, _ := pre.Spec.CutLayer("conv2")
+	split, err := core.NewSplit(pre.Net, layer, pre.Spec.Dataset.SampleShape())
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := core.Collect(split, pre.Train, core.NoiseConfig{
+		Scale: 2.5, Lambda: 0.005, PrivacyTarget: 5, Epochs: 5, Seed: 71,
+	}, 3)
+	res := Compare(split, pre.Test, col, 72)
+	if res.InVivo <= 0 {
+		t.Fatalf("matched in vivo level %v", res.InVivo)
+	}
+	if res.BaselineAcc < 0.5 {
+		t.Fatalf("baseline acc %v too low", res.BaselineAcc)
+	}
+	if res.ShredderAcc <= res.LaplaceAcc {
+		t.Fatalf("learned noise (%.3f) should beat agnostic noise (%.3f) at 1/SNR=%.2f",
+			res.ShredderAcc, res.LaplaceAcc, res.InVivo)
+	}
+	if res.AdvantagePct() <= 0 {
+		t.Fatalf("advantage %v should be positive", res.AdvantagePct())
+	}
+}

@@ -1,0 +1,107 @@
+package core
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"shredder/internal/data"
+	"shredder/internal/tensor"
+)
+
+// Collection is a set of independently trained noise tensors — the paper's
+// "distribution of noise tensors, all of which yield similar accuracy and
+// noise levels" (§2.5). At inference one member is sampled per query; no
+// training happens in that phase.
+type Collection struct {
+	// Shape is the per-sample activation shape every member matches.
+	Shape []int
+	// Members are the trained noise tensors.
+	Members []*tensor.Tensor
+	// InVivo records each member's final in vivo privacy, for reporting.
+	InVivo []float64
+}
+
+// Add appends a trained noise tensor to the collection.
+func (c *Collection) Add(n *NoiseTensor, inVivo float64) {
+	v := n.Values()
+	if c.Shape == nil {
+		c.Shape = append([]int(nil), v.Shape()...)
+	}
+	if !tensor.ShapeEq(c.Shape, v.Shape()) {
+		panic(fmt.Sprintf("core: collection shape %v, member shape %v", c.Shape, v.Shape()))
+	}
+	c.Members = append(c.Members, v.Clone())
+	c.InVivo = append(c.InVivo, inVivo)
+}
+
+// Len returns the number of members.
+func (c *Collection) Len() int { return len(c.Members) }
+
+// Sample draws one noise tensor uniformly at random — the inference-time
+// sampling step of paper §2.5.
+func (c *Collection) Sample(rng *tensor.RNG) *tensor.Tensor {
+	if len(c.Members) == 0 {
+		panic("core: sampling from an empty collection")
+	}
+	return c.Members[rng.Intn(len(c.Members))]
+}
+
+// MeanInVivo returns the average recorded in vivo privacy of the members.
+func (c *Collection) MeanInVivo() float64 {
+	if len(c.InVivo) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, v := range c.InVivo {
+		s += v
+	}
+	return s / float64(len(c.InVivo))
+}
+
+// Collect trains count noise tensors with distinct seeds and returns them
+// as a collection. Each run repeats the full training process from a fresh
+// Laplace initialization, exactly as §2.5 prescribes.
+func Collect(split *Split, ds *data.Dataset, cfg NoiseConfig, count int) *Collection {
+	if count <= 0 {
+		panic("core: Collect needs a positive count")
+	}
+	c := &Collection{}
+	for i := 0; i < count; i++ {
+		run := cfg
+		run.Seed = cfg.Seed + int64(i)*1_000_003
+		res := TrainNoise(split, ds, run)
+		c.Add(res.Noise, res.FinalInVivo)
+	}
+	return c
+}
+
+// collectionWire is the gob wire format.
+type collectionWire struct {
+	Shape   []int
+	Members []*tensor.Tensor
+	InVivo  []float64
+}
+
+// Encode writes the collection in gob format.
+func (c *Collection) Encode(w io.Writer) error {
+	if err := gob.NewEncoder(w).Encode(collectionWire{c.Shape, c.Members, c.InVivo}); err != nil {
+		return fmt.Errorf("core: encode collection: %w", err)
+	}
+	return nil
+}
+
+// DecodeCollection reads a collection written by Encode.
+func DecodeCollection(r io.Reader) (*Collection, error) {
+	var wire collectionWire
+	if err := gob.NewDecoder(r).Decode(&wire); err != nil {
+		return nil, fmt.Errorf("core: decode collection: %w", err)
+	}
+	c := &Collection{Shape: wire.Shape, Members: wire.Members, InVivo: wire.InVivo}
+	for i, m := range c.Members {
+		if !tensor.ShapeEq(m.Shape(), c.Shape) {
+			return nil, fmt.Errorf("core: decode collection: member %d shape %v != %v", i, m.Shape(), c.Shape)
+		}
+	}
+	return c, nil
+}

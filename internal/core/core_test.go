@@ -1,0 +1,388 @@
+package core
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"shredder/internal/model"
+	"shredder/internal/nn"
+	"shredder/internal/tensor"
+)
+
+// testSplit returns a tiny pre-trained LeNet split at its last conv, with
+// its train/test data. Cached across tests via sync-free package state is
+// avoided; runs are fast enough to repeat.
+func testSplit(t *testing.T, seed int64) (*Split, *model.Pretrained) {
+	t.Helper()
+	pre, err := model.Train(model.LeNet(), model.TrainConfig{TrainN: 400, TestN: 120, Epochs: 3, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	layer, err := pre.Spec.CutLayer(pre.Spec.DefaultCut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	split, err := NewSplit(pre.Net, layer, pre.Spec.Dataset.SampleShape())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return split, pre
+}
+
+func TestNewSplitErrors(t *testing.T) {
+	rng := tensor.NewRNG(1)
+	net := nn.NewSequential("n",
+		nn.NewFlatten("flat"),
+		nn.NewLinear("fc", 4, 2, rng),
+	)
+	if _, err := NewSplit(net, "missing", []int{1, 2, 2}); err == nil {
+		t.Fatal("expected error for missing layer")
+	}
+	if _, err := NewSplit(net, "fc", []int{1, 2, 2}); err == nil {
+		t.Fatal("expected error for cut after last layer")
+	}
+	if _, err := NewSplit(net, "flat", []int{1, 2, 2}); err != nil {
+		t.Fatalf("valid cut rejected: %v", err)
+	}
+}
+
+func TestSplitCompositionEqualsFullForward(t *testing.T) {
+	split, pre := testSplit(t, 21)
+	b := pre.Test.Batches(8)[0]
+	full := split.Forward(b.Images)
+	a := split.Local(b.Images)
+	composed := split.Remote(a, false)
+	if !tensor.AllClose(full, composed, 1e-12) {
+		t.Fatal("L∘R != f")
+	}
+	// Activation shape must match the declared one.
+	if !tensor.ShapeEq(a.Shape()[1:], split.ActivationShape()) {
+		t.Fatalf("activation shape %v, declared %v", a.Shape()[1:], split.ActivationShape())
+	}
+}
+
+func TestNoiseTensorInitializationMoments(t *testing.T) {
+	rng := tensor.NewRNG(2)
+	n := NewNoiseTensor([]int{100, 100}, 0.5, 2, rng)
+	v := n.Values()
+	if math.Abs(v.Mean()-0.5) > 0.1 {
+		t.Fatalf("noise mean %v, want ~0.5", v.Mean())
+	}
+	if math.Abs(v.Variance()-8) > 0.8 { // Var(Laplace(·,2)) = 2·4 = 8
+		t.Fatalf("noise variance %v, want ~8", v.Variance())
+	}
+}
+
+func TestAddBroadcast(t *testing.T) {
+	a := tensor.From([]float64{1, 2, 3, 4}, 2, 2)
+	noise := tensor.From([]float64{10, 20}, 2)
+	out := AddBroadcast(a, noise)
+	want := tensor.From([]float64{11, 22, 13, 24}, 2, 2)
+	if !tensor.Equal(out, want) {
+		t.Fatalf("AddBroadcast = %v", out)
+	}
+	if !tensor.Equal(a, tensor.From([]float64{1, 2, 3, 4}, 2, 2)) {
+		t.Fatal("AddBroadcast must not modify input")
+	}
+}
+
+func TestAddBroadcastShapeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	AddBroadcast(tensor.New(2, 3), tensor.New(2))
+}
+
+func TestAccumulateGradSumsOverBatch(t *testing.T) {
+	n := NewNoiseTensor([]int{2}, 0, 1, tensor.NewRNG(3))
+	n.Param.ZeroGrad()
+	g := tensor.From([]float64{1, 2, 10, 20, 100, 200}, 3, 2)
+	n.AccumulateGrad(g)
+	want := tensor.From([]float64{111, 222}, 2)
+	if !tensor.Equal(n.Param.Grad, want) {
+		t.Fatalf("accumulated grad = %v, want %v", n.Param.Grad, want)
+	}
+}
+
+func TestAddPrivacyGradSigns(t *testing.T) {
+	n := &NoiseTensor{Param: nn.NewParam("noise", tensor.From([]float64{2, -3, 0}, 3))}
+	AddPrivacyGrad(n, 0.1)
+	want := tensor.From([]float64{-0.1, 0.1, 0}, 3)
+	if !tensor.AllClose(n.Param.Grad, want, 1e-12) {
+		t.Fatalf("privacy grad = %v, want %v", n.Param.Grad, want)
+	}
+}
+
+// The gradient the trainer computes (through R, summed over batch, plus the
+// privacy term) must match finite differences of the full Shredder loss
+// with respect to the noise — this is the paper's §2.1 chain-rule claim,
+// verified end to end.
+func TestNoiseGradientMatchesFiniteDifference(t *testing.T) {
+	split, pre := testSplit(t, 22)
+	b := pre.Test.Batches(6)[0]
+	rng := tensor.NewRNG(4)
+	noise := NewNoiseTensor(split.ActivationShape(), 0, 0.5, rng)
+	lambda := 0.01
+
+	lossOf := func() float64 {
+		a := split.Local(b.Images)
+		logits := split.Remote(noise.Apply(a), false)
+		total, _, _ := ShredderLoss(logits, b.Labels, noise, lambda)
+		return total
+	}
+
+	a := split.Local(b.Images)
+	logits := split.Remote(noise.Apply(a), true)
+	_, _, grad := ShredderLoss(logits, b.Labels, noise, lambda)
+	dAprime := split.RemoteBackward(grad)
+	noise.Param.ZeroGrad()
+	noise.AccumulateGrad(dAprime)
+	AddPrivacyGrad(noise, lambda)
+	split.Net.ZeroGrad()
+
+	eps := 1e-5
+	nd := noise.Param.Value.Data()
+	for _, i := range []int{0, 17, 40, 77, 119} {
+		orig := nd[i]
+		nd[i] = orig + eps
+		lp := lossOf()
+		nd[i] = orig - eps
+		lm := lossOf()
+		nd[i] = orig
+		num := (lp - lm) / (2 * eps)
+		ana := noise.Param.Grad.Data()[i]
+		if math.Abs(num-ana) > 1e-4*math.Max(1, math.Abs(num)) {
+			t.Fatalf("noise grad[%d]: analytic %v vs numeric %v", i, ana, num)
+		}
+	}
+}
+
+func TestTrainNoiseFreezesWeights(t *testing.T) {
+	split, pre := testSplit(t, 23)
+	before := make([]*tensor.Tensor, 0)
+	for _, p := range split.Net.Params() {
+		before = append(before, p.Value.Clone())
+	}
+	TrainNoise(split, pre.Train, NoiseConfig{Scale: 1, Lambda: 0.01, Epochs: 0.2, Seed: 1})
+	for i, p := range split.Net.Params() {
+		if !tensor.Equal(before[i], p.Value) {
+			t.Fatalf("parameter %s changed during noise training", p.Name)
+		}
+		if p.Grad.AbsSum() != 0 {
+			t.Fatalf("parameter %s has stale gradients after noise training", p.Name)
+		}
+	}
+}
+
+func TestTrainNoiseRecoversAccuracy(t *testing.T) {
+	// Core claim: starting from accuracy-destroying noise, training the
+	// noise recovers most of the accuracy while keeping noise large.
+	split, pre := testSplit(t, 24)
+	rng := tensor.NewRNG(5)
+	init := NewNoiseTensor(split.ActivationShape(), 0, 2.0, rng)
+
+	accWith := func(noise *tensor.Tensor) float64 {
+		correct := 0
+		for _, b := range pre.Test.Batches(32) {
+			a := split.Local(b.Images)
+			logits := split.Remote(AddBroadcast(a, noise), false)
+			for i, y := range b.Labels {
+				if logits.Slice(i).Argmax() == y {
+					correct++
+				}
+			}
+		}
+		return float64(correct) / float64(pre.Test.N())
+	}
+
+	accInit := accWith(init.Values())
+	res := TrainNoise(split, pre.Train, NoiseConfig{
+		Scale: 2.0, Lambda: 0.01, PrivacyTarget: 4, Epochs: 4, Seed: 6,
+	})
+	accTrained := accWith(res.Noise.Values())
+	if accTrained <= accInit+0.05 {
+		t.Fatalf("noise training did not recover accuracy: init %.3f, trained %.3f (baseline %.3f)",
+			accInit, accTrained, pre.TestAcc)
+	}
+	if res.FinalInVivo <= 0 {
+		t.Fatal("final in vivo privacy must be positive")
+	}
+	if res.Iterations <= 0 || res.Epochs <= 0 {
+		t.Fatalf("bad bookkeeping: %+v", res)
+	}
+}
+
+func TestTrainNoiseLambdaGrowsNoiseVsZeroLambda(t *testing.T) {
+	// With λ > 0 and no decay, the trained noise must end up with larger
+	// magnitude than privacy-agnostic (λ=0) training from the same init.
+	split, pre := testSplit(t, 25)
+	shredder := TrainNoise(split, pre.Train, NoiseConfig{Scale: 1, Lambda: 0.02, Epochs: 1, Seed: 7})
+	agnostic := TrainNoise(split, pre.Train, NoiseConfig{Scale: 1, Lambda: 0, Epochs: 1, Seed: 7})
+	if shredder.Noise.Values().AbsSum() <= agnostic.Noise.Values().AbsSum() {
+		t.Fatalf("λ>0 should yield larger noise: shredder %v, agnostic %v",
+			shredder.Noise.Values().AbsSum(), agnostic.Noise.Values().AbsSum())
+	}
+	if shredder.FinalInVivo <= agnostic.FinalInVivo {
+		t.Fatalf("λ>0 should yield more in vivo privacy: %v vs %v",
+			shredder.FinalInVivo, agnostic.FinalInVivo)
+	}
+}
+
+func TestTrainNoiseEventsAndFractionalEpochs(t *testing.T) {
+	split, pre := testSplit(t, 26)
+	var events []TrainEvent
+	res := TrainNoise(split, pre.Train, NoiseConfig{
+		Scale: 1, Lambda: 0.01, Epochs: 0.25, Seed: 8, EvalEvery: 1,
+		Log: func(e TrainEvent) { events = append(events, e) },
+	})
+	if len(events) != res.Iterations {
+		t.Fatalf("%d events for %d iterations at EvalEvery=1", len(events), res.Iterations)
+	}
+	if res.Epochs > 0.5 {
+		t.Fatalf("fractional epoch config ran %.2f epochs", res.Epochs)
+	}
+	for _, e := range events {
+		if e.InVivo < 0 || math.IsNaN(e.Loss) {
+			t.Fatalf("bad event %+v", e)
+		}
+	}
+	if len(res.Events) != len(events) {
+		t.Fatal("result events must mirror logged events")
+	}
+}
+
+func TestTrainNoiseLambdaDecayTriggers(t *testing.T) {
+	split, pre := testSplit(t, 27)
+	// Gigantic initial noise: in vivo starts above target, so λ must decay
+	// from the first evaluation.
+	res := TrainNoise(split, pre.Train, NoiseConfig{
+		Scale: 5, Lambda: 0.05, PrivacyTarget: 0.1, LambdaDecay: 0.5,
+		Epochs: 0.5, Seed: 9, EvalEvery: 1,
+	})
+	first := res.Events[0].Lambda
+	last := res.Events[len(res.Events)-1].Lambda
+	if last >= first {
+		t.Fatalf("λ did not decay: first %v, last %v", first, last)
+	}
+}
+
+func TestTrainNoiseSelfSupervised(t *testing.T) {
+	split, pre := testSplit(t, 28)
+	res := TrainNoise(split, pre.Train, NoiseConfig{
+		Scale: 1.5, Lambda: 0.01, Epochs: 1, Seed: 10, SelfSupervised: true,
+	})
+	if !res.Noise.Values().AllFinite() {
+		t.Fatal("self-supervised noise diverged")
+	}
+	if res.FinalInVivo <= 0 {
+		t.Fatal("self-supervised training should retain positive privacy")
+	}
+}
+
+func TestCollectionSampleAndStats(t *testing.T) {
+	rng := tensor.NewRNG(11)
+	c := &Collection{}
+	for i := 0; i < 3; i++ {
+		n := NewNoiseTensor([]int{4}, 0, 1, rng)
+		c.Add(n, float64(i+1))
+	}
+	if c.Len() != 3 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+	if got := c.MeanInVivo(); math.Abs(got-2) > 1e-12 {
+		t.Fatalf("MeanInVivo = %v", got)
+	}
+	seen := map[*tensor.Tensor]bool{}
+	for i := 0; i < 100; i++ {
+		seen[c.Sample(rng)] = true
+	}
+	if len(seen) != 3 {
+		t.Fatalf("sampling hit %d of 3 members", len(seen))
+	}
+}
+
+func TestCollectionShapeMismatchPanics(t *testing.T) {
+	rng := tensor.NewRNG(12)
+	c := &Collection{}
+	c.Add(NewNoiseTensor([]int{4}, 0, 1, rng), 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	c.Add(NewNoiseTensor([]int{5}, 0, 1, rng), 1)
+}
+
+func TestCollectionEncodeDecode(t *testing.T) {
+	rng := tensor.NewRNG(13)
+	c := &Collection{}
+	c.Add(NewNoiseTensor([]int{3, 2}, 0, 1, rng), 0.5)
+	c.Add(NewNoiseTensor([]int{3, 2}, 0, 1, rng), 0.7)
+	var buf bytes.Buffer
+	if err := c.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeCollection(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 2 || !tensor.Equal(got.Members[1], c.Members[1]) {
+		t.Fatal("collection round trip failed")
+	}
+	if got.InVivo[0] != 0.5 {
+		t.Fatal("in vivo stats lost in round trip")
+	}
+}
+
+func TestCollectDistinctMembers(t *testing.T) {
+	split, pre := testSplit(t, 29)
+	col := Collect(split, pre.Train, NoiseConfig{Scale: 1, Lambda: 0.01, Epochs: 0.1, Seed: 100}, 3)
+	if col.Len() != 3 {
+		t.Fatalf("collected %d members", col.Len())
+	}
+	if tensor.Equal(col.Members[0], col.Members[1]) {
+		t.Fatal("collection members should differ (different seeds)")
+	}
+}
+
+func TestEvaluateEndToEnd(t *testing.T) {
+	split, pre := testSplit(t, 30)
+	col := Collect(split, pre.Train, NoiseConfig{
+		Scale: 2, Lambda: 0.01, PrivacyTarget: 4, Epochs: 2, Seed: 200,
+	}, 4)
+	res := Evaluate(split, pre.Test, col, EvalConfig{Seed: 1})
+	if res.BaselineAcc <= 0.3 {
+		t.Fatalf("baseline accuracy %v too low for a trained net", res.BaselineAcc)
+	}
+	if res.NoisyAcc <= 0.2 {
+		t.Fatalf("noisy accuracy %v collapsed", res.NoisyAcc)
+	}
+	if res.ShreddedMI >= res.OrigMI {
+		t.Fatalf("shredded MI (%v) should be below original (%v)", res.ShreddedMI, res.OrigMI)
+	}
+	if res.MILossPct <= 0 {
+		t.Fatalf("MI loss %v%% should be positive", res.MILossPct)
+	}
+	if res.InVivo <= 0 {
+		t.Fatal("in vivo privacy should be positive")
+	}
+}
+
+func TestActivationsShapeAndNoise(t *testing.T) {
+	split, pre := testSplit(t, 31)
+	rng := tensor.NewRNG(14)
+	clean := Activations(split, pre.Test, nil, 16, rng)
+	wantShape := append([]int{pre.Test.N()}, split.ActivationShape()...)
+	if !tensor.ShapeEq(clean.Shape(), wantShape) {
+		t.Fatalf("activations shape %v, want %v", clean.Shape(), wantShape)
+	}
+	col := &Collection{}
+	col.Add(NewNoiseTensor(split.ActivationShape(), 0, 3, rng), 1)
+	noisy := Activations(split, pre.Test, col, 16, rng)
+	if tensor.AllClose(clean, noisy, 1e-9) {
+		t.Fatal("noisy activations should differ from clean")
+	}
+}

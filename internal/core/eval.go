@@ -1,0 +1,125 @@
+package core
+
+import (
+	"shredder/internal/data"
+	"shredder/internal/mi"
+	"shredder/internal/privacy"
+	"shredder/internal/tensor"
+)
+
+// EvalResult summarizes an evaluation of a split + noise collection on a
+// test set — one row of the paper's Table 1.
+type EvalResult struct {
+	// BaselineAcc is accuracy of the intact network without noise.
+	BaselineAcc float64
+	// NoisyAcc is accuracy with a noise tensor sampled per batch.
+	NoisyAcc float64
+	// AccLossPct is the accuracy loss in percentage points.
+	AccLossPct float64
+	// OrigMI and ShreddedMI are I(x; a) and I(x; a′) in bits.
+	OrigMI, ShreddedMI float64
+	// MILossBits and MILossPct quantify the information loss.
+	MILossBits, MILossPct float64
+	// InVivo is the mean in vivo privacy over the evaluation batches.
+	InVivo float64
+}
+
+// EvalConfig controls Evaluate.
+type EvalConfig struct {
+	// BatchSize for the accuracy passes (default 32).
+	BatchSize int
+	// MI configures the mutual-information estimator.
+	MI mi.Options
+	// Seed drives the per-batch noise sampling.
+	Seed int64
+}
+
+func (c EvalConfig) withDefaults() EvalConfig {
+	if c.BatchSize == 0 {
+		c.BatchSize = 32
+	}
+	if c.MI.MaxSamples == 0 {
+		c.MI.MaxSamples = 256
+	}
+	return c
+}
+
+// Activations runs the local part over the whole dataset and returns the
+// batched activations [N, ...]. When a collection is given, an
+// independently sampled noise tensor is added to every sample — the
+// paper's inference-time sampling (§2.5). Note that a single fixed noise
+// tensor is a constant shift and leaves mutual information unchanged; the
+// privacy comes from sampling the collection per query.
+func Activations(split *Split, ds *data.Dataset, col *Collection, batchSize int, rng *tensor.RNG) *tensor.Tensor {
+	shape := append([]int{ds.N()}, split.ActivationShape()...)
+	out := tensor.New(shape...)
+	row := 0
+	for _, b := range ds.Batches(batchSize) {
+		a := split.Local(b.Images)
+		n := a.Dim(0)
+		for i := 0; i < n; i++ {
+			dst := out.Slice(row)
+			dst.CopyFrom(a.Slice(i))
+			if col != nil {
+				dst.AddInPlace(col.Sample(rng))
+			}
+			row++
+		}
+	}
+	return out
+}
+
+// Evaluate measures baseline/noisy accuracy, in vivo privacy, and the
+// original vs shredded mutual information of a split with a noise
+// collection on a test set.
+func Evaluate(split *Split, ds *data.Dataset, col *Collection, cfg EvalConfig) EvalResult {
+	cfg = cfg.withDefaults()
+	rng := tensor.NewRNG(cfg.Seed)
+	var res EvalResult
+
+	correctBase, correctNoisy, n := 0, 0, 0
+	var inVivoSum float64
+	batches := 0
+	for _, b := range ds.Batches(cfg.BatchSize) {
+		a := split.Local(b.Images)
+		base := split.Remote(a, false)
+		// Per-sample noise draws, as at real inference time (§2.5).
+		aPrime := a.Clone()
+		var lastNoise *tensor.Tensor
+		for i := 0; i < aPrime.Dim(0); i++ {
+			lastNoise = col.Sample(rng)
+			aPrime.Slice(i).AddInPlace(lastNoise)
+		}
+		noisy := split.Remote(aPrime, false)
+		for i, y := range b.Labels {
+			if base.Slice(i).Argmax() == y {
+				correctBase++
+			}
+			if noisy.Slice(i).Argmax() == y {
+				correctNoisy++
+			}
+		}
+		inVivoSum += privacy.InVivo(a, lastNoise)
+		batches++
+		n += len(b.Labels)
+	}
+	if n > 0 {
+		res.BaselineAcc = float64(correctBase) / float64(n)
+		res.NoisyAcc = float64(correctNoisy) / float64(n)
+	}
+	if batches > 0 {
+		res.InVivo = inVivoSum / float64(batches)
+	}
+	res.AccLossPct = privacy.AccuracyLoss(res.BaselineAcc, res.NoisyAcc)
+
+	clean := Activations(split, ds, nil, cfg.BatchSize, rng)
+	shredded := Activations(split, ds, col, cfg.BatchSize, rng)
+	res.OrigMI = privacy.MeasureMI(ds.Images, clean, cfg.MI)
+	miOpts := cfg.MI
+	miOpts.Seed++ // decorrelate subsampling between the two estimates
+	res.ShreddedMI = privacy.MeasureMI(ds.Images, shredded, miOpts)
+	bits, frac := privacy.InformationLoss(res.OrigMI, res.ShreddedMI)
+	res.MILossBits = bits
+	res.MILossPct = frac * 100
+	return res
+}

@@ -1,0 +1,95 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"shredder/internal/nn"
+	"shredder/internal/tensor"
+)
+
+func TestPropertyAddBroadcastInverse(t *testing.T) {
+	// Subtracting the same noise from every row recovers the activation.
+	f := func(seed int64) bool {
+		rng := tensor.NewRNG(seed)
+		n, d := 1+rng.Intn(5), 1+rng.Intn(8)
+		a := rng.FillNormal(tensor.New(n, d), 0, 2)
+		noise := rng.FillLaplace(tensor.New(d), 0, 1)
+		neg := noise.Clone().Scale(-1)
+		back := AddBroadcast(AddBroadcast(a, noise), neg)
+		return tensor.AllClose(back, a, 1e-12)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyAccumulateGradLinearity(t *testing.T) {
+	// Accumulating g1 then g2 equals accumulating g1+g2.
+	f := func(seed int64) bool {
+		rng := tensor.NewRNG(seed)
+		d := 1 + rng.Intn(6)
+		batch := 1 + rng.Intn(4)
+		g1 := rng.FillNormal(tensor.New(batch, d), 0, 1)
+		g2 := rng.FillNormal(tensor.New(batch, d), 0, 1)
+		na := &NoiseTensor{Param: nn.NewParam("n", tensor.New(d))}
+		na.AccumulateGrad(g1)
+		na.AccumulateGrad(g2)
+		nb := &NoiseTensor{Param: nn.NewParam("n", tensor.New(d))}
+		nb.AccumulateGrad(tensor.Add(g1, g2))
+		return tensor.AllClose(na.Param.Grad, nb.Param.Grad, 1e-12)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyPrivacyGradOpposesShrinking(t *testing.T) {
+	// The privacy term's gradient always points away from zero: applying a
+	// small step against the gradient increases |n| elementwise (where
+	// n ≠ 0).
+	f := func(seed int64) bool {
+		rng := tensor.NewRNG(seed)
+		d := 1 + rng.Intn(10)
+		vals := rng.FillLaplace(tensor.New(d), 0, 1)
+		nt := &NoiseTensor{Param: nn.NewParam("n", vals.Clone())}
+		AddPrivacyGrad(nt, 0.1)
+		for i, v := range vals.Data() {
+			if v == 0 {
+				continue
+			}
+			stepped := v - 0.01*nt.Param.Grad.Data()[i] // gradient-descent step
+			if abs(stepped) <= abs(v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func TestPropertyShredderLossLambdaMonotone(t *testing.T) {
+	// For fixed logits and noise, the total loss decreases as λ grows (the
+	// −λΣ|n| term), while the CE component is unchanged.
+	f := func(seed int64) bool {
+		rng := tensor.NewRNG(seed)
+		logits := rng.FillNormal(tensor.New(2, 4), 0, 1)
+		labels := []int{rng.Intn(4), rng.Intn(4)}
+		noise := &NoiseTensor{Param: nn.NewParam("n", rng.FillLaplace(tensor.New(5), 0, 1))}
+		t0, ce0, _ := ShredderLoss(logits, labels, noise, 0.01)
+		t1, ce1, _ := ShredderLoss(logits, labels, noise, 0.1)
+		return ce0 == ce1 && t1 < t0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

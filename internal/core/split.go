@@ -1,0 +1,73 @@
+// Package core implements the Shredder algorithm itself: splitting a
+// pre-trained network into a local (edge) part L and remote (cloud) part R,
+// casting an additive noise tensor as trainable parameters, the loss
+// CE − λ·Σ|nᵢ| that trades accuracy against in vivo privacy (paper Eq. 3),
+// the noise trainer with the λ decay knob (paper §3.2), and the noise
+// collection that is sampled at inference time (paper §2.5).
+//
+// The network weights are never modified: the trainer backpropagates
+// through R only to obtain ∂loss/∂(R's input), which equals ∂loss/∂n since
+// a' = a + n, and updates only the noise tensor.
+package core
+
+import (
+	"fmt"
+
+	"shredder/internal/nn"
+	"shredder/internal/tensor"
+)
+
+// Split is a pre-trained network cut into a local part L (layers
+// [0, CutIndex]) and a remote part R (layers (CutIndex, end)).
+type Split struct {
+	// Net is the intact pre-trained network; Split never mutates weights.
+	Net *nn.Sequential
+	// CutIndex is the index of the last local layer.
+	CutIndex int
+	// InShape is the per-sample input shape.
+	InShape []int
+}
+
+// NewSplit cuts net after the layer with the given name. in is the
+// per-sample input shape (e.g. [1,28,28]).
+func NewSplit(net *nn.Sequential, cutLayer string, in []int) (*Split, error) {
+	idx := net.Index(cutLayer)
+	if idx < 0 {
+		return nil, fmt.Errorf("core: network %q has no layer %q", net.Name(), cutLayer)
+	}
+	if idx == net.Len()-1 {
+		return nil, fmt.Errorf("core: cutting after the last layer %q leaves no remote part", cutLayer)
+	}
+	return &Split{Net: net, CutIndex: idx, InShape: append([]int(nil), in...)}, nil
+}
+
+// ActivationShape returns the per-sample shape of the activation at the
+// cutting point — the shape of the noise tensor.
+func (s *Split) ActivationShape() []int {
+	return s.Net.OutShapeAt(s.InShape, s.CutIndex+1)
+}
+
+// Local computes a = L(x) for a batch. The local part never needs
+// gradients in Shredder, so it always runs in inference mode.
+func (s *Split) Local(x *tensor.Tensor) *tensor.Tensor {
+	return s.Net.ForwardRange(x, 0, s.CutIndex+1, false)
+}
+
+// Remote computes y = R(a') for a batch of (possibly noisy) activations.
+// train selects training-mode behaviour (needed before RemoteBackward).
+func (s *Split) Remote(a *tensor.Tensor, train bool) *tensor.Tensor {
+	return s.Net.ForwardRange(a, s.CutIndex+1, s.Net.Len(), train)
+}
+
+// RemoteBackward backpropagates an output gradient through R and returns
+// ∂loss/∂a′ — which is exactly ∂loss/∂n, the quantity the paper derives in
+// §2.1. Parameter gradients accumulated in R as a side effect are discarded
+// by the caller (the trainer zeroes them; Shredder never updates weights).
+func (s *Split) RemoteBackward(grad *tensor.Tensor) *tensor.Tensor {
+	return s.Net.BackwardRange(grad, s.CutIndex+1, s.Net.Len())
+}
+
+// Forward runs the entire intact network (no noise) — the baseline path.
+func (s *Split) Forward(x *tensor.Tensor) *tensor.Tensor {
+	return s.Net.Forward(x, false)
+}

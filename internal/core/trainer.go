@@ -1,0 +1,184 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"shredder/internal/data"
+	"shredder/internal/nn"
+	"shredder/internal/optim"
+	"shredder/internal/tensor"
+)
+
+// NoiseConfig are the hyperparameters of one noise-training run.
+type NoiseConfig struct {
+	// Mu and Scale parameterize the Laplace initialization (paper §2.4).
+	Mu, Scale float64
+	// Lambda is the privacy knob of Eq. 3 (stored positive; the loss
+	// subtracts it). Zero reproduces the paper's "privacy-agnostic"
+	// baseline training of Figure 4.
+	Lambda float64
+	// PrivacyTarget is the in vivo privacy (1/SNR) at which λ starts
+	// decaying to stabilize privacy and let accuracy recover (paper §3.2).
+	// Zero disables decay.
+	PrivacyTarget float64
+	// LambdaDecay is the multiplicative decay applied to λ at every
+	// evaluation point while above target (default 0.5).
+	LambdaDecay float64
+	// LR is the Adam learning rate over the noise tensor (default 0.01).
+	LR float64
+	// Epochs is the training length in (possibly fractional) passes over
+	// the dataset — the paper trains AlexNet noise for 0.1 epoch.
+	Epochs float64
+	// BatchSize of noise-training minibatches (default 32).
+	BatchSize int
+	// Seed drives initialization and shuffling.
+	Seed int64
+	// SelfSupervised trains against the unnoised model's own soft
+	// predictions instead of ground-truth labels (extension; ablated in
+	// the benchmarks).
+	SelfSupervised bool
+	// EvalEvery is the iteration interval for events/λ-decay (default 10).
+	EvalEvery int
+	// Log, when non-nil, receives an event at every evaluation point.
+	Log func(TrainEvent)
+}
+
+func (c NoiseConfig) withDefaults() NoiseConfig {
+	if c.Scale == 0 {
+		c.Scale = 1
+	}
+	if c.LambdaDecay == 0 {
+		c.LambdaDecay = 0.5
+	}
+	if c.LR == 0 {
+		c.LR = 0.01
+	}
+	if c.Epochs == 0 {
+		c.Epochs = 1
+	}
+	if c.BatchSize == 0 {
+		c.BatchSize = 32
+	}
+	if c.EvalEvery == 0 {
+		c.EvalEvery = 10
+	}
+	return c
+}
+
+// TrainEvent is a snapshot of the training state at one evaluation point —
+// the series plotted in the paper's Figure 4.
+type TrainEvent struct {
+	Iteration int
+	Epoch     float64
+	Loss      float64 // total Shredder loss (CE − λΣ|n|)
+	CE        float64 // cross-entropy component
+	InVivo    float64 // 1/SNR at this point
+	BatchAcc  float64 // accuracy on the current batch, with noise
+	Lambda    float64 // current λ (after decay)
+}
+
+// TrainResult is the outcome of one noise-training run.
+type TrainResult struct {
+	Noise       *NoiseTensor
+	Iterations  int
+	Epochs      float64 // actual epochs executed
+	FinalInVivo float64
+	Events      []TrainEvent
+}
+
+// TrainNoise learns one noise tensor for the split on the given dataset.
+// Network weights are left untouched: only the noise tensor is optimized
+// (with Adam, as in the paper §3.2), and any parameter gradients R
+// accumulates during backpropagation are zeroed after each step.
+func TrainNoise(split *Split, ds *data.Dataset, cfg NoiseConfig) *TrainResult {
+	cfg = cfg.withDefaults()
+	rng := tensor.NewRNG(cfg.Seed)
+	noise := NewNoiseTensor(split.ActivationShape(), cfg.Mu, cfg.Scale, rng)
+	opt := optim.NewAdam([]*nn.Param{noise.Param}, cfg.LR)
+
+	batches := ds.Batches(cfg.BatchSize)
+	if len(batches) == 0 {
+		panic("core: TrainNoise on empty dataset")
+	}
+	totalIters := int(math.Ceil(cfg.Epochs * float64(len(batches))))
+	if totalIters < 1 {
+		totalIters = 1
+	}
+
+	lambda := cfg.Lambda
+	res := &TrainResult{Noise: noise}
+	iter := 0
+	var lastInVivo float64
+	// Running estimate of E[a²] over all batches seen: the signal power in
+	// the SNR is a dataset property, so averaging it keeps the in vivo
+	// trace from fluctuating with individual batches.
+	var ea2Sum float64
+	var ea2N int
+	for iter < totalIters {
+		shuffled := ds.Shuffle(cfg.Seed + int64(10_000+iter))
+		for _, b := range shuffled.Batches(cfg.BatchSize) {
+			if iter >= totalIters {
+				break
+			}
+			a := split.Local(b.Images)
+			aPrime := noise.Apply(a)
+			logits := split.Remote(aPrime, true)
+
+			var total, ce float64
+			var grad *tensor.Tensor
+			if cfg.SelfSupervised {
+				target := nn.Softmax(split.Remote(a, false))
+				total, ce, grad = ShredderLossSoft(logits, target, noise, lambda)
+			} else {
+				total, ce, grad = ShredderLoss(logits, b.Labels, noise, lambda)
+			}
+
+			dAprime := split.RemoteBackward(grad)
+			noise.Param.ZeroGrad()
+			noise.AccumulateGrad(dAprime)
+			AddPrivacyGrad(noise, lambda)
+			opt.Step()
+			// Discard the weight gradients R accumulated: weights frozen.
+			split.Net.ZeroGrad()
+
+			ea2Sum += a.SqSum() / float64(a.Len())
+			ea2N++
+			meanEA2 := ea2Sum / float64(ea2N)
+			if varN := noise.Values().Variance(); varN > 0 && meanEA2 > 0 {
+				lastInVivo = varN / meanEA2 // 1/SNR with averaged signal power
+			} else {
+				lastInVivo = 0
+			}
+			if iter%cfg.EvalEvery == 0 {
+				ev := TrainEvent{
+					Iteration: iter,
+					Epoch:     float64(iter) / float64(len(batches)),
+					Loss:      total,
+					CE:        ce,
+					InVivo:    lastInVivo,
+					BatchAcc:  nn.Accuracy(logits, b.Labels),
+					Lambda:    lambda,
+				}
+				res.Events = append(res.Events, ev)
+				if cfg.Log != nil {
+					cfg.Log(ev)
+				}
+				// λ decay knob: once the desired in vivo privacy is
+				// reached, shrink λ so privacy stabilizes and accuracy can
+				// recover (paper §3.2).
+				if cfg.PrivacyTarget > 0 && lastInVivo >= cfg.PrivacyTarget {
+					lambda *= cfg.LambdaDecay
+				}
+			}
+			iter++
+		}
+	}
+	res.Iterations = iter
+	res.Epochs = float64(iter) / float64(len(batches))
+	res.FinalInVivo = lastInVivo
+	if !noise.Values().AllFinite() {
+		panic(fmt.Sprintf("core: noise diverged (non-finite values) after %d iterations", iter))
+	}
+	return res
+}

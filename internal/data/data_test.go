@@ -1,0 +1,218 @@
+package data
+
+import (
+	"math"
+	"testing"
+
+	"shredder/internal/tensor"
+)
+
+func allGenerators() []Generator {
+	return []Generator{Digits{}, Objects{}, HouseNumbers{}, TinyScenes{}}
+}
+
+func TestGeneratorsBasicContract(t *testing.T) {
+	for _, g := range allGenerators() {
+		ds := g.Generate(40, 1)
+		if ds.N() != 40 {
+			t.Fatalf("%s: N = %d", g.Name(), ds.N())
+		}
+		if !tensor.ShapeEq(ds.SampleShape(), g.SampleShape()) {
+			t.Fatalf("%s: sample shape %v, want %v", g.Name(), ds.SampleShape(), g.SampleShape())
+		}
+		for _, y := range ds.Labels {
+			if y < 0 || y >= g.Classes() {
+				t.Fatalf("%s: label %d out of range", g.Name(), y)
+			}
+		}
+		// Pixel range before normalization is [0,1].
+		if ds.Images.Min() < 0 || ds.Images.Max() > 1 {
+			t.Fatalf("%s: pixels outside [0,1]: [%v, %v]", g.Name(), ds.Images.Min(), ds.Images.Max())
+		}
+		if !ds.Images.AllFinite() {
+			t.Fatalf("%s: non-finite pixels", g.Name())
+		}
+	}
+}
+
+func TestGeneratorsDeterministic(t *testing.T) {
+	for _, g := range allGenerators() {
+		a := g.Generate(16, 99)
+		b := g.Generate(16, 99)
+		if !tensor.Equal(a.Images, b.Images) {
+			t.Fatalf("%s: same seed produced different images", g.Name())
+		}
+		c := g.Generate(16, 100)
+		if tensor.Equal(a.Images, c.Images) {
+			t.Fatalf("%s: different seeds produced identical images", g.Name())
+		}
+	}
+}
+
+func TestGeneratorsBalancedLabels(t *testing.T) {
+	for _, g := range allGenerators() {
+		n := g.Classes() * 12
+		ds := g.Generate(n, 5)
+		for cls, count := range ds.ClassCounts() {
+			if count != 12 {
+				t.Fatalf("%s: class %d has %d samples, want 12", g.Name(), cls, count)
+			}
+		}
+	}
+}
+
+func TestIntraClassVariation(t *testing.T) {
+	// Two samples of the same class must differ substantially — the method
+	// is pointless on constant-per-class data.
+	ds := Digits{}.Generate(100, 7)
+	byClass := map[int][]int{}
+	for i, y := range ds.Labels {
+		byClass[y] = append(byClass[y], i)
+	}
+	for cls, idx := range byClass {
+		if len(idx) < 2 {
+			continue
+		}
+		d := tensor.Sub(ds.Image(idx[0]), ds.Image(idx[1]))
+		if d.SqSum() < 1 {
+			t.Fatalf("class %d: two samples nearly identical (dist² = %v)", cls, d.SqSum())
+		}
+	}
+}
+
+func TestClassesAreDistinguishable(t *testing.T) {
+	// Mean image of one class should differ from another's: a sanity check
+	// that labels carry signal.
+	ds := Digits{}.Generate(200, 8)
+	means := make([]*tensor.Tensor, 10)
+	counts := make([]int, 10)
+	for i, y := range ds.Labels {
+		if means[y] == nil {
+			means[y] = tensor.New(ds.SampleShape()...)
+		}
+		means[y].AddInPlace(ds.Image(i))
+		counts[y]++
+	}
+	for y := range means {
+		means[y].Scale(1 / float64(counts[y]))
+	}
+	d := tensor.Sub(means[0], means[1])
+	if d.SqSum() < 0.1 {
+		t.Fatalf("class means for 0 and 1 nearly identical: %v", d.SqSum())
+	}
+}
+
+func TestSplitPartition(t *testing.T) {
+	ds := Objects{}.Generate(50, 3)
+	train, test := ds.Split(30, 11)
+	if train.N() != 30 || test.N() != 20 {
+		t.Fatalf("split sizes %d/%d", train.N(), test.N())
+	}
+	if train.Classes != ds.Classes || test.Name != ds.Name {
+		t.Fatal("split must preserve metadata")
+	}
+}
+
+func TestSplitOutOfRangePanics(t *testing.T) {
+	ds := Digits{}.Generate(10, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	ds.Split(11, 1)
+}
+
+func TestBatches(t *testing.T) {
+	ds := Digits{}.Generate(25, 2)
+	batches := ds.Batches(8)
+	if len(batches) != 4 {
+		t.Fatalf("got %d batches", len(batches))
+	}
+	total := 0
+	for i, b := range batches {
+		if b.Images.Dim(0) != len(b.Labels) {
+			t.Fatal("batch image/label count mismatch")
+		}
+		total += len(b.Labels)
+		if i < 3 && len(b.Labels) != 8 {
+			t.Fatalf("batch %d size %d", i, len(b.Labels))
+		}
+	}
+	if total != 25 {
+		t.Fatalf("batches cover %d of 25 samples", total)
+	}
+	if len(batches[3].Labels) != 1 {
+		t.Fatalf("last batch size %d, want 1", len(batches[3].Labels))
+	}
+}
+
+func TestBatchesAreCopies(t *testing.T) {
+	ds := Digits{}.Generate(4, 2)
+	orig := ds.Image(0).Clone()
+	b := ds.Batches(4)[0]
+	b.Images.Fill(0)
+	if !tensor.Equal(ds.Image(0), orig) {
+		t.Fatal("mutating a batch corrupted the dataset")
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	ds := Objects{}.Generate(30, 4)
+	mean, std := ds.Normalize()
+	if math.Abs(ds.Images.Mean()) > 1e-9 {
+		t.Fatalf("post-normalize mean = %v", ds.Images.Mean())
+	}
+	if math.Abs(ds.Images.Std()-1) > 1e-9 {
+		t.Fatalf("post-normalize std = %v", ds.Images.Std())
+	}
+	if std <= 0 || mean <= 0 {
+		t.Fatalf("returned stats mean=%v std=%v", mean, std)
+	}
+	// Applying the same stats to a second dataset must be consistent.
+	ds2 := Objects{}.Generate(30, 4)
+	ds2.ApplyNormalization(mean, std)
+	if !tensor.AllClose(ds.Images, ds2.Images, 1e-12) {
+		t.Fatal("ApplyNormalization inconsistent with Normalize")
+	}
+}
+
+func TestShuffleIsPermutation(t *testing.T) {
+	ds := Digits{}.Generate(30, 6)
+	sh := ds.Shuffle(9)
+	if sh.N() != ds.N() {
+		t.Fatal("shuffle changed size")
+	}
+	a, b := ds.ClassCounts(), sh.ClassCounts()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("shuffle changed class histogram")
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"digits", "objects", "housenumbers", "tinyscenes"} {
+		g, err := ByName(name)
+		if err != nil {
+			t.Fatalf("ByName(%s): %v", name, err)
+		}
+		if g.Name() != name {
+			t.Fatalf("ByName(%s) returned %s", name, g.Name())
+		}
+	}
+	if _, err := ByName("mnist"); err == nil {
+		t.Fatal("ByName should fail on unknown dataset")
+	}
+}
+
+func TestSubsetSelectsCorrectSamples(t *testing.T) {
+	ds := Digits{}.Generate(10, 12)
+	sub := ds.Subset([]int{3, 7})
+	if sub.N() != 2 {
+		t.Fatalf("subset N = %d", sub.N())
+	}
+	if !tensor.Equal(sub.Image(0), ds.Image(3)) || sub.Labels[1] != ds.Labels[7] {
+		t.Fatal("subset selected wrong samples")
+	}
+}

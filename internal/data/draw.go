@@ -1,0 +1,166 @@
+package data
+
+import (
+	"math"
+
+	"shredder/internal/tensor"
+)
+
+// canvas is a mutable single-image painting surface over a [C,H,W] tensor
+// slice. Pixel values are in [0,1] until sensor noise is added.
+type canvas struct {
+	t       *tensor.Tensor
+	c, h, w int
+}
+
+func newCanvas(t *tensor.Tensor) *canvas {
+	s := t.Shape()
+	return &canvas{t: t, c: s[0], h: s[1], w: s[2]}
+}
+
+// blend paints (x,y) with the given per-channel color at opacity a∈[0,1].
+func (cv *canvas) blend(x, y int, color []float64, a float64) {
+	if x < 0 || x >= cv.w || y < 0 || y >= cv.h || a <= 0 {
+		return
+	}
+	d := cv.t.Data()
+	for ch := 0; ch < cv.c; ch++ {
+		idx := ch*cv.h*cv.w + y*cv.w + x
+		d[idx] = d[idx]*(1-a) + color[ch]*a
+	}
+}
+
+func (cv *canvas) fillCircle(cx, cy, r float64, color []float64) {
+	for y := int(cy - r - 1); y <= int(cy+r+1); y++ {
+		for x := int(cx - r - 1); x <= int(cx+r+1); x++ {
+			d := math.Hypot(float64(x)-cx, float64(y)-cy)
+			// 1-pixel soft edge for anti-aliasing.
+			a := clamp01(r + 0.5 - d)
+			cv.blend(x, y, color, a)
+		}
+	}
+}
+
+func (cv *canvas) fillRing(cx, cy, rOut, rIn float64, color []float64) {
+	for y := int(cy - rOut - 1); y <= int(cy+rOut+1); y++ {
+		for x := int(cx - rOut - 1); x <= int(cx+rOut+1); x++ {
+			d := math.Hypot(float64(x)-cx, float64(y)-cy)
+			a := clamp01(rOut+0.5-d) * clamp01(d-rIn+0.5)
+			cv.blend(x, y, color, a)
+		}
+	}
+}
+
+func (cv *canvas) fillRect(x0, y0, x1, y1 float64, color []float64) {
+	for y := int(y0); y <= int(y1); y++ {
+		for x := int(x0); x <= int(x1); x++ {
+			cv.blend(x, y, color, 1)
+		}
+	}
+}
+
+// fillTriangle paints an upward isoceles triangle with apex (cx, y0) and
+// base at y1 of half-width hw.
+func (cv *canvas) fillTriangle(cx, y0, y1, hw float64, color []float64) {
+	height := y1 - y0
+	if height <= 0 {
+		return
+	}
+	for y := int(y0); y <= int(y1); y++ {
+		frac := (float64(y) - y0) / height
+		half := hw * frac
+		for x := int(cx - half); x <= int(cx+half); x++ {
+			cv.blend(x, y, color, 1)
+		}
+	}
+}
+
+func (cv *canvas) fillDiamond(cx, cy, r float64, color []float64) {
+	for y := int(cy - r); y <= int(cy+r); y++ {
+		dy := math.Abs(float64(y) - cy)
+		half := r - dy
+		for x := int(cx - half); x <= int(cx+half); x++ {
+			cv.blend(x, y, color, 1)
+		}
+	}
+}
+
+func (cv *canvas) fillCross(cx, cy, r, thick float64, color []float64) {
+	cv.fillRect(cx-thick, cy-r, cx+thick, cy+r, color)
+	cv.fillRect(cx-r, cy-thick, cx+r, cy+thick, color)
+}
+
+func (cv *canvas) fillChecker(x0, y0 float64, cells int, cell float64, colA, colB []float64) {
+	for iy := 0; iy < cells; iy++ {
+		for ix := 0; ix < cells; ix++ {
+			col := colA
+			if (ix+iy)%2 == 1 {
+				col = colB
+			}
+			cv.fillRect(x0+float64(ix)*cell, y0+float64(iy)*cell,
+				x0+float64(ix+1)*cell-1, y0+float64(iy+1)*cell-1, col)
+		}
+	}
+}
+
+// valueNoise fills the canvas with smooth value noise: a coarse random grid
+// bilinearly interpolated, per channel scaled by amp around base.
+func (cv *canvas) valueNoise(rng *tensor.RNG, grid int, base, amp float64) {
+	gh, gw := cv.h/grid+2, cv.w/grid+2
+	field := make([]float64, gh*gw)
+	for i := range field {
+		field[i] = rng.Float64()
+	}
+	d := cv.t.Data()
+	for ch := 0; ch < cv.c; ch++ {
+		chScale := 0.6 + 0.4*rng.Float64()
+		for y := 0; y < cv.h; y++ {
+			fy := float64(y) / float64(grid)
+			iy := int(fy)
+			ty := fy - float64(iy)
+			for x := 0; x < cv.w; x++ {
+				fx := float64(x) / float64(grid)
+				ix := int(fx)
+				tx := fx - float64(ix)
+				v00 := field[iy*gw+ix]
+				v01 := field[iy*gw+ix+1]
+				v10 := field[(iy+1)*gw+ix]
+				v11 := field[(iy+1)*gw+ix+1]
+				v := v00*(1-tx)*(1-ty) + v01*tx*(1-ty) + v10*(1-tx)*ty + v11*tx*ty
+				d[ch*cv.h*cv.w+y*cv.w+x] = clamp01(base + amp*(v-0.5)*2*chScale)
+			}
+		}
+	}
+}
+
+// sensorNoise adds iid Gaussian noise to every pixel and clamps to [0,1].
+func (cv *canvas) sensorNoise(rng *tensor.RNG, sigma float64) {
+	d := cv.t.Data()
+	for i := range d {
+		d[i] = clamp01(d[i] + rng.Normal(0, sigma))
+	}
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// randColor returns a random saturated c-channel color biased away from
+// gray so foregrounds stand out from textured backgrounds.
+func randColor(rng *tensor.RNG, channels int) []float64 {
+	col := make([]float64, channels)
+	for i := range col {
+		if rng.Float64() < 0.5 {
+			col[i] = 0.75 + 0.25*rng.Float64()
+		} else {
+			col[i] = 0.25 * rng.Float64()
+		}
+	}
+	return col
+}

@@ -1,0 +1,139 @@
+package data
+
+// digitFont is a 5x7 bitmap font for digits 0-9, used by the Digits
+// (MNIST substitute) and HouseNumbers (SVHN substitute) generators. Each
+// string row is 5 cells; '#' is ink.
+var digitFont = [10][7]string{
+	{ // 0
+		" ### ",
+		"#   #",
+		"#  ##",
+		"# # #",
+		"##  #",
+		"#   #",
+		" ### ",
+	},
+	{ // 1
+		"  #  ",
+		" ##  ",
+		"  #  ",
+		"  #  ",
+		"  #  ",
+		"  #  ",
+		" ### ",
+	},
+	{ // 2
+		" ### ",
+		"#   #",
+		"    #",
+		"   # ",
+		"  #  ",
+		" #   ",
+		"#####",
+	},
+	{ // 3
+		" ### ",
+		"#   #",
+		"    #",
+		"  ## ",
+		"    #",
+		"#   #",
+		" ### ",
+	},
+	{ // 4
+		"   # ",
+		"  ## ",
+		" # # ",
+		"#  # ",
+		"#####",
+		"   # ",
+		"   # ",
+	},
+	{ // 5
+		"#####",
+		"#    ",
+		"#### ",
+		"    #",
+		"    #",
+		"#   #",
+		" ### ",
+	},
+	{ // 6
+		" ### ",
+		"#    ",
+		"#    ",
+		"#### ",
+		"#   #",
+		"#   #",
+		" ### ",
+	},
+	{ // 7
+		"#####",
+		"    #",
+		"   # ",
+		"  #  ",
+		"  #  ",
+		"  #  ",
+		"  #  ",
+	},
+	{ // 8
+		" ### ",
+		"#   #",
+		"#   #",
+		" ### ",
+		"#   #",
+		"#   #",
+		" ### ",
+	},
+	{ // 9
+		" ### ",
+		"#   #",
+		"#   #",
+		" ####",
+		"    #",
+		"    #",
+		" ### ",
+	},
+}
+
+// drawGlyph paints digit d onto the canvas with the glyph's top-left at
+// (x0, y0), scaled by scale (cell size in pixels, may be fractional),
+// sheared horizontally by shear pixels per row, with the given ink color
+// and opacity.
+func (cv *canvas) drawGlyph(d int, x0, y0, scale, shear float64, color []float64, opacity float64) {
+	glyph := digitFont[d]
+	for row := 0; row < 7; row++ {
+		rowShear := shear * float64(row)
+		for col := 0; col < 5; col++ {
+			if glyph[row][col] != '#' {
+				continue
+			}
+			// Paint a scale×scale cell with soft edges.
+			px0 := x0 + float64(col)*scale + rowShear
+			py0 := y0 + float64(row)*scale
+			for y := int(py0); y < int(py0+scale+0.999); y++ {
+				for x := int(px0); x < int(px0+scale+0.999); x++ {
+					// Coverage of this pixel by the cell.
+					ax := overlap(float64(x), px0, px0+scale)
+					ay := overlap(float64(y), py0, py0+scale)
+					cv.blend(x, y, color, opacity*ax*ay)
+				}
+			}
+		}
+	}
+}
+
+// overlap returns the overlap of unit pixel [p, p+1) with interval [lo, hi).
+func overlap(p, lo, hi float64) float64 {
+	l, h := p, p+1
+	if lo > l {
+		l = lo
+	}
+	if hi < h {
+		h = hi
+	}
+	if h <= l {
+		return 0
+	}
+	return h - l
+}

@@ -1,0 +1,150 @@
+// Package experiments regenerates every table and figure of the Shredder
+// paper's evaluation (§3): Table 1 (headline MI/accuracy results), Figure 3
+// (accuracy–privacy trade-off frontiers), Figure 4 (noise-training
+// dynamics, Shredder vs privacy-agnostic), Figure 5 (in vivo vs ex vivo
+// privacy across cutting points), and Figure 6 (cutting-point
+// computation/communication cost vs privacy). Each runner returns a
+// structured result and renders the same rows/series the paper reports.
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"shredder/internal/core"
+	"shredder/internal/mi"
+	"shredder/internal/model"
+)
+
+// Config controls an experiment run.
+type Config struct {
+	// Workdir caches pre-trained weights between runs ("" = no caching).
+	Workdir string
+	// Quick shrinks datasets, training length and noise-collection size to
+	// CI scale. Quick runs exercise every code path but their numbers are
+	// noisier.
+	Quick bool
+	// Seed drives everything; a fixed seed reproduces a run exactly.
+	Seed int64
+	// Networks restricts runs to the named benchmarks (nil = all four).
+	Networks []string
+	// Progress, when non-nil, receives human-readable progress lines.
+	Progress io.Writer
+}
+
+// benchmarksFor returns the benchmarks selected by cfg.Networks.
+func benchmarksFor(cfg Config) []model.Benchmark {
+	all := model.Benchmarks()
+	if len(cfg.Networks) == 0 {
+		return all
+	}
+	want := map[string]bool{}
+	for _, n := range cfg.Networks {
+		want[n] = true
+	}
+	var out []model.Benchmark
+	for _, b := range all {
+		if want[b.Spec.Name] {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+func (c Config) withDefaults() Config {
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+func (c Config) logf(format string, args ...any) {
+	if c.Progress != nil {
+		fmt.Fprintf(c.Progress, format+"\n", args...)
+	}
+}
+
+// trainConfig returns the pre-training config for a benchmark under this
+// experiment config.
+func (c Config) trainConfig(spec model.Spec) model.TrainConfig {
+	tc := model.TrainConfig{Seed: c.Seed, Progress: c.Progress}
+	if c.Quick {
+		tc.TrainN, tc.TestN, tc.Epochs = 500, 250, 2
+		if spec.Name == "alexnet" {
+			tc.TrainN, tc.TestN, tc.Epochs = 400, 200, 2
+		}
+	}
+	return tc
+}
+
+// pretrained trains (or loads from cache) a benchmark network.
+func (c Config) pretrained(spec model.Spec) (*model.Pretrained, error) {
+	tc := c.trainConfig(spec)
+	if c.Workdir != "" {
+		return model.TrainCached(spec, tc, c.Workdir)
+	}
+	return model.Train(spec, tc)
+}
+
+// splitAt builds a core.Split for a pretrained network at a named cut.
+func splitAt(pre *model.Pretrained, cutName string) (*core.Split, error) {
+	layer, err := pre.Spec.CutLayer(cutName)
+	if err != nil {
+		return nil, err
+	}
+	return core.NewSplit(pre.Net, layer, pre.Spec.Dataset.SampleShape())
+}
+
+// noiseConfig returns the benchmark's tuned noise-training config, scaled
+// down in quick mode.
+func (c Config) noiseConfig(b model.Benchmark) core.NoiseConfig {
+	nc := core.NoiseConfig{
+		Mu:            b.NoiseMu,
+		Scale:         b.NoiseScale,
+		Lambda:        b.Lambda,
+		PrivacyTarget: b.PrivacyTarget,
+		LR:            b.NoiseLR,
+		Epochs:        b.NoiseEpochs,
+		Seed:          c.Seed,
+	}
+	if c.Quick {
+		// Quick mode shrinks datasets ~4x, so the full-scale noise inits
+		// (tuned for long recovery runs) would swamp the short training:
+		// cap the starting noise and privacy target alongside the epochs.
+		nc.Epochs = minFloat(nc.Epochs, 1)
+		nc.Scale = minFloat(nc.Scale, 2)
+		nc.PrivacyTarget = minFloat(nc.PrivacyTarget, 4)
+	}
+	return nc
+}
+
+// collectionSize is the number of noise tensors trained per collection for
+// the headline Table-1 evaluation.
+func (c Config) collectionSize() int {
+	if c.Quick {
+		return 3
+	}
+	return 8
+}
+
+// sweepCollectionSize is the (smaller) collection used by the figure
+// sweeps, which train many collections.
+func (c Config) sweepCollectionSize() int {
+	return 3
+}
+
+// miOptions returns the MI estimator configuration for evaluation.
+func (c Config) miOptions() mi.Options {
+	o := mi.Options{K: 3, MaxSamples: 256, Seed: c.Seed}
+	if c.Quick {
+		o.MaxSamples = 128
+	}
+	return o
+}
+
+func minFloat(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,125 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteCSV emits the Table-1 rows as CSV for downstream plotting.
+func (r *Table1Result) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	defer cw.Flush()
+	if err := cw.Write([]string{
+		"benchmark", "original_mi_bits", "shredded_mi_bits", "mi_loss_pct",
+		"baseline_acc", "noisy_acc", "acc_loss_pct", "params_pct", "noise_epochs", "in_vivo",
+	}); err != nil {
+		return err
+	}
+	for _, row := range r.Rows {
+		if err := cw.Write([]string{
+			row.Benchmark,
+			f(row.OriginalMI), f(row.ShreddedMI), f(row.MILossPct),
+			f(row.BaselineAcc), f(row.NoisyAcc), f(row.AccLossPct),
+			f(row.ParamsPct), f(row.NoiseEpochs), f(row.InVivo),
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteCSV emits each frontier point as one CSV row.
+func (r *Fig3Result) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	defer cw.Flush()
+	if err := cw.Write([]string{
+		"benchmark", "zero_leakage_bits", "noise_scale", "lambda",
+		"acc_loss_pct", "info_loss_bits", "shredded_mi_bits", "in_vivo",
+	}); err != nil {
+		return err
+	}
+	for _, s := range r.Series {
+		for _, p := range s.Points {
+			if err := cw.Write([]string{
+				s.Benchmark, f(s.ZeroLeakage), f(p.NoiseScale), f(p.Lambda),
+				f(p.AccLossPct), f(p.InfoLossBits), f(p.ShreddedMI), f(p.InVivo),
+			}); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// WriteCSV emits the paired training traces, one row per evaluation point.
+func (r *Fig4Result) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	defer cw.Flush()
+	if err := cw.Write([]string{
+		"iteration", "shredder_invivo", "regular_invivo", "shredder_acc", "regular_acc",
+	}); err != nil {
+		return err
+	}
+	n := len(r.Shredder)
+	if len(r.Regular) < n {
+		n = len(r.Regular)
+	}
+	for i := 0; i < n; i++ {
+		s, g := r.Shredder[i], r.Regular[i]
+		if err := cw.Write([]string{
+			strconv.Itoa(s.Iteration), f(s.InVivo), f(g.InVivo), f(s.BatchAcc), f(g.BatchAcc),
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteCSV emits each (cut, level) privacy pair as one row.
+func (r *Fig5Result) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	defer cw.Flush()
+	if err := cw.Write([]string{"benchmark", "cut", "scale_mul", "in_vivo", "ex_vivo", "mi_bits"}); err != nil {
+		return err
+	}
+	for _, net := range r.Networks {
+		for _, s := range net.Series {
+			for _, p := range s.Points {
+				if err := cw.Write([]string{
+					net.Benchmark, s.Cut, f(p.ScaleMul), f(p.InVivo), f(p.ExVivo), f(p.MIBits),
+				}); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// WriteCSV emits each cutting point's cost/privacy pair as one row.
+func (r *Fig6Result) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	defer cw.Flush()
+	if err := cw.Write([]string{
+		"benchmark", "cut", "edge_macs", "comm_bytes", "kmac_x_mb", "ex_vivo", "mi_bits", "acc_loss_pct", "chosen",
+	}); err != nil {
+		return err
+	}
+	for _, net := range r.Networks {
+		for _, p := range net.Points {
+			if err := cw.Write([]string{
+				net.Benchmark, p.Cut, strconv.FormatInt(p.EdgeMACs, 10),
+				strconv.FormatInt(p.CommBytes, 10), f(p.CostKMACMB),
+				f(p.ExVivo), f(p.MIBits), f(p.AccLossPct), strconv.FormatBool(p.Chosen),
+			}); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// f formats a float compactly for CSV.
+func f(v float64) string { return fmt.Sprintf("%g", v) }

@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strings"
+	"testing"
+
+	"shredder/internal/core"
+)
+
+func parseCSV(t *testing.T, s string) [][]string {
+	t.Helper()
+	rows, err := csv.NewReader(strings.NewReader(s)).ReadAll()
+	if err != nil {
+		t.Fatalf("invalid CSV: %v", err)
+	}
+	return rows
+}
+
+func TestTable1CSV(t *testing.T) {
+	r := &Table1Result{Rows: []Table1Row{
+		{Benchmark: "lenet", OriginalMI: 300, ShreddedMI: 19, MILossPct: 93.7,
+			BaselineAcc: 0.99, NoisyAcc: 0.98, AccLossPct: 1.0, ParamsPct: 0.19, NoiseEpochs: 6},
+	}}
+	var buf bytes.Buffer
+	if err := r.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rows := parseCSV(t, buf.String())
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	if rows[1][0] != "lenet" || rows[1][1] != "300" {
+		t.Fatalf("row = %v", rows[1])
+	}
+}
+
+func TestFig3CSV(t *testing.T) {
+	r := &Fig3Result{Series: []Fig3Series{{
+		Benchmark: "svhn", ZeroLeakage: 19.2,
+		Points: []Fig3Point{{NoiseScale: 1, Lambda: 0.001, AccLossPct: 1.1, InfoLossBits: 12}},
+	}}}
+	var buf bytes.Buffer
+	if err := r.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rows := parseCSV(t, buf.String())
+	if len(rows) != 2 || rows[1][0] != "svhn" {
+		t.Fatalf("rows = %v", rows)
+	}
+}
+
+func TestFig4CSVTruncatesToShorterTrace(t *testing.T) {
+	mk := func(n int) []core.TrainEvent {
+		out := make([]core.TrainEvent, n)
+		for i := range out {
+			out[i] = core.TrainEvent{Iteration: i, InVivo: float64(i), BatchAcc: 0.5}
+		}
+		return out
+	}
+	r := &Fig4Result{Shredder: mk(3), Regular: mk(2)}
+	var buf bytes.Buffer
+	if err := r.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rows := parseCSV(t, buf.String())
+	if len(rows) != 3 { // header + min(3,2) data rows
+		t.Fatalf("got %d rows, want 3", len(rows))
+	}
+}
+
+func TestFig5Fig6CSV(t *testing.T) {
+	f5 := &Fig5Result{Networks: []Fig5Network{{
+		Benchmark: "lenet",
+		Series:    []Fig5Series{{Cut: "conv0", Points: []Fig5Point{{ScaleMul: 1, InVivo: 0.5, ExVivo: 0.01, MIBits: 100}}}},
+	}}}
+	var buf bytes.Buffer
+	if err := f5.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if rows := parseCSV(t, buf.String()); len(rows) != 2 || rows[1][1] != "conv0" {
+		t.Fatalf("fig5 rows = %v", rows)
+	}
+	f6 := &Fig6Result{Networks: []Fig6Network{{
+		Benchmark: "svhn",
+		Points:    []Fig6Point{{Cut: "conv6", EdgeMACs: 100, CommBytes: 256, CostKMACMB: 0.1, Chosen: true}},
+	}}}
+	buf.Reset()
+	if err := f6.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rows := parseCSV(t, buf.String())
+	if len(rows) != 2 || rows[1][8] != "true" {
+		t.Fatalf("fig6 rows = %v", rows)
+	}
+}

@@ -1,0 +1,116 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"shredder/internal/core"
+	"shredder/internal/model"
+	"shredder/internal/privacy"
+)
+
+// Fig5Point pairs the in vivo privacy a noise level reaches with the ex
+// vivo privacy it buys at one cutting point.
+type Fig5Point struct {
+	ScaleMul float64
+	InVivo   float64 // 1/SNR measured on the test set
+	ExVivo   float64 // 1/MI measured on the test set
+	MIBits   float64
+}
+
+// Fig5Series is the in-vivo/ex-vivo trace of one cutting point.
+type Fig5Series struct {
+	Cut    string
+	Points []Fig5Point
+}
+
+// Fig5Network holds all cutting-point series of one network (the paper's
+// 5a = SVHN, 5b = LeNet).
+type Fig5Network struct {
+	Benchmark string
+	Series    []Fig5Series
+}
+
+// Fig5Result aggregates both networks.
+type Fig5Result struct {
+	Networks []Fig5Network
+}
+
+// fig5Cuts returns the cutting points the paper plots for each network.
+var fig5Cuts = map[string][]string{
+	"svhn":  {"conv0", "conv2", "conv4", "conv6"},
+	"lenet": {"conv0", "conv1", "conv2"},
+}
+
+// Fig5 reproduces Figure 5: for several cutting points of SVHN and LeNet,
+// train noise to increasing levels and record the (in vivo, ex vivo)
+// privacy pairs. The paper's observation is that information loss is
+// proportional to incurred noise with a consistent slope across layers.
+func Fig5(cfg Config) (*Fig5Result, error) {
+	cfg = cfg.withDefaults()
+	res := &Fig5Result{}
+	networks := []string{"svhn", "lenet"}
+	if len(cfg.Networks) > 0 {
+		networks = cfg.Networks
+	}
+	scaleMuls := []float64{0.7, 1.6}
+	if cfg.Quick {
+		scaleMuls = []float64{0.5, 1.5}
+	}
+	for _, name := range networks {
+		cuts, ok := fig5Cuts[name]
+		if !ok {
+			return nil, fmt.Errorf("fig5: no cut list for network %q (have svhn, lenet)", name)
+		}
+		b, err := model.BenchmarkByName(name)
+		if err != nil {
+			return nil, err
+		}
+		pre, err := cfg.pretrained(b.Spec)
+		if err != nil {
+			return nil, fmt.Errorf("fig5: %s: %w", name, err)
+		}
+		net := Fig5Network{Benchmark: name}
+		for _, cut := range cuts {
+			split, err := splitAt(pre, cut)
+			if err != nil {
+				return nil, err
+			}
+			series := Fig5Series{Cut: cut}
+			for i, mul := range scaleMuls {
+				nc := cfg.noiseConfig(b)
+				nc.Scale *= mul
+				nc.PrivacyTarget *= mul
+				nc.Seed = cfg.Seed + int64(i)*211
+				col := core.Collect(split, pre.Train, nc, cfg.sweepCollectionSize())
+				ev := core.Evaluate(split, pre.Test, col, core.EvalConfig{MI: cfg.miOptions(), Seed: cfg.Seed + int64(i)})
+				series.Points = append(series.Points, Fig5Point{
+					ScaleMul: mul,
+					InVivo:   ev.InVivo,
+					ExVivo:   privacy.ExVivo(ev.ShreddedMI),
+					MIBits:   ev.ShreddedMI,
+				})
+				cfg.logf("fig5: %s %s ×%.1f → in vivo %.3f, ex vivo %.4f (MI %.1f bits)",
+					name, cut, mul, ev.InVivo, privacy.ExVivo(ev.ShreddedMI), ev.ShreddedMI)
+			}
+			net.Series = append(net.Series, series)
+		}
+		res.Networks = append(res.Networks, net)
+	}
+	return res, nil
+}
+
+// Render writes one block per network with (cut, in vivo, ex vivo) rows.
+func (r *Fig5Result) Render(w io.Writer) {
+	fmt.Fprintln(w, "Figure 5: In vivo vs ex vivo notion of privacy for different cutting points.")
+	for _, net := range r.Networks {
+		fmt.Fprintf(w, "\n(%s)\n", net.Benchmark)
+		fmt.Fprintf(w, "  %8s %10s %14s %14s %14s\n", "cut", "scale×", "in vivo", "ex vivo", "MI (bits)")
+		for _, s := range net.Series {
+			for _, p := range s.Points {
+				fmt.Fprintf(w, "  %8s %10.1f %14.4f %14.5f %14.2f\n",
+					s.Cut, p.ScaleMul, p.InVivo, p.ExVivo, p.MIBits)
+			}
+		}
+	}
+}

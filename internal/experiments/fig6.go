@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"shredder/internal/core"
+	"shredder/internal/cost"
+	"shredder/internal/model"
+	"shredder/internal/privacy"
+)
+
+// Fig6Point is one cutting point plotted in Figure 6: its edge-side
+// computation × communication cost against the ex vivo privacy it offers.
+type Fig6Point struct {
+	Cut        string
+	EdgeMACs   int64
+	CommBytes  int64
+	CostKMACMB float64 // KiloMAC × MB, the paper's x-axis
+	ExVivo     float64 // 1/MI, the paper's y-axis
+	MIBits     float64
+	AccLossPct float64
+	Chosen     bool // Shredder's cutting point for this network
+}
+
+// Fig6Network holds the cost/privacy trade-off of one network.
+type Fig6Network struct {
+	Benchmark string
+	Points    []Fig6Point
+}
+
+// Fig6Result aggregates both networks of the figure (6a = SVHN, 6b = LeNet).
+type Fig6Result struct {
+	Networks []Fig6Network
+}
+
+// Fig6 reproduces Figure 6: evaluate every cutting point of SVHN and LeNet
+// with the tuned noise configuration, pairing the analytic cost model with
+// the measured ex vivo privacy, and flag Shredder's chosen (deepest) cut.
+// The paper notes accuracy loss stays under ~2% across cuts; the per-point
+// accuracy loss is recorded so Render can show it.
+func Fig6(cfg Config) (*Fig6Result, error) {
+	cfg = cfg.withDefaults()
+	res := &Fig6Result{}
+	networks := []string{"svhn", "lenet"}
+	if len(cfg.Networks) > 0 {
+		networks = cfg.Networks
+	}
+	for _, name := range networks {
+		b, err := model.BenchmarkByName(name)
+		if err != nil {
+			return nil, err
+		}
+		pre, err := cfg.pretrained(b.Spec)
+		if err != nil {
+			return nil, fmt.Errorf("fig6: %s: %w", name, err)
+		}
+		costs, err := cost.CutCosts(b.Spec)
+		if err != nil {
+			return nil, err
+		}
+		costByCut := map[string]cost.CutCost{}
+		for _, c := range costs {
+			costByCut[c.Cut] = c
+		}
+		net := Fig6Network{Benchmark: name}
+		for i, cp := range b.Spec.CutPoints {
+			split, err := splitAt(pre, cp.Name)
+			if err != nil {
+				return nil, err
+			}
+			nc := cfg.noiseConfig(b)
+			nc.Seed = cfg.Seed + int64(i)*307
+			col := core.Collect(split, pre.Train, nc, cfg.sweepCollectionSize())
+			ev := core.Evaluate(split, pre.Test, col, core.EvalConfig{MI: cfg.miOptions(), Seed: cfg.Seed + int64(i)})
+			cc := costByCut[cp.Name]
+			net.Points = append(net.Points, Fig6Point{
+				Cut:        cp.Name,
+				EdgeMACs:   cc.EdgeMACs,
+				CommBytes:  cc.CommBytes,
+				CostKMACMB: cc.Product,
+				ExVivo:     privacy.ExVivo(ev.ShreddedMI),
+				MIBits:     ev.ShreddedMI,
+				AccLossPct: ev.AccLossPct,
+				Chosen:     cp.Name == b.Spec.DefaultCut,
+			})
+			cfg.logf("fig6: %s %s cost %.4f KMAC·MB, ex vivo %.5f, acc loss %.2f%%",
+				name, cp.Name, cc.Product, privacy.ExVivo(ev.ShreddedMI), ev.AccLossPct)
+		}
+		res.Networks = append(res.Networks, net)
+	}
+	return res, nil
+}
+
+// Render writes one block per network, marking Shredder's cutting point.
+func (r *Fig6Result) Render(w io.Writer) {
+	fmt.Fprintln(w, "Figure 6: Computation/communication costs and privacy across cutting points.")
+	for _, net := range r.Networks {
+		fmt.Fprintf(w, "\n(%s)\n", net.Benchmark)
+		fmt.Fprintf(w, "  %8s %14s %12s %16s %12s %12s\n",
+			"cut", "edge MACs", "comm bytes", "KMAC×MB", "ex vivo", "acc loss")
+		for _, p := range net.Points {
+			mark := " "
+			if p.Chosen {
+				mark = "*"
+			}
+			fmt.Fprintf(w, "%s %8s %14d %12d %16.4f %12.5f %11.2f%%\n",
+				mark, p.Cut, p.EdgeMACs, p.CommBytes, p.CostKMACMB, p.ExVivo, p.AccLossPct)
+		}
+		fmt.Fprintln(w, "  (* = Shredder's cutting point)")
+	}
+}

@@ -1,0 +1,127 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"shredder/internal/core"
+	"shredder/internal/privacy"
+)
+
+// Table1Row is one column of the paper's Table 1 (the paper lays networks
+// out as columns; we render them as rows).
+type Table1Row struct {
+	Benchmark   string
+	OriginalMI  float64 // I(x; a) in bits
+	ShreddedMI  float64 // I(x; a′) in bits
+	MILossPct   float64
+	BaselineAcc float64 // fraction
+	NoisyAcc    float64 // fraction
+	AccLossPct  float64 // percentage points
+	ParamsPct   float64 // noise params / model params × 100
+	NoiseEpochs float64 // epochs of noise training actually run
+	InVivo      float64
+}
+
+// Table1Result aggregates all benchmarks plus the geometric-mean summary.
+type Table1Result struct {
+	Rows           []Table1Row
+	GMeanMILossPct float64
+	MeanAccLossPct float64
+	GMeanParamsPct float64
+	GMeanEpochs    float64
+}
+
+// Table1 reproduces the paper's Table 1: for every benchmark network, cut
+// at the last convolution layer, train a noise collection with the tuned
+// hyperparameters, and measure original vs shredded MI and accuracy loss.
+func Table1(cfg Config) (*Table1Result, error) {
+	cfg = cfg.withDefaults()
+	res := &Table1Result{}
+	for _, b := range benchmarksFor(cfg) {
+		cfg.logf("table1: preparing %s", b.Spec.Name)
+		pre, err := cfg.pretrained(b.Spec)
+		if err != nil {
+			return nil, fmt.Errorf("table1: %s: %w", b.Spec.Name, err)
+		}
+		split, err := splitAt(pre, b.Spec.DefaultCut)
+		if err != nil {
+			return nil, err
+		}
+		nc := cfg.noiseConfig(b)
+		cfg.logf("table1: training %d noise tensors for %s (λ=%g, b=%g)",
+			cfg.collectionSize(), b.Spec.Name, nc.Lambda, nc.Scale)
+		col := core.Collect(split, pre.Train, nc, cfg.collectionSize())
+		ev := core.Evaluate(split, pre.Test, col, core.EvalConfig{MI: cfg.miOptions(), Seed: cfg.Seed})
+
+		noiseParams := 1
+		for _, d := range split.ActivationShape() {
+			noiseParams *= d
+		}
+		row := Table1Row{
+			Benchmark:   b.Spec.Name,
+			OriginalMI:  ev.OrigMI,
+			ShreddedMI:  ev.ShreddedMI,
+			MILossPct:   ev.MILossPct,
+			BaselineAcc: ev.BaselineAcc,
+			NoisyAcc:    ev.NoisyAcc,
+			AccLossPct:  ev.AccLossPct,
+			ParamsPct:   100 * float64(noiseParams) / float64(pre.Net.ParamCount()),
+			NoiseEpochs: nc.Epochs,
+			InVivo:      ev.InVivo,
+		}
+		cfg.logf("table1: %s MI %.1f → %.1f bits (−%.1f%%), acc %.1f%% → %.1f%%",
+			row.Benchmark, row.OriginalMI, row.ShreddedMI, row.MILossPct,
+			100*row.BaselineAcc, 100*row.NoisyAcc)
+		res.Rows = append(res.Rows, row)
+	}
+
+	var miLoss, params, epochs []float64
+	var accSum float64
+	for _, r := range res.Rows {
+		if r.MILossPct > 0 {
+			miLoss = append(miLoss, r.MILossPct)
+		}
+		params = append(params, r.ParamsPct)
+		epochs = append(epochs, r.NoiseEpochs)
+		accSum += r.AccLossPct
+	}
+	if len(miLoss) > 0 {
+		res.GMeanMILossPct = privacy.GeoMean(miLoss)
+	}
+	res.GMeanParamsPct = privacy.GeoMean(params)
+	res.GMeanEpochs = privacy.GeoMean(epochs)
+	if len(res.Rows) > 0 {
+		res.MeanAccLossPct = accSum / float64(len(res.Rows))
+	}
+	return res, nil
+}
+
+// Render writes the table in the paper's layout.
+func (r *Table1Result) Render(w io.Writer) {
+	fmt.Fprintln(w, "Table 1: Summary of the experimental results of Shredder for the benchmark networks.")
+	fmt.Fprintf(w, "%-28s", "Benchmark")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%12s", row.Benchmark)
+	}
+	fmt.Fprintf(w, "%12s\n", "GMean")
+	line := func(label string, f func(Table1Row) string, gmean string) {
+		fmt.Fprintf(w, "%-28s", label)
+		for _, row := range r.Rows {
+			fmt.Fprintf(w, "%12s", f(row))
+		}
+		fmt.Fprintf(w, "%12s\n", gmean)
+	}
+	line("Original MI (bits)", func(x Table1Row) string { return fmt.Sprintf("%.2f", x.OriginalMI) }, "-")
+	line("Shredded MI (bits)", func(x Table1Row) string { return fmt.Sprintf("%.2f", x.ShreddedMI) }, "-")
+	line("MI Loss", func(x Table1Row) string { return fmt.Sprintf("%.2f%%", x.MILossPct) },
+		fmt.Sprintf("%.1f%%", r.GMeanMILossPct))
+	line("Accuracy Loss", func(x Table1Row) string { return fmt.Sprintf("%.2f%%", x.AccLossPct) },
+		fmt.Sprintf("%.2f%%", r.MeanAccLossPct))
+	line("Params over Model Size", func(x Table1Row) string { return fmt.Sprintf("%.2f%%", x.ParamsPct) },
+		fmt.Sprintf("%.2f%%", r.GMeanParamsPct))
+	line("Epochs of Noise Training", func(x Table1Row) string { return fmt.Sprintf("%.1f", x.NoiseEpochs) },
+		fmt.Sprintf("%.2f", r.GMeanEpochs))
+	fmt.Fprintln(w, strings.Repeat("-", 28+12*(len(r.Rows)+1)))
+}

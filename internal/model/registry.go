@@ -1,0 +1,46 @@
+package model
+
+import "fmt"
+
+// Benchmark binds a network spec to the tuned noise-training
+// hyperparameters the experiments use for it: the Laplace initialization
+// (µ, b) and the λ privacy knob of paper Eq. 3, which the paper tunes per
+// network ("as the networks and the number of training parameters get
+// bigger, it is better to make λ smaller").
+type Benchmark struct {
+	Spec Spec
+	// NoiseMu and NoiseScale are the Laplace location and scale used to
+	// initialize the noise tensor.
+	NoiseMu, NoiseScale float64
+	// Lambda weighs the privacy term of the Shredder loss.
+	Lambda float64
+	// NoiseLR is the Adam learning rate for noise training.
+	NoiseLR float64
+	// NoiseEpochs is the default number of epochs of noise training
+	// (fractional values allowed, as in the paper's 0.1-epoch AlexNet run).
+	NoiseEpochs float64
+	// PrivacyTarget is the in vivo (1/SNR) level at which λ decays to
+	// stabilize privacy (paper §3.2).
+	PrivacyTarget float64
+}
+
+// Benchmarks returns the four paper benchmarks with tuned defaults, in
+// Table 1 order.
+func Benchmarks() []Benchmark {
+	return []Benchmark{
+		{Spec: LeNet(), NoiseMu: 0, NoiseScale: 5.0, Lambda: 0.002, NoiseLR: 0.01, NoiseEpochs: 12, PrivacyTarget: 10},
+		{Spec: CifarNet(), NoiseMu: 0, NoiseScale: 3.0, Lambda: 0.0008, NoiseLR: 0.01, NoiseEpochs: 3, PrivacyTarget: 6},
+		{Spec: SvhnNet(), NoiseMu: 0, NoiseScale: 2.5, Lambda: 0.0005, NoiseLR: 0.01, NoiseEpochs: 6, PrivacyTarget: 4},
+		{Spec: AlexNet(), NoiseMu: 0, NoiseScale: 2.0, Lambda: 0.0003, NoiseLR: 0.01, NoiseEpochs: 2, PrivacyTarget: 4},
+	}
+}
+
+// BenchmarkByName returns the named benchmark.
+func BenchmarkByName(name string) (Benchmark, error) {
+	for _, b := range Benchmarks() {
+		if b.Spec.Name == name {
+			return b, nil
+		}
+	}
+	return Benchmark{}, fmt.Errorf("model: unknown benchmark %q", name)
+}

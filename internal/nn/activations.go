@@ -1,0 +1,159 @@
+package nn
+
+import (
+	"shredder/internal/tensor"
+)
+
+// ReLU applies max(0, x) elementwise. The backward pass gates the gradient
+// by the sign of the forward input.
+type ReLU struct {
+	name string
+	mask []bool
+}
+
+// NewReLU constructs a ReLU activation layer.
+func NewReLU(name string) *ReLU { return &ReLU{name: name} }
+
+// Name implements Layer.
+func (r *ReLU) Name() string { return r.name }
+
+// Params implements Layer.
+func (r *ReLU) Params() []*Param { return nil }
+
+// OutShape implements Layer.
+func (r *ReLU) OutShape(in []int) []int { return in }
+
+// Forward implements Layer.
+func (r *ReLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	out := tensor.New(x.Shape()...)
+	if cap(r.mask) < x.Len() {
+		r.mask = make([]bool, x.Len())
+	}
+	r.mask = r.mask[:x.Len()]
+	xd, od := x.Data(), out.Data()
+	for i, v := range xd {
+		if v > 0 {
+			od[i] = v
+			r.mask[i] = true
+		} else {
+			od[i] = 0
+			r.mask[i] = false
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (r *ReLU) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if r.mask == nil {
+		panic("nn: ReLU.Backward before Forward")
+	}
+	if grad.Len() != len(r.mask) {
+		panic("nn: ReLU backward grad size mismatch")
+	}
+	out := tensor.New(grad.Shape()...)
+	gd, od := grad.Data(), out.Data()
+	for i, m := range r.mask {
+		if m {
+			od[i] = gd[i]
+		}
+	}
+	return out
+}
+
+// Flatten reshapes [N, ...] to [N, D]. It exists so that cutting points can
+// fall on either side of the features/classifier boundary the paper uses.
+type Flatten struct {
+	name      string
+	lastShape []int
+}
+
+// NewFlatten constructs a flatten layer.
+func NewFlatten(name string) *Flatten { return &Flatten{name: name} }
+
+// Name implements Layer.
+func (f *Flatten) Name() string { return f.name }
+
+// Params implements Layer.
+func (f *Flatten) Params() []*Param { return nil }
+
+// OutShape implements Layer.
+func (f *Flatten) OutShape(in []int) []int { return []int{tensor.Volume(in)} }
+
+// Forward implements Layer.
+func (f *Flatten) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	checkBatched(f.name, x)
+	f.lastShape = append([]int(nil), x.Shape()...)
+	return x.Reshape(x.Dim(0), -1)
+}
+
+// Backward implements Layer.
+func (f *Flatten) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if f.lastShape == nil {
+		panic("nn: Flatten.Backward before Forward")
+	}
+	return grad.Reshape(f.lastShape...)
+}
+
+// Dropout zeroes a fraction p of activations during training and scales the
+// survivors by 1/(1-p) (inverted dropout); it is the identity at inference.
+type Dropout struct {
+	name string
+	P    float64
+	rng  *tensor.RNG
+	mask []float64
+}
+
+// NewDropout constructs a dropout layer with drop probability p.
+func NewDropout(name string, p float64, rng *tensor.RNG) *Dropout {
+	if p < 0 || p >= 1 {
+		panic("nn: dropout probability must be in [0,1)")
+	}
+	return &Dropout{name: name, P: p, rng: rng}
+}
+
+// Name implements Layer.
+func (d *Dropout) Name() string { return d.name }
+
+// Params implements Layer.
+func (d *Dropout) Params() []*Param { return nil }
+
+// OutShape implements Layer.
+func (d *Dropout) OutShape(in []int) []int { return in }
+
+// Forward implements Layer.
+func (d *Dropout) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if !train || d.P == 0 {
+		d.mask = nil
+		return x
+	}
+	out := tensor.New(x.Shape()...)
+	if cap(d.mask) < x.Len() {
+		d.mask = make([]float64, x.Len())
+	}
+	d.mask = d.mask[:x.Len()]
+	keep := 1 / (1 - d.P)
+	xd, od := x.Data(), out.Data()
+	for i := range xd {
+		if d.rng.Float64() < d.P {
+			d.mask[i] = 0
+		} else {
+			d.mask[i] = keep
+			od[i] = xd[i] * keep
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (d *Dropout) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if d.mask == nil { // inference-mode forward: identity
+		return grad
+	}
+	out := tensor.New(grad.Shape()...)
+	gd, od := grad.Data(), out.Data()
+	for i := range gd {
+		od[i] = gd[i] * d.mask[i]
+	}
+	return out
+}

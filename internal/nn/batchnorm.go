@@ -1,0 +1,177 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"shredder/internal/tensor"
+)
+
+// BatchNorm2D normalizes each channel of [N, C, H, W] activations to zero
+// mean and unit variance over the batch and spatial dimensions, then
+// applies a learned affine transform (γ, β). At inference it uses running
+// statistics accumulated during training.
+//
+// The backward pass is the exact batch-norm Jacobian product:
+//
+//	dx = (γ/σ)·(dy − mean(dy) − x̂·mean(dy·x̂))
+type BatchNorm2D struct {
+	name     string
+	C        int
+	Eps      float64
+	Momentum float64 // running-stat update rate (default 0.1)
+
+	Gamma, Beta *Param
+
+	runningMean []float64
+	runningVar  []float64
+
+	// cached state from the last training-mode forward
+	lastXHat *tensor.Tensor
+	lastStd  []float64
+	lastN    int // elements per channel in the batch
+}
+
+// NewBatchNorm2D constructs a batch-norm layer over c channels.
+func NewBatchNorm2D(name string, c int) *BatchNorm2D {
+	gamma := tensor.New(c).Fill(1)
+	beta := tensor.New(c)
+	bn := &BatchNorm2D{
+		name: name, C: c, Eps: 1e-5, Momentum: 0.1,
+		Gamma:       NewParam(name+".gamma", gamma),
+		Beta:        NewParam(name+".beta", beta),
+		runningMean: make([]float64, c),
+		runningVar:  make([]float64, c),
+	}
+	for i := range bn.runningVar {
+		bn.runningVar[i] = 1
+	}
+	return bn
+}
+
+// Name implements Layer.
+func (bn *BatchNorm2D) Name() string { return bn.name }
+
+// Params implements Layer.
+func (bn *BatchNorm2D) Params() []*Param { return []*Param{bn.Gamma, bn.Beta} }
+
+// OutShape implements Layer.
+func (bn *BatchNorm2D) OutShape(in []int) []int {
+	if len(in) != 3 || in[0] != bn.C {
+		panic(fmt.Sprintf("nn: %s expects per-sample shape [%d,H,W], got %v", bn.name, bn.C, in))
+	}
+	return in
+}
+
+// Forward implements Layer.
+func (bn *BatchNorm2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	checkBatched(bn.name, x)
+	if x.Rank() != 4 || x.Dim(1) != bn.C {
+		panic(fmt.Sprintf("nn: %s expects [N,%d,H,W], got %v", bn.name, bn.C, x.Shape()))
+	}
+	n, h, w := x.Dim(0), x.Dim(2), x.Dim(3)
+	hw := h * w
+	perC := n * hw
+	out := tensor.New(x.Shape()...)
+	xd, od := x.Data(), out.Data()
+	gd, bd := bn.Gamma.Value.Data(), bn.Beta.Value.Data()
+
+	if !train {
+		for c := 0; c < bn.C; c++ {
+			inv := 1 / math.Sqrt(bn.runningVar[c]+bn.Eps)
+			mean := bn.runningMean[c]
+			g, b := gd[c], bd[c]
+			for i := 0; i < n; i++ {
+				base := (i*bn.C + c) * hw
+				for p := 0; p < hw; p++ {
+					od[base+p] = g*(xd[base+p]-mean)*inv + b
+				}
+			}
+		}
+		bn.lastXHat = nil
+		return out
+	}
+
+	bn.lastXHat = tensor.New(x.Shape()...)
+	bn.lastStd = make([]float64, bn.C)
+	bn.lastN = perC
+	xh := bn.lastXHat.Data()
+	for c := 0; c < bn.C; c++ {
+		sum := 0.0
+		for i := 0; i < n; i++ {
+			base := (i*bn.C + c) * hw
+			for p := 0; p < hw; p++ {
+				sum += xd[base+p]
+			}
+		}
+		mean := sum / float64(perC)
+		vsum := 0.0
+		for i := 0; i < n; i++ {
+			base := (i*bn.C + c) * hw
+			for p := 0; p < hw; p++ {
+				d := xd[base+p] - mean
+				vsum += d * d
+			}
+		}
+		variance := vsum / float64(perC)
+		std := math.Sqrt(variance + bn.Eps)
+		bn.lastStd[c] = std
+		inv := 1 / std
+		g, b := gd[c], bd[c]
+		for i := 0; i < n; i++ {
+			base := (i*bn.C + c) * hw
+			for p := 0; p < hw; p++ {
+				v := (xd[base+p] - mean) * inv
+				xh[base+p] = v
+				od[base+p] = g*v + b
+			}
+		}
+		bn.runningMean[c] = (1-bn.Momentum)*bn.runningMean[c] + bn.Momentum*mean
+		bn.runningVar[c] = (1-bn.Momentum)*bn.runningVar[c] + bn.Momentum*variance
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (bn *BatchNorm2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if bn.lastXHat == nil {
+		panic("nn: BatchNorm2D.Backward before training-mode Forward")
+	}
+	if !grad.SameShape(bn.lastXHat) {
+		panic("nn: BatchNorm2D backward grad shape mismatch")
+	}
+	nT := grad.Dim(0)
+	h, w := grad.Dim(2), grad.Dim(3)
+	hw := h * w
+	perC := float64(bn.lastN)
+	dx := tensor.New(grad.Shape()...)
+	gd := grad.Data()
+	xh := bn.lastXHat.Data()
+	dd := dx.Data()
+	gg := bn.Gamma.Grad.Data()
+	bg := bn.Beta.Grad.Data()
+	gv := bn.Gamma.Value.Data()
+	for c := 0; c < bn.C; c++ {
+		var sumDy, sumDyXh float64
+		for i := 0; i < nT; i++ {
+			base := (i*bn.C + c) * hw
+			for p := 0; p < hw; p++ {
+				dy := gd[base+p]
+				sumDy += dy
+				sumDyXh += dy * xh[base+p]
+			}
+		}
+		gg[c] += sumDyXh
+		bg[c] += sumDy
+		coef := gv[c] / bn.lastStd[c]
+		meanDy := sumDy / perC
+		meanDyXh := sumDyXh / perC
+		for i := 0; i < nT; i++ {
+			base := (i*bn.C + c) * hw
+			for p := 0; p < hw; p++ {
+				dd[base+p] = coef * (gd[base+p] - meanDy - xh[base+p]*meanDyXh)
+			}
+		}
+	}
+	return dx
+}

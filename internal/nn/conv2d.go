@@ -1,0 +1,147 @@
+package nn
+
+import (
+	"fmt"
+
+	"shredder/internal/tensor"
+)
+
+// Conv2D is a 2-D convolution layer over [N, C, H, W] inputs, lowered to
+// matrix multiplication via im2col. Weights have shape
+// [OutC, InC*KH*KW] and biases [OutC].
+type Conv2D struct {
+	name         string
+	InC, OutC    int
+	KH, KW       int
+	Stride, Pad  int
+	W, B         *Param
+	lastIn       *tensor.Tensor // cached input batch for backward
+	lastGeom     tensor.ConvGeom
+	lastOutH     int
+	lastOutW     int
+	forwardCalls int
+}
+
+// NewConv2D constructs a convolution layer with He-initialized weights.
+func NewConv2D(name string, inC, outC, kh, kw, stride, pad int, rng *tensor.RNG) *Conv2D {
+	fanIn := inC * kh * kw
+	w := tensor.New(outC, fanIn)
+	HeInit(w, fanIn, rng)
+	b := tensor.New(outC)
+	return &Conv2D{
+		name: name, InC: inC, OutC: outC, KH: kh, KW: kw, Stride: stride, Pad: pad,
+		W: NewParam(name+".W", w), B: NewParam(name+".b", b),
+	}
+}
+
+// Name implements Layer.
+func (c *Conv2D) Name() string { return c.name }
+
+// Params implements Layer.
+func (c *Conv2D) Params() []*Param { return []*Param{c.W, c.B} }
+
+// OutShape implements Layer.
+func (c *Conv2D) OutShape(in []int) []int {
+	g := c.geom(in)
+	return []int{c.OutC, g.OutH(), g.OutW()}
+}
+
+func (c *Conv2D) geom(in []int) tensor.ConvGeom {
+	if len(in) != 3 || in[0] != c.InC {
+		panic(fmt.Sprintf("nn: %s expects per-sample shape [%d,H,W], got %v", c.name, c.InC, in))
+	}
+	g := tensor.ConvGeom{InC: c.InC, InH: in[1], InW: in[2], KH: c.KH, KW: c.KW, Stride: c.Stride, Pad: c.Pad}
+	if err := g.Validate(); err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// Forward implements Layer. The batch is processed sample-parallel.
+func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	checkBatched(c.name, x)
+	n := x.Dim(0)
+	g := c.geom(x.Shape()[1:])
+	outH, outW := g.OutH(), g.OutW()
+	c.lastGeom, c.lastOutH, c.lastOutW = g, outH, outW
+	c.lastIn = x
+	c.forwardCalls++
+	out := tensor.New(n, c.OutC, outH, outW)
+	p := outH * outW
+	tensor.ParallelFor(n, func(i int) {
+		cols := tensor.Im2Col(x.Slice(i), g)     // [P, CKK]
+		prod := tensor.MatMulT2(cols, c.W.Value) // [P, OutC]
+		dst := out.Slice(i).Data()               // [OutC, P] layout
+		bias := c.B.Value.Data()
+		pd := prod.Data()
+		for pos := 0; pos < p; pos++ {
+			row := pd[pos*c.OutC:]
+			for oc := 0; oc < c.OutC; oc++ {
+				dst[oc*p+pos] = row[oc] + bias[oc]
+			}
+		}
+	})
+	return out
+}
+
+// Backward implements Layer. It recomputes im2col from the cached input
+// rather than caching column matrices, trading FLOPs for memory.
+func (c *Conv2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if c.lastIn == nil {
+		panic("nn: Conv2D.Backward before Forward")
+	}
+	x := c.lastIn
+	n := x.Dim(0)
+	g := c.lastGeom
+	p := c.lastOutH * c.lastOutW
+	if grad.Dim(0) != n || grad.Len() != n*c.OutC*p {
+		panic(fmt.Sprintf("nn: %s backward grad shape %v does not match forward output", c.name, grad.Shape()))
+	}
+	dx := tensor.New(x.Shape()...)
+	ckk := c.InC * c.KH * c.KW
+
+	// Per-sample weight/bias gradients are accumulated into private buffers
+	// and reduced at the end so the batch loop can run in parallel without
+	// locking.
+	dWs := make([]*tensor.Tensor, n)
+	dBs := make([]*tensor.Tensor, n)
+	tensor.ParallelFor(n, func(i int) {
+		cols := tensor.Im2Col(x.Slice(i), g) // [P, CKK]
+		// Reassemble grad slice [OutC, P] into G [P, OutC].
+		gi := grad.Slice(i).Data()
+		G := tensor.New(p, c.OutC)
+		gd := G.Data()
+		for oc := 0; oc < c.OutC; oc++ {
+			row := gi[oc*p:]
+			for pos := 0; pos < p; pos++ {
+				gd[pos*c.OutC+oc] = row[pos]
+			}
+		}
+		dWs[i] = tensor.MatMulT1(G, cols)    // [OutC, CKK]
+		dcols := tensor.MatMul(G, c.W.Value) // [P, CKK]
+		dx.Slice(i).CopyFrom(tensor.Col2Im(dcols, g))
+		db := tensor.New(c.OutC)
+		dbd := db.Data()
+		for pos := 0; pos < p; pos++ {
+			row := gd[pos*c.OutC:]
+			for oc := 0; oc < c.OutC; oc++ {
+				dbd[oc] += row[oc]
+			}
+		}
+		dBs[i] = db
+	})
+	for i := 0; i < n; i++ {
+		c.W.Grad.AddInPlace(dWs[i])
+		c.B.Grad.AddInPlace(dBs[i])
+	}
+	_ = ckk
+	return dx
+}
+
+// MACs returns the multiply-accumulate count of one forward pass over a
+// single sample with the given per-sample input shape — the computation
+// term of the paper's cutting-point cost model (Figure 6).
+func (c *Conv2D) MACs(in []int) int64 {
+	g := c.geom(in)
+	return int64(g.OutH()) * int64(g.OutW()) * int64(c.OutC) * int64(c.InC*c.KH*c.KW)
+}

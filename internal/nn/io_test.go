@@ -1,0 +1,86 @@
+package nn
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+
+	"shredder/internal/tensor"
+)
+
+func smallNet(seed int64) *Sequential {
+	rng := tensor.NewRNG(seed)
+	return NewSequential("small",
+		NewConv2D("conv0", 1, 2, 3, 3, 1, 1, rng),
+		NewReLU("relu0"),
+		NewFlatten("flat"),
+		NewLinear("fc", 2*4*4, 3, rng),
+	)
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	src := smallNet(1)
+	dst := smallNet(2) // different init; must become identical after Load
+	var buf bytes.Buffer
+	if err := Save(src, &buf); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	if err := Load(dst, &buf); err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	x := tensor.NewRNG(3).FillNormal(tensor.New(2, 1, 4, 4), 0, 1)
+	if !tensor.AllClose(src.Forward(x, false), dst.Forward(x, false), 1e-12) {
+		t.Fatal("loaded network differs from saved network")
+	}
+}
+
+func TestLoadWrongNameFails(t *testing.T) {
+	src := smallNet(1)
+	var buf bytes.Buffer
+	if err := Save(src, &buf); err != nil {
+		t.Fatal(err)
+	}
+	other := NewSequential("other", NewReLU("r"))
+	if err := Load(other, &buf); err == nil {
+		t.Fatal("Load should reject a checkpoint for a different network")
+	}
+}
+
+func TestLoadShapeMismatchFails(t *testing.T) {
+	src := smallNet(1)
+	var buf bytes.Buffer
+	if err := Save(src, &buf); err != nil {
+		t.Fatal(err)
+	}
+	rng := tensor.NewRNG(4)
+	// Same name and layer names but different fc width.
+	dst := NewSequential("small",
+		NewConv2D("conv0", 1, 2, 3, 3, 1, 1, rng),
+		NewReLU("relu0"),
+		NewFlatten("flat"),
+		NewLinear("fc", 2*4*4, 7, rng),
+	)
+	if err := Load(dst, &buf); err == nil {
+		t.Fatal("Load should reject mismatched parameter shapes")
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "model.gob")
+	src := smallNet(5)
+	if err := SaveFile(src, path); err != nil {
+		t.Fatalf("SaveFile: %v", err)
+	}
+	dst := smallNet(6)
+	if err := LoadFile(dst, path); err != nil {
+		t.Fatalf("LoadFile: %v", err)
+	}
+	x := tensor.NewRNG(7).FillNormal(tensor.New(1, 1, 4, 4), 0, 1)
+	if !tensor.AllClose(src.Forward(x, false), dst.Forward(x, false), 1e-12) {
+		t.Fatal("file round trip changed parameters")
+	}
+	if err := LoadFile(dst, filepath.Join(dir, "missing.gob")); err == nil {
+		t.Fatal("LoadFile of missing path should fail")
+	}
+}

@@ -1,0 +1,103 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"shredder/internal/tensor"
+)
+
+// Softmax returns row-wise softmax probabilities for logits of shape
+// [N, M], computed with the max-subtraction trick for numerical stability.
+func Softmax(logits *tensor.Tensor) *tensor.Tensor {
+	if logits.Rank() != 2 {
+		panic("nn: Softmax expects [N, M] logits")
+	}
+	n, m := logits.Dim(0), logits.Dim(1)
+	out := tensor.New(n, m)
+	ld, od := logits.Data(), out.Data()
+	for i := 0; i < n; i++ {
+		row := ld[i*m : (i+1)*m]
+		orow := od[i*m : (i+1)*m]
+		mx := row[0]
+		for _, v := range row[1:] {
+			if v > mx {
+				mx = v
+			}
+		}
+		sum := 0.0
+		for j, v := range row {
+			e := math.Exp(v - mx)
+			orow[j] = e
+			sum += e
+		}
+		inv := 1 / sum
+		for j := range orow {
+			orow[j] *= inv
+		}
+	}
+	return out
+}
+
+// CrossEntropy computes the mean softmax cross-entropy loss over a batch
+// and the gradient with respect to the logits. labels[i] is the class index
+// of sample i. The returned gradient is already divided by the batch size,
+// so optimizer steps are batch-size invariant.
+func CrossEntropy(logits *tensor.Tensor, labels []int) (loss float64, grad *tensor.Tensor) {
+	n, m := logits.Dim(0), logits.Dim(1)
+	if len(labels) != n {
+		panic(fmt.Sprintf("nn: CrossEntropy got %d labels for batch of %d", len(labels), n))
+	}
+	probs := Softmax(logits)
+	grad = probs.Clone()
+	pd, gd := probs.Data(), grad.Data()
+	invN := 1 / float64(n)
+	for i := 0; i < n; i++ {
+		y := labels[i]
+		if y < 0 || y >= m {
+			panic(fmt.Sprintf("nn: label %d out of range [0,%d)", y, m))
+		}
+		p := pd[i*m+y]
+		loss -= math.Log(math.Max(p, 1e-300))
+		gd[i*m+y] -= 1
+	}
+	loss *= invN
+	grad.Scale(invN)
+	return loss, grad
+}
+
+// SoftCrossEntropy computes the mean cross-entropy against a full target
+// distribution of shape [N, M] (soft labels), used by the self-supervised
+// noise-training mode where targets are the unnoised model's own softmax
+// outputs. Returns loss and gradient w.r.t. the logits.
+func SoftCrossEntropy(logits, target *tensor.Tensor) (loss float64, grad *tensor.Tensor) {
+	if !logits.SameShape(target) {
+		panic(fmt.Sprintf("nn: SoftCrossEntropy shape mismatch %v vs %v", logits.Shape(), target.Shape()))
+	}
+	n, m := logits.Dim(0), logits.Dim(1)
+	probs := Softmax(logits)
+	grad = tensor.New(n, m)
+	pd, td, gd := probs.Data(), target.Data(), grad.Data()
+	invN := 1 / float64(n)
+	for i := 0; i < n*m; i++ {
+		loss -= td[i] * math.Log(math.Max(pd[i], 1e-300))
+		gd[i] = (pd[i] - td[i]) * invN
+	}
+	loss *= invN
+	return loss, grad
+}
+
+// Accuracy returns the fraction of rows whose argmax equals the label.
+func Accuracy(logits *tensor.Tensor, labels []int) float64 {
+	n := logits.Dim(0)
+	if n == 0 {
+		return 0
+	}
+	correct := 0
+	for i := 0; i < n; i++ {
+		if logits.Slice(i).Argmax() == labels[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(n)
+}

@@ -1,0 +1,203 @@
+package nn
+
+import (
+	"fmt"
+
+	"shredder/internal/tensor"
+)
+
+// MaxPool2D applies max pooling over [N, C, H, W] inputs. The backward pass
+// routes each output gradient to the argmax input position.
+type MaxPool2D struct {
+	name        string
+	K, Stride   int
+	lastShape   []int
+	lastArgmax  []int // flat input index per output element
+	lastOutDims [2]int
+}
+
+// NewMaxPool2D constructs a max-pooling layer with a square window.
+func NewMaxPool2D(name string, k, stride int) *MaxPool2D {
+	if k <= 0 || stride <= 0 {
+		panic("nn: pooling kernel and stride must be positive")
+	}
+	return &MaxPool2D{name: name, K: k, Stride: stride}
+}
+
+// Name implements Layer.
+func (m *MaxPool2D) Name() string { return m.name }
+
+// Params implements Layer.
+func (m *MaxPool2D) Params() []*Param { return nil }
+
+// OutShape implements Layer.
+func (m *MaxPool2D) OutShape(in []int) []int {
+	if len(in) != 3 {
+		panic(fmt.Sprintf("nn: %s expects [C,H,W] per-sample shape, got %v", m.name, in))
+	}
+	oh := (in[1]-m.K)/m.Stride + 1
+	ow := (in[2]-m.K)/m.Stride + 1
+	if oh <= 0 || ow <= 0 {
+		panic(fmt.Sprintf("nn: %s window %d/stride %d larger than input %v", m.name, m.K, m.Stride, in))
+	}
+	return []int{in[0], oh, ow}
+}
+
+// Forward implements Layer.
+func (m *MaxPool2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	checkBatched(m.name, x)
+	n, c := x.Dim(0), x.Dim(1)
+	h, w := x.Dim(2), x.Dim(3)
+	os := m.OutShape([]int{c, h, w})
+	oh, ow := os[1], os[2]
+	m.lastShape = append([]int(nil), x.Shape()...)
+	m.lastOutDims = [2]int{oh, ow}
+	out := tensor.New(n, c, oh, ow)
+	if cap(m.lastArgmax) < out.Len() {
+		m.lastArgmax = make([]int, out.Len())
+	}
+	m.lastArgmax = m.lastArgmax[:out.Len()]
+	xd, od := x.Data(), out.Data()
+	tensor.ParallelFor(n, func(i int) {
+		for ch := 0; ch < c; ch++ {
+			in := xd[(i*c+ch)*h*w:]
+			outPlane := od[(i*c+ch)*oh*ow:]
+			argPlane := m.lastArgmax[(i*c+ch)*oh*ow:]
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					y0, x0 := oy*m.Stride, ox*m.Stride
+					best := in[y0*w+x0]
+					bi := y0*w + x0
+					for ky := 0; ky < m.K; ky++ {
+						for kx := 0; kx < m.K; kx++ {
+							idx := (y0+ky)*w + (x0 + kx)
+							if in[idx] > best {
+								best, bi = in[idx], idx
+							}
+						}
+					}
+					outPlane[oy*ow+ox] = best
+					argPlane[oy*ow+ox] = (i*c+ch)*h*w + bi
+				}
+			}
+		}
+	})
+	return out
+}
+
+// Backward implements Layer.
+func (m *MaxPool2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if m.lastShape == nil {
+		panic("nn: MaxPool2D.Backward before Forward")
+	}
+	if grad.Len() != len(m.lastArgmax) {
+		panic("nn: MaxPool2D backward grad size mismatch")
+	}
+	dx := tensor.New(m.lastShape...)
+	dd, gd := dx.Data(), grad.Data()
+	for i, src := range m.lastArgmax {
+		dd[src] += gd[i]
+	}
+	return dx
+}
+
+// AvgPool2D applies average pooling over [N, C, H, W] inputs.
+type AvgPool2D struct {
+	name      string
+	K, Stride int
+	lastShape []int
+}
+
+// NewAvgPool2D constructs an average-pooling layer with a square window.
+func NewAvgPool2D(name string, k, stride int) *AvgPool2D {
+	if k <= 0 || stride <= 0 {
+		panic("nn: pooling kernel and stride must be positive")
+	}
+	return &AvgPool2D{name: name, K: k, Stride: stride}
+}
+
+// Name implements Layer.
+func (a *AvgPool2D) Name() string { return a.name }
+
+// Params implements Layer.
+func (a *AvgPool2D) Params() []*Param { return nil }
+
+// OutShape implements Layer.
+func (a *AvgPool2D) OutShape(in []int) []int {
+	if len(in) != 3 {
+		panic(fmt.Sprintf("nn: %s expects [C,H,W] per-sample shape, got %v", a.name, in))
+	}
+	oh := (in[1]-a.K)/a.Stride + 1
+	ow := (in[2]-a.K)/a.Stride + 1
+	if oh <= 0 || ow <= 0 {
+		panic(fmt.Sprintf("nn: %s window %d/stride %d larger than input %v", a.name, a.K, a.Stride, in))
+	}
+	return []int{in[0], oh, ow}
+}
+
+// Forward implements Layer.
+func (a *AvgPool2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	checkBatched(a.name, x)
+	n, c := x.Dim(0), x.Dim(1)
+	h, w := x.Dim(2), x.Dim(3)
+	os := a.OutShape([]int{c, h, w})
+	oh, ow := os[1], os[2]
+	a.lastShape = append([]int(nil), x.Shape()...)
+	out := tensor.New(n, c, oh, ow)
+	inv := 1 / float64(a.K*a.K)
+	xd, od := x.Data(), out.Data()
+	tensor.ParallelFor(n, func(i int) {
+		for ch := 0; ch < c; ch++ {
+			in := xd[(i*c+ch)*h*w:]
+			outPlane := od[(i*c+ch)*oh*ow:]
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					y0, x0 := oy*a.Stride, ox*a.Stride
+					s := 0.0
+					for ky := 0; ky < a.K; ky++ {
+						for kx := 0; kx < a.K; kx++ {
+							s += in[(y0+ky)*w+(x0+kx)]
+						}
+					}
+					outPlane[oy*ow+ox] = s * inv
+				}
+			}
+		}
+	})
+	return out
+}
+
+// Backward implements Layer.
+func (a *AvgPool2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if a.lastShape == nil {
+		panic("nn: AvgPool2D.Backward before Forward")
+	}
+	n, c := a.lastShape[0], a.lastShape[1]
+	h, w := a.lastShape[2], a.lastShape[3]
+	oh := (h-a.K)/a.Stride + 1
+	ow := (w-a.K)/a.Stride + 1
+	if grad.Len() != n*c*oh*ow {
+		panic("nn: AvgPool2D backward grad size mismatch")
+	}
+	dx := tensor.New(a.lastShape...)
+	inv := 1 / float64(a.K*a.K)
+	dd, gd := dx.Data(), grad.Data()
+	for i := 0; i < n; i++ {
+		for ch := 0; ch < c; ch++ {
+			dplane := dd[(i*c+ch)*h*w:]
+			gplane := gd[(i*c+ch)*oh*ow:]
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					gv := gplane[oy*ow+ox] * inv
+					y0, x0 := oy*a.Stride, ox*a.Stride
+					for ky := 0; ky < a.K; ky++ {
+						for kx := 0; kx < a.K; kx++ {
+							dplane[(y0+ky)*w+(x0+kx)] += gv
+						}
+					}
+				}
+			}
+		}
+	}
+	return dx
+}

@@ -1,0 +1,138 @@
+package nn
+
+import (
+	"fmt"
+
+	"shredder/internal/tensor"
+)
+
+// Sequential is an ordered stack of layers forming a feed-forward network.
+// It is the container the model zoo builds and that core.Split cuts into a
+// local (edge) and remote (cloud) part.
+type Sequential struct {
+	name   string
+	layers []Layer
+}
+
+// NewSequential constructs a named sequential network from layers.
+func NewSequential(name string, layers ...Layer) *Sequential {
+	seen := map[string]bool{}
+	for _, l := range layers {
+		if seen[l.Name()] {
+			panic(fmt.Sprintf("nn: duplicate layer name %q in %q", l.Name(), name))
+		}
+		seen[l.Name()] = true
+	}
+	return &Sequential{name: name, layers: layers}
+}
+
+// Name returns the network's name.
+func (s *Sequential) Name() string { return s.name }
+
+// Layers returns the layer stack. The slice must not be mutated.
+func (s *Sequential) Layers() []Layer { return s.layers }
+
+// Len returns the number of layers.
+func (s *Sequential) Len() int { return len(s.layers) }
+
+// Layer returns the i-th layer.
+func (s *Sequential) Layer(i int) Layer { return s.layers[i] }
+
+// Index returns the position of the named layer, or -1.
+func (s *Sequential) Index(name string) int {
+	for i, l := range s.layers {
+		if l.Name() == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Params returns all trainable parameters in layer order.
+func (s *Sequential) Params() []*Param {
+	var ps []*Param
+	for _, l := range s.layers {
+		ps = append(ps, l.Params()...)
+	}
+	return ps
+}
+
+// ParamCount returns the total number of scalar parameters.
+func (s *Sequential) ParamCount() int { return ParamCount(s.layers) }
+
+// ZeroGrad clears every parameter gradient.
+func (s *Sequential) ZeroGrad() {
+	for _, p := range s.Params() {
+		p.ZeroGrad()
+	}
+}
+
+// Forward runs the full network on a batch.
+func (s *Sequential) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	for _, l := range s.layers {
+		x = l.Forward(x, train)
+	}
+	return x
+}
+
+// ForwardRange runs layers [from, to) on a batch. It is how split
+// inference executes the local part L (layers [0,cut)) and remote part R
+// (layers [cut, len)).
+func (s *Sequential) ForwardRange(x *tensor.Tensor, from, to int, train bool) *tensor.Tensor {
+	if from < 0 || to > len(s.layers) || from > to {
+		panic(fmt.Sprintf("nn: ForwardRange [%d,%d) out of bounds for %d layers", from, to, len(s.layers)))
+	}
+	for _, l := range s.layers[from:to] {
+		x = l.Forward(x, train)
+	}
+	return x
+}
+
+// Backward propagates the output gradient through the whole network and
+// returns the input gradient.
+func (s *Sequential) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	for i := len(s.layers) - 1; i >= 0; i-- {
+		grad = s.layers[i].Backward(grad)
+	}
+	return grad
+}
+
+// BackwardRange propagates the gradient through layers [from, to) in
+// reverse and returns ∂loss/∂(input of layer from). Shredder's noise
+// training calls BackwardRange over the remote part only: the returned
+// gradient with respect to R's input *is* ∂loss/∂n, since a' = a + n.
+func (s *Sequential) BackwardRange(grad *tensor.Tensor, from, to int) *tensor.Tensor {
+	if from < 0 || to > len(s.layers) || from > to {
+		panic(fmt.Sprintf("nn: BackwardRange [%d,%d) out of bounds for %d layers", from, to, len(s.layers)))
+	}
+	for i := to - 1; i >= from; i-- {
+		grad = s.layers[i].Backward(grad)
+	}
+	return grad
+}
+
+// OutShape threads a per-sample input shape through every layer and
+// returns the final per-sample output shape.
+func (s *Sequential) OutShape(in []int) []int {
+	return s.OutShapeAt(in, len(s.layers))
+}
+
+// OutShapeAt returns the per-sample shape after the first n layers.
+func (s *Sequential) OutShapeAt(in []int, n int) []int {
+	shape := append([]int(nil), in...)
+	for _, l := range s.layers[:n] {
+		shape = l.OutShape(shape)
+	}
+	return shape
+}
+
+// Predict returns the argmax class per sample for a batch of inputs.
+func (s *Sequential) Predict(x *tensor.Tensor) []int {
+	logits := s.Forward(x, false)
+	n := logits.Dim(0)
+	out := make([]int, n)
+	for i := 0; i < n; i++ {
+		out[i] = logits.Slice(i).Argmax()
+	}
+	return out
+}

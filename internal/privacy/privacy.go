@@ -1,0 +1,89 @@
+// Package privacy implements the two privacy notions of the Shredder
+// paper: the in vivo notion 1/SNR used to guide noise training (paper
+// §2.3), and the ex vivo notion 1/MI used for final evaluation (paper
+// §2.2), along with the derived bookkeeping (information loss, accuracy
+// loss) that the paper's Table 1 and figures report.
+package privacy
+
+import (
+	"fmt"
+	"math"
+
+	"shredder/internal/mi"
+	"shredder/internal/tensor"
+)
+
+// SNR returns the paper's signal-to-noise ratio E[a²]/σ²(n), where a is
+// the clean activation tensor (or a batch of them) and n the noise tensor.
+func SNR(activation, noise *tensor.Tensor) float64 {
+	varN := noise.Variance()
+	if varN == 0 {
+		return math.Inf(1)
+	}
+	ea2 := activation.SqSum() / float64(activation.Len())
+	return ea2 / varN
+}
+
+// InVivo returns the in vivo privacy 1/SNR. Zero-variance noise yields 0.
+func InVivo(activation, noise *tensor.Tensor) float64 {
+	snr := SNR(activation, noise)
+	if math.IsInf(snr, 1) {
+		return 0
+	}
+	return 1 / snr
+}
+
+// ExVivo returns the ex vivo privacy 1/MI for an MI value in bits.
+// Non-positive MI (possible from estimator bias on near-independent data)
+// is treated as maximal privacy and mapped to +Inf.
+func ExVivo(miBits float64) float64 {
+	if miBits <= 0 {
+		return math.Inf(1)
+	}
+	return 1 / miBits
+}
+
+// MeasureMI estimates the mutual information, in bits, between a batch of
+// inputs [N, ...] and the corresponding transmitted activations [N, ...].
+// It uses the permutation-calibrated Kozachenko–Leonenko construction,
+// which stays positive for strongly dependent high-dimensional pairs at
+// the sample counts the experiments use (see mi.MutualInformationCalibrated).
+func MeasureMI(inputs, activations *tensor.Tensor, o mi.Options) float64 {
+	if inputs.Dim(0) != activations.Dim(0) {
+		panic(fmt.Sprintf("privacy: %d inputs but %d activations", inputs.Dim(0), activations.Dim(0)))
+	}
+	return mi.MutualInformationCalibrated(mi.FromTensor(inputs), mi.FromTensor(activations), o)
+}
+
+// InformationLoss returns the absolute (bits) and relative (fraction)
+// reduction from the original MI to the shredded MI — the quantities of
+// Table 1 and Figure 3's y-axis.
+func InformationLoss(origBits, shreddedBits float64) (lossBits, lossFrac float64) {
+	lossBits = origBits - shreddedBits
+	if origBits > 0 {
+		lossFrac = lossBits / origBits
+	}
+	return lossBits, lossFrac
+}
+
+// AccuracyLoss returns the accuracy drop in percentage points from the
+// baseline (no-noise) accuracy to the noisy accuracy, both in [0,1].
+func AccuracyLoss(baseline, noisy float64) float64 {
+	return (baseline - noisy) * 100
+}
+
+// GeoMean returns the geometric mean of positive values — the paper's
+// GMean column. Non-positive inputs panic, matching Table 1's domain.
+func GeoMean(vals []float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, v := range vals {
+		if v <= 0 {
+			panic(fmt.Sprintf("privacy: GeoMean of non-positive value %v", v))
+		}
+		s += math.Log(v)
+	}
+	return math.Exp(s / float64(len(vals)))
+}

@@ -1,0 +1,109 @@
+package privacy
+
+import (
+	"math"
+	"testing"
+
+	"shredder/internal/mi"
+	"shredder/internal/tensor"
+)
+
+func TestSNRKnownValues(t *testing.T) {
+	// Activation of constant magnitude 2 → E[a²] = 4; noise ±1 → var 1.
+	a := tensor.From([]float64{2, -2, 2, -2}, 4)
+	n := tensor.From([]float64{1, -1, 1, -1}, 4)
+	if got := SNR(a, n); math.Abs(got-4) > 1e-12 {
+		t.Fatalf("SNR = %v, want 4", got)
+	}
+	if got := InVivo(a, n); math.Abs(got-0.25) > 1e-12 {
+		t.Fatalf("InVivo = %v, want 0.25", got)
+	}
+}
+
+func TestSNRZeroNoise(t *testing.T) {
+	a := tensor.From([]float64{1, 2}, 2)
+	n := tensor.New(2) // zero variance
+	if !math.IsInf(SNR(a, n), 1) {
+		t.Fatal("SNR with zero-variance noise should be +Inf")
+	}
+	if InVivo(a, n) != 0 {
+		t.Fatal("InVivo with zero-variance noise should be 0")
+	}
+}
+
+func TestInVivoGrowsWithNoise(t *testing.T) {
+	rng := tensor.NewRNG(1)
+	a := rng.FillNormal(tensor.New(1000), 0, 1)
+	small := rng.FillLaplace(tensor.New(1000), 0, 0.5)
+	big := rng.FillLaplace(tensor.New(1000), 0, 3)
+	if InVivo(a, big) <= InVivo(a, small) {
+		t.Fatal("more noise must mean more in vivo privacy")
+	}
+}
+
+func TestExVivo(t *testing.T) {
+	if got := ExVivo(4); got != 0.25 {
+		t.Fatalf("ExVivo(4) = %v", got)
+	}
+	if !math.IsInf(ExVivo(0), 1) || !math.IsInf(ExVivo(-1), 1) {
+		t.Fatal("non-positive MI should map to infinite privacy")
+	}
+}
+
+func TestInformationLoss(t *testing.T) {
+	bits, frac := InformationLoss(300, 19)
+	if bits != 281 {
+		t.Fatalf("loss bits = %v", bits)
+	}
+	if math.Abs(frac-281.0/300) > 1e-12 {
+		t.Fatalf("loss frac = %v", frac)
+	}
+	if _, f := InformationLoss(0, 0); f != 0 {
+		t.Fatal("zero original MI should give zero fraction")
+	}
+}
+
+func TestAccuracyLoss(t *testing.T) {
+	if got := AccuracyLoss(0.95, 0.935); math.Abs(got-1.5) > 1e-9 {
+		t.Fatalf("AccuracyLoss = %v, want 1.5", got)
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if got := GeoMean([]float64{1, 4}); math.Abs(got-2) > 1e-12 {
+		t.Fatalf("GeoMean = %v", got)
+	}
+	if GeoMean(nil) != 0 {
+		t.Fatal("GeoMean of empty should be 0")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("GeoMean of non-positive should panic")
+		}
+	}()
+	GeoMean([]float64{1, 0})
+}
+
+func TestMeasureMINoiseReducesMI(t *testing.T) {
+	// End-to-end sanity: I(x, x) > I(x, x+heavy noise).
+	rng := tensor.NewRNG(2)
+	x := rng.FillNormal(tensor.New(400, 1, 3, 3), 0, 1)
+	noisy := x.Clone()
+	noise := rng.FillLaplace(tensor.New(400, 1, 3, 3), 0, 4)
+	noisy.AddInPlace(noise)
+	o := mi.Options{K: 3, Seed: 1}
+	clean := MeasureMI(x, x.Clone().Shift(1e-9), o)
+	shredded := MeasureMI(x, noisy, o)
+	if shredded >= clean {
+		t.Fatalf("noise did not reduce MI: clean %v, shredded %v", clean, shredded)
+	}
+}
+
+func TestMeasureMIMismatchedBatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MeasureMI(tensor.New(4, 2), tensor.New(5, 2), mi.Options{})
+}

@@ -1,0 +1,105 @@
+// Package quantize implements linear activation quantization for the
+// edge→cloud wire. The paper's communication cost model assumes dense
+// float activations; quantizing the (noisy) activation to 8 or fewer bits
+// shrinks the transmitted volume by 4-8× on top of Shredder's privacy, at
+// a measurable accuracy cost that the benchmark harness ablates.
+//
+// Quantization is also privacy-relevant: it is a deterministic
+// data-processing step, so by the data-processing inequality it can only
+// reduce the mutual information between the input and what the cloud sees.
+package quantize
+
+import (
+	"fmt"
+	"math"
+
+	"shredder/internal/tensor"
+)
+
+// Scheme is a symmetric linear quantizer with a fixed bit width.
+type Scheme struct {
+	// Bits per value, in [2, 16].
+	Bits int
+	// Lo and Hi are the clipping range the levels span.
+	Lo, Hi float64
+}
+
+// NewScheme builds a quantizer covering [lo, hi] with 2^bits levels.
+func NewScheme(bits int, lo, hi float64) (Scheme, error) {
+	if bits < 2 || bits > 16 {
+		return Scheme{}, fmt.Errorf("quantize: bits %d out of [2,16]", bits)
+	}
+	if !(hi > lo) {
+		return Scheme{}, fmt.Errorf("quantize: invalid range [%v, %v]", lo, hi)
+	}
+	return Scheme{Bits: bits, Lo: lo, Hi: hi}, nil
+}
+
+// Fit chooses a clipping range covering the central mass of the samples:
+// [µ−kσ, µ+kσ] with k = 4, clamped to the observed min/max.
+func Fit(sample *tensor.Tensor, bits int) (Scheme, error) {
+	mean, std := sample.Mean(), sample.Std()
+	lo := math.Max(sample.Min(), mean-4*std)
+	hi := math.Min(sample.Max(), mean+4*std)
+	if hi <= lo {
+		hi = lo + 1e-9
+	}
+	return NewScheme(bits, lo, hi)
+}
+
+// Levels returns the number of representable values.
+func (s Scheme) Levels() int { return 1 << s.Bits }
+
+// step returns the quantization step size.
+func (s Scheme) step() float64 { return (s.Hi - s.Lo) / float64(s.Levels()-1) }
+
+// Quantize maps values to level indices, clipping to the range.
+func (s Scheme) Quantize(x *tensor.Tensor) []uint16 {
+	out := make([]uint16, x.Len())
+	step := s.step()
+	maxLevel := float64(s.Levels() - 1)
+	for i, v := range x.Data() {
+		q := math.Round((v - s.Lo) / step)
+		if q < 0 {
+			q = 0
+		}
+		if q > maxLevel {
+			q = maxLevel
+		}
+		out[i] = uint16(q)
+	}
+	return out
+}
+
+// Dequantize reconstructs values from level indices into the given shape.
+func (s Scheme) Dequantize(levels []uint16, shape ...int) *tensor.Tensor {
+	out := tensor.New(shape...)
+	step := s.step()
+	d := out.Data()
+	for i, q := range levels {
+		d[i] = s.Lo + float64(q)*step
+	}
+	return out
+}
+
+// RoundTrip quantizes and dequantizes in one step — the wire simulation.
+func (s Scheme) RoundTrip(x *tensor.Tensor) *tensor.Tensor {
+	return s.Dequantize(s.Quantize(x), x.Shape()...)
+}
+
+// MaxError returns the worst-case reconstruction error for in-range
+// values: half the step size.
+func (s Scheme) MaxError() float64 { return s.step() / 2 }
+
+// WireBytes returns the transmitted size of n values under this scheme
+// (levels packed at Bits bits each, rounded up to whole bytes).
+func (s Scheme) WireBytes(n int) int64 {
+	return int64((n*s.Bits + 7) / 8)
+}
+
+// MSE returns the mean squared reconstruction error of a round trip.
+func (s Scheme) MSE(x *tensor.Tensor) float64 {
+	rt := s.RoundTrip(x)
+	d := tensor.Sub(rt, x)
+	return d.SqSum() / float64(d.Len())
+}

@@ -1,0 +1,144 @@
+package quantize
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"shredder/internal/tensor"
+)
+
+func TestNewSchemeValidation(t *testing.T) {
+	if _, err := NewScheme(1, 0, 1); err == nil {
+		t.Fatal("1 bit should be rejected")
+	}
+	if _, err := NewScheme(17, 0, 1); err == nil {
+		t.Fatal("17 bits should be rejected")
+	}
+	if _, err := NewScheme(8, 2, 2); err == nil {
+		t.Fatal("empty range should be rejected")
+	}
+	s, err := NewScheme(8, -1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Levels() != 256 {
+		t.Fatalf("levels = %d", s.Levels())
+	}
+}
+
+func TestRoundTripWithinMaxError(t *testing.T) {
+	s, _ := NewScheme(8, -2, 2)
+	rng := tensor.NewRNG(1)
+	x := rng.FillUniform(tensor.New(1000), -2, 2)
+	rt := s.RoundTrip(x)
+	maxErr := s.MaxError()
+	for i, v := range x.Data() {
+		if math.Abs(rt.Data()[i]-v) > maxErr+1e-12 {
+			t.Fatalf("value %v reconstructed as %v (max err %v)", v, rt.Data()[i], maxErr)
+		}
+	}
+}
+
+func TestClippingOutOfRange(t *testing.T) {
+	s, _ := NewScheme(4, 0, 1)
+	x := tensor.From([]float64{-5, 0.5, 9}, 3)
+	rt := s.RoundTrip(x)
+	if rt.At(0) != 0 || rt.At(2) != 1 {
+		t.Fatalf("clipping failed: %v", rt)
+	}
+}
+
+func TestEndpointsExactlyRepresentable(t *testing.T) {
+	s, _ := NewScheme(3, -1, 1)
+	x := tensor.From([]float64{-1, 1}, 2)
+	rt := s.RoundTrip(x)
+	if rt.At(0) != -1 || rt.At(1) != 1 {
+		t.Fatalf("endpoints = %v", rt)
+	}
+}
+
+func TestMoreBitsLessError(t *testing.T) {
+	rng := tensor.NewRNG(2)
+	x := rng.FillNormal(tensor.New(5000), 0, 1)
+	prev := math.Inf(1)
+	for _, bits := range []int{2, 4, 8, 12} {
+		s, _ := NewScheme(bits, -4, 4)
+		mse := s.MSE(x)
+		if mse >= prev {
+			t.Fatalf("%d bits MSE %v not below previous %v", bits, mse, prev)
+		}
+		prev = mse
+	}
+}
+
+func TestFitCoversSamples(t *testing.T) {
+	rng := tensor.NewRNG(3)
+	x := rng.FillNormal(tensor.New(10000), 5, 2)
+	s, err := Fit(x, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Lo > x.Min()+1e-9 && s.Lo > 5-4*2-0.5 {
+		t.Fatalf("fit lo %v does not cover sample mass", s.Lo)
+	}
+	// Reconstruction error should be small relative to the data scale.
+	if mse := s.MSE(x); mse > 0.01 {
+		t.Fatalf("8-bit fit MSE %v too large", mse)
+	}
+}
+
+func TestFitConstantInput(t *testing.T) {
+	x := tensor.New(100).Fill(3)
+	s, err := Fit(x, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := s.RoundTrip(x)
+	if math.Abs(rt.At(0)-3) > 1e-6 {
+		t.Fatalf("constant reconstruction = %v", rt.At(0))
+	}
+}
+
+func TestWireBytes(t *testing.T) {
+	s, _ := NewScheme(8, 0, 1)
+	if got := s.WireBytes(100); got != 100 {
+		t.Fatalf("8-bit WireBytes(100) = %d", got)
+	}
+	s4, _ := NewScheme(4, 0, 1)
+	if got := s4.WireBytes(100); got != 50 {
+		t.Fatalf("4-bit WireBytes(100) = %d", got)
+	}
+	s3, _ := NewScheme(3, 0, 1)
+	if got := s3.WireBytes(3); got != 2 { // 9 bits → 2 bytes
+		t.Fatalf("3-bit WireBytes(3) = %d", got)
+	}
+}
+
+func TestPropertyQuantizeIdempotent(t *testing.T) {
+	// Quantizing an already-quantized tensor is the identity.
+	f := func(seed int64) bool {
+		rng := tensor.NewRNG(seed)
+		s, _ := NewScheme(2+rng.Intn(10), -3, 3)
+		x := rng.FillNormal(tensor.New(64), 0, 1)
+		once := s.RoundTrip(x)
+		twice := s.RoundTrip(once)
+		return tensor.AllClose(once, twice, 1e-12)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyDequantizeInRange(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := tensor.NewRNG(seed)
+		s, _ := NewScheme(2+rng.Intn(6), -1, 2)
+		x := rng.FillNormal(tensor.New(32), 0, 5) // mostly out of range
+		rt := s.RoundTrip(x)
+		return rt.Min() >= s.Lo-1e-12 && rt.Max() <= s.Hi+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

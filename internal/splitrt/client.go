@@ -1,0 +1,159 @@
+package splitrt
+
+import (
+	"encoding/gob"
+	"fmt"
+	"net"
+	"sync/atomic"
+
+	"shredder/internal/core"
+	"shredder/internal/quantize"
+	"shredder/internal/tensor"
+)
+
+// EdgeClient is the device side of split inference: it runs the local part
+// L, adds a noise tensor sampled from a trained collection, and sends only
+// the noisy activation to the cloud. When the collection is nil the client
+// transmits raw activations (the paper's "original execution" baseline).
+type EdgeClient struct {
+	split      *core.Split
+	collection *core.Collection
+	rng        *tensor.RNG
+	conn       *countingConn
+	enc        *gob.Encoder
+	dec        *gob.Decoder
+	nextID     uint64
+	wireBits   int // 0 = dense float transport
+}
+
+// Stats reports cumulative wire traffic of the connection.
+type Stats struct {
+	BytesSent     int64
+	BytesReceived int64
+	Requests      uint64
+}
+
+// Stats returns the client's transfer statistics.
+func (c *EdgeClient) Stats() Stats {
+	return Stats{
+		BytesSent:     atomic.LoadInt64(&c.conn.sent),
+		BytesReceived: atomic.LoadInt64(&c.conn.received),
+		Requests:      c.nextID,
+	}
+}
+
+// SetWireQuantization switches the activation transport to linear
+// quantization with the given bit width (0 restores dense float transport).
+// Quantization shrinks the wire volume by roughly 64/bits× versus the gob
+// float64 encoding and, being deterministic post-processing, can only
+// decrease the information the cloud receives.
+func (c *EdgeClient) SetWireQuantization(bits int) error {
+	if bits != 0 {
+		if _, err := quantize.NewScheme(bits, 0, 1); err != nil {
+			return err
+		}
+	}
+	c.wireBits = bits
+	return nil
+}
+
+// countingConn wraps a net.Conn with byte counters.
+type countingConn struct {
+	net.Conn
+	sent, received int64
+}
+
+func (c *countingConn) Write(p []byte) (int, error) {
+	n, err := c.Conn.Write(p)
+	atomic.AddInt64(&c.sent, int64(n))
+	return n, err
+}
+
+func (c *countingConn) Read(p []byte) (int, error) {
+	n, err := c.Conn.Read(p)
+	atomic.AddInt64(&c.received, int64(n))
+	return n, err
+}
+
+// Dial connects to a CloudServer and performs the handshake.
+func Dial(addr string, split *core.Split, cutLayer string, col *core.Collection, seed int64) (*EdgeClient, error) {
+	raw, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("splitrt: dial: %w", err)
+	}
+	conn := &countingConn{Conn: raw}
+	c := &EdgeClient{
+		split: split, collection: col, rng: tensor.NewRNG(seed),
+		conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn),
+	}
+	if err := c.enc.Encode(hello{Network: split.Net.Name(), CutLayer: cutLayer}); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("splitrt: handshake send: %w", err)
+	}
+	var ack helloAck
+	if err := c.dec.Decode(&ack); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("splitrt: handshake recv: %w", err)
+	}
+	if !ack.OK {
+		conn.Close()
+		return nil, fmt.Errorf("splitrt: handshake rejected: %s", ack.Err)
+	}
+	return c, nil
+}
+
+// Infer runs split inference on a batch [N, C, H, W] and returns the
+// logits computed by the cloud. Each sample gets an independently sampled
+// noise tensor, as at real inference time (paper §2.5).
+func (c *EdgeClient) Infer(x *tensor.Tensor) (*tensor.Tensor, error) {
+	a := c.split.Local(x)
+	if c.collection != nil {
+		for i := 0; i < a.Dim(0); i++ {
+			a.Slice(i).AddInPlace(c.collection.Sample(c.rng))
+		}
+	}
+	c.nextID++
+	req := request{ID: c.nextID}
+	if c.wireBits > 0 {
+		scheme, err := quantize.Fit(a, c.wireBits)
+		if err != nil {
+			return nil, fmt.Errorf("splitrt: quantize: %w", err)
+		}
+		req.Quant = &quantPayload{
+			Bits: scheme.Bits, Lo: scheme.Lo, Hi: scheme.Hi,
+			Shape: append([]int(nil), a.Shape()...), Levels: scheme.Quantize(a),
+		}
+	} else {
+		req.Activation = a
+	}
+	if err := c.enc.Encode(req); err != nil {
+		return nil, fmt.Errorf("splitrt: send: %w", err)
+	}
+	var resp response
+	if err := c.dec.Decode(&resp); err != nil {
+		return nil, fmt.Errorf("splitrt: recv: %w", err)
+	}
+	if resp.ID != req.ID {
+		return nil, fmt.Errorf("splitrt: response id %d for request %d", resp.ID, req.ID)
+	}
+	if resp.Err != "" {
+		return nil, fmt.Errorf("splitrt: remote error: %s", resp.Err)
+	}
+	return resp.Logits, nil
+}
+
+// Classify returns the predicted class per sample of a batch.
+func (c *EdgeClient) Classify(x *tensor.Tensor) ([]int, error) {
+	logits, err := c.Infer(x)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]int, logits.Dim(0))
+	for i := range out {
+		out[i] = logits.Slice(i).Argmax()
+	}
+	return out, nil
+}
+
+// Close terminates the connection.
+func (c *EdgeClient) Close() error { return c.conn.Close() }

@@ -1,0 +1,46 @@
+// Package splitrt is the edge/cloud split-inference runtime: a TCP server
+// hosting the remote part R of a split network, and an edge client that
+// runs the local part L, injects sampled Shredder noise, and ships the
+// noisy activation over the wire — the deployment story of the paper's
+// Figure 2. The wire protocol is gob-encoded and carries only the noisy
+// activation; raw inputs never leave the edge.
+package splitrt
+
+import "shredder/internal/tensor"
+
+// hello is the connection handshake: the client declares which network and
+// cut it expects the server to host so mismatched deployments fail fast.
+type hello struct {
+	Network  string
+	CutLayer string
+}
+
+// helloAck is the server's handshake response.
+type helloAck struct {
+	OK  bool
+	Err string
+}
+
+// request carries one batch of noisy activations to the cloud, either as
+// a dense float tensor or as a quantized payload (at most one is set).
+type request struct {
+	ID         uint64
+	Activation *tensor.Tensor // [N, ...] noisy activation batch
+	Quant      *quantPayload  // quantized wire format, when enabled
+}
+
+// quantPayload is the quantized wire representation of an activation
+// batch: linear levels plus the scheme needed to dequantize them.
+type quantPayload struct {
+	Bits   int
+	Lo, Hi float64
+	Shape  []int
+	Levels []uint16
+}
+
+// response returns the remote network's logits for a request.
+type response struct {
+	ID     uint64
+	Logits *tensor.Tensor
+	Err    string
+}

@@ -1,0 +1,167 @@
+package splitrt
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"shredder/internal/core"
+	"shredder/internal/quantize"
+	"shredder/internal/tensor"
+)
+
+// CloudServer hosts the remote part R of a split network. It models the
+// cloud side of the paper's deployment: it receives only noisy activations
+// and returns logits, never seeing raw inputs.
+type CloudServer struct {
+	split    *core.Split
+	cutLayer string
+
+	mu       sync.Mutex // serializes inference (layers cache state) and conn set
+	listener net.Listener
+	conns    map[net.Conn]struct{}
+	wg       sync.WaitGroup
+	closed   bool
+}
+
+// NewCloudServer creates a server for the given split. cutLayer is the
+// layer name clients must declare in their handshake.
+func NewCloudServer(split *core.Split, cutLayer string) *CloudServer {
+	return &CloudServer{split: split, cutLayer: cutLayer, conns: map[net.Conn]struct{}{}}
+}
+
+// Serve starts listening on addr (e.g. "127.0.0.1:0") and returns the
+// bound address. Connections are served on background goroutines until
+// Close.
+func (s *CloudServer) Serve(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("splitrt: listen: %w", err)
+	}
+	s.mu.Lock()
+	s.listener = ln
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go s.acceptLoop(ln)
+	return ln.Addr().String(), nil
+}
+
+func (s *CloudServer) acceptLoop(ln net.Listener) {
+	defer s.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *CloudServer) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	dec := gob.NewDecoder(conn)
+	enc := gob.NewEncoder(conn)
+
+	var h hello
+	if err := dec.Decode(&h); err != nil {
+		return
+	}
+	ack := helloAck{OK: true}
+	if h.Network != s.split.Net.Name() || h.CutLayer != s.cutLayer {
+		ack = helloAck{OK: false, Err: fmt.Sprintf(
+			"server hosts %s cut at %s, client wants %s cut at %s",
+			s.split.Net.Name(), s.cutLayer, h.Network, h.CutLayer)}
+	}
+	if err := enc.Encode(ack); err != nil || !ack.OK {
+		return
+	}
+
+	for {
+		var req request
+		if err := dec.Decode(&req); err != nil {
+			return
+		}
+		resp := s.handle(req)
+		if err := enc.Encode(resp); err != nil {
+			return
+		}
+	}
+}
+
+// handle computes R(a′) for one request, converting panics (bad shapes
+// from a misbehaving client) into error responses rather than crashing the
+// server.
+func (s *CloudServer) handle(req request) (resp response) {
+	resp.ID = req.ID
+	defer func() {
+		if r := recover(); r != nil {
+			resp.Logits = nil
+			resp.Err = fmt.Sprintf("remote inference failed: %v", r)
+		}
+	}()
+	act := req.Activation
+	if act == nil && req.Quant != nil {
+		scheme, err := quantize.NewScheme(req.Quant.Bits, req.Quant.Lo, req.Quant.Hi)
+		if err != nil {
+			resp.Err = fmt.Sprintf("bad quantization scheme: %v", err)
+			return resp
+		}
+		if tensor.Volume(req.Quant.Shape) != len(req.Quant.Levels) {
+			resp.Err = "quantized payload shape/levels mismatch"
+			return resp
+		}
+		act = scheme.Dequantize(req.Quant.Levels, req.Quant.Shape...)
+	}
+	if act == nil {
+		resp.Err = "missing activation"
+		return resp
+	}
+	want := s.split.ActivationShape()
+	got := act.Shape()
+	if len(got) != len(want)+1 || !tensor.ShapeEq(got[1:], want) {
+		resp.Err = fmt.Sprintf("activation shape %v does not match expected [N %v]", got, want)
+		return resp
+	}
+	s.mu.Lock()
+	logits := s.split.Remote(act, false)
+	s.mu.Unlock()
+	resp.Logits = logits
+	return resp
+}
+
+// Close stops the listener and waits for in-flight connections to finish.
+func (s *CloudServer) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return errors.New("splitrt: server already closed")
+	}
+	s.closed = true
+	ln := s.listener
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	s.wg.Wait()
+	return nil
+}

@@ -1,0 +1,268 @@
+package splitrt
+
+import (
+	"encoding/gob"
+	"net"
+	"strings"
+	"testing"
+
+	"shredder/internal/core"
+	"shredder/internal/model"
+	"shredder/internal/tensor"
+)
+
+// rig builds a tiny trained LeNet split, a server for it, and the test
+// data; callers get the bound address and a cleanup-registered server.
+func rig(t *testing.T) (*core.Split, *model.Pretrained, string, string) {
+	t.Helper()
+	pre, err := model.Train(model.LeNet(), model.TrainConfig{TrainN: 300, TestN: 80, Epochs: 2, Seed: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cutLayer, err := pre.Spec.CutLayer(pre.Spec.DefaultCut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	split, err := core.NewSplit(pre.Net, cutLayer, pre.Spec.Dataset.SampleShape())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewCloudServer(split, cutLayer)
+	addr, err := srv.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return split, pre, cutLayer, addr
+}
+
+func TestRemoteInferenceMatchesLocalBaseline(t *testing.T) {
+	split, pre, cutLayer, addr := rig(t)
+	client, err := Dial(addr, split, cutLayer, nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	b := pre.Test.Batches(8)[0]
+	remote, err := client.Infer(b.Images)
+	if err != nil {
+		t.Fatal(err)
+	}
+	local := split.Forward(b.Images)
+	if !tensor.AllClose(remote, local, 1e-9) {
+		t.Fatal("remote logits differ from local full forward")
+	}
+}
+
+func TestClassifyWithNoiseCollection(t *testing.T) {
+	split, pre, cutLayer, addr := rig(t)
+	col := core.Collect(split, pre.Train, core.NoiseConfig{
+		Scale: 1.5, Lambda: 0.01, PrivacyTarget: 3, Epochs: 1, Seed: 300,
+	}, 3)
+	client, err := Dial(addr, split, cutLayer, col, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	correct, n := 0, 0
+	for _, b := range pre.Test.Batches(16) {
+		preds, err := client.Classify(b.Images)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, y := range b.Labels {
+			if preds[i] == y {
+				correct++
+			}
+			n++
+		}
+	}
+	acc := float64(correct) / float64(n)
+	if acc < 0.3 {
+		t.Fatalf("noisy remote accuracy %.2f collapsed (baseline %.2f)", acc, pre.TestAcc)
+	}
+}
+
+func TestHandshakeRejectsMismatchedCut(t *testing.T) {
+	split, _, _, addr := rig(t)
+	if _, err := Dial(addr, split, "pool0", nil, 3); err == nil {
+		t.Fatal("handshake should reject a mismatched cut layer")
+	} else if !strings.Contains(err.Error(), "rejected") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+func TestServerRejectsBadActivationShape(t *testing.T) {
+	split, _, cutLayer, addr := rig(t)
+	client, err := Dial(addr, split, cutLayer, nil, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	// Bypass Infer and send a malformed activation directly.
+	if err := client.enc.Encode(request{ID: 99, Activation: tensor.New(1, 3, 3)}); err != nil {
+		t.Fatal(err)
+	}
+	var resp response
+	if err := client.dec.Decode(&resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Err == "" {
+		t.Fatal("server accepted a bad activation shape")
+	}
+	// Connection must survive the error: a valid request still works.
+	good := tensor.New(append([]int{1}, split.ActivationShape()...)...)
+	if err := client.enc.Encode(request{ID: 100, Activation: good}); err != nil {
+		t.Fatal(err)
+	}
+	var resp2 response // fresh struct: gob does not overwrite zero-valued fields
+	if err := client.dec.Decode(&resp2); err != nil {
+		t.Fatal(err)
+	}
+	if resp2.Err != "" || resp2.Logits == nil {
+		t.Fatalf("server did not recover after bad request: %+v", resp2)
+	}
+}
+
+func TestServerHandlesGarbageHandshake(t *testing.T) {
+	_, _, _, addr := rig(t)
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Send something that is not a hello and hang up; server must not
+	// crash, and new clients must still connect.
+	if err := gob.NewEncoder(conn).Encode("nonsense"); err != nil {
+		t.Fatal(err)
+	}
+	conn.Close()
+}
+
+func TestMultipleConcurrentClients(t *testing.T) {
+	split, pre, cutLayer, addr := rig(t)
+	b := pre.Test.Batches(4)[0]
+	want := split.Forward(b.Images)
+	errs := make(chan error, 4)
+	for w := 0; w < 4; w++ {
+		go func(seed int64) {
+			client, err := Dial(addr, split, cutLayer, nil, seed)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer client.Close()
+			for i := 0; i < 5; i++ {
+				got, err := client.Infer(b.Images)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if !tensor.AllClose(got, want, 1e-9) {
+					errs <- errMismatch
+					return
+				}
+			}
+			errs <- nil
+		}(int64(w))
+	}
+	for w := 0; w < 4; w++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+var errMismatch = &mismatchError{}
+
+type mismatchError struct{}
+
+func (*mismatchError) Error() string { return "remote logits mismatch under concurrency" }
+
+func TestCloseStopsServer(t *testing.T) {
+	pre, err := model.Train(model.LeNet(), model.TrainConfig{TrainN: 100, TestN: 20, Epochs: 1, Seed: 41})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cutLayer, _ := pre.Spec.CutLayer("conv2")
+	split, err := core.NewSplit(pre.Net, cutLayer, pre.Spec.Dataset.SampleShape())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewCloudServer(split, cutLayer)
+	addr, err := srv.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err == nil {
+		t.Fatal("double Close should error")
+	}
+	if _, err := Dial(addr, split, cutLayer, nil, 5); err == nil {
+		t.Fatal("Dial should fail after server Close")
+	}
+}
+
+func TestQuantizedTransportAccuracyAndVolume(t *testing.T) {
+	split, pre, cutLayer, addr := rig(t)
+	denseClient, err := Dial(addr, split, cutLayer, nil, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer denseClient.Close()
+	quantClient, err := Dial(addr, split, cutLayer, nil, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer quantClient.Close()
+	if err := quantClient.SetWireQuantization(8); err != nil {
+		t.Fatal(err)
+	}
+
+	b := pre.Test.Batches(16)[0]
+	dense, err := denseClient.Infer(b.Images)
+	if err != nil {
+		t.Fatal(err)
+	}
+	quant, err := quantClient.Infer(b.Images)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Predictions should agree almost everywhere despite 8-bit transport.
+	agree := 0
+	for i := range b.Labels {
+		if dense.Slice(i).Argmax() == quant.Slice(i).Argmax() {
+			agree++
+		}
+	}
+	if agree < len(b.Labels)-2 {
+		t.Fatalf("quantized transport changed %d/%d predictions", len(b.Labels)-agree, len(b.Labels))
+	}
+	// And move far fewer bytes: gob float64 is ≥8B/value, 8-bit levels ~2B
+	// (gob uint16) — demand at least 2.5x reduction.
+	ds, qs := denseClient.Stats(), quantClient.Stats()
+	if ds.BytesSent < qs.BytesSent*5/2 {
+		t.Fatalf("quantized transport not smaller: dense %d bytes, quant %d bytes", ds.BytesSent, qs.BytesSent)
+	}
+	if ds.Requests != 1 || qs.Requests != 1 {
+		t.Fatalf("request counters wrong: %d / %d", ds.Requests, qs.Requests)
+	}
+}
+
+func TestSetWireQuantizationValidation(t *testing.T) {
+	split, _, cutLayer, addr := rig(t)
+	client, err := Dial(addr, split, cutLayer, nil, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	if err := client.SetWireQuantization(1); err == nil {
+		t.Fatal("1-bit quantization should be rejected")
+	}
+	if err := client.SetWireQuantization(0); err != nil {
+		t.Fatal("disabling quantization should succeed")
+	}
+}

@@ -1,0 +1,121 @@
+package tensor
+
+import "fmt"
+
+// ConvGeom describes the geometry of a 2-D convolution or pooling window:
+// input channels/height/width, kernel size, stride and zero padding.
+type ConvGeom struct {
+	InC, InH, InW int
+	KH, KW        int
+	Stride        int
+	Pad           int
+}
+
+// OutH returns the output height of the window sweep.
+func (g ConvGeom) OutH() int { return (g.InH+2*g.Pad-g.KH)/g.Stride + 1 }
+
+// OutW returns the output width of the window sweep.
+func (g ConvGeom) OutW() int { return (g.InW+2*g.Pad-g.KW)/g.Stride + 1 }
+
+// Validate reports an error if the geometry does not produce a positive
+// output plane.
+func (g ConvGeom) Validate() error {
+	if g.InC <= 0 || g.InH <= 0 || g.InW <= 0 {
+		return fmt.Errorf("tensor: conv geometry has non-positive input dims %+v", g)
+	}
+	if g.KH <= 0 || g.KW <= 0 || g.Stride <= 0 || g.Pad < 0 {
+		return fmt.Errorf("tensor: conv geometry has invalid kernel/stride/pad %+v", g)
+	}
+	if g.OutH() <= 0 || g.OutW() <= 0 {
+		return fmt.Errorf("tensor: conv geometry %+v yields empty output %dx%d", g, g.OutH(), g.OutW())
+	}
+	return nil
+}
+
+// Im2Col lowers a single image of shape [C,H,W] (flat, row-major) into a
+// matrix of shape [OutH*OutW, C*KH*KW] where each row is the unrolled
+// receptive field of one output position. Convolution then becomes
+// cols · Wᵀ, which is how the nn package implements Conv2D.
+func Im2Col(img *Tensor, g ConvGeom) *Tensor {
+	if img.Len() != g.InC*g.InH*g.InW {
+		panic(fmt.Sprintf("tensor: Im2Col input has %d elems, geometry wants %d", img.Len(), g.InC*g.InH*g.InW))
+	}
+	outH, outW := g.OutH(), g.OutW()
+	cols := New(outH*outW, g.InC*g.KH*g.KW)
+	src := img.data
+	dst := cols.data
+	rowLen := g.InC * g.KH * g.KW
+	for oy := 0; oy < outH; oy++ {
+		iy0 := oy*g.Stride - g.Pad
+		for ox := 0; ox < outW; ox++ {
+			ix0 := ox*g.Stride - g.Pad
+			row := dst[(oy*outW+ox)*rowLen:]
+			p := 0
+			for c := 0; c < g.InC; c++ {
+				plane := src[c*g.InH*g.InW:]
+				for ky := 0; ky < g.KH; ky++ {
+					iy := iy0 + ky
+					if iy < 0 || iy >= g.InH {
+						for kx := 0; kx < g.KW; kx++ {
+							row[p] = 0
+							p++
+						}
+						continue
+					}
+					base := iy * g.InW
+					for kx := 0; kx < g.KW; kx++ {
+						ix := ix0 + kx
+						if ix < 0 || ix >= g.InW {
+							row[p] = 0
+						} else {
+							row[p] = plane[base+ix]
+						}
+						p++
+					}
+				}
+			}
+		}
+	}
+	return cols
+}
+
+// Col2Im scatters a column matrix (as produced by Im2Col) back into an
+// image of shape [C,H,W], accumulating overlapping contributions. It is the
+// adjoint of Im2Col and implements the input-gradient pass of convolution.
+func Col2Im(cols *Tensor, g ConvGeom) *Tensor {
+	outH, outW := g.OutH(), g.OutW()
+	rowLen := g.InC * g.KH * g.KW
+	if cols.Len() != outH*outW*rowLen {
+		panic(fmt.Sprintf("tensor: Col2Im input has %d elems, geometry wants %d", cols.Len(), outH*outW*rowLen))
+	}
+	img := New(g.InC, g.InH, g.InW)
+	dst := img.data
+	src := cols.data
+	for oy := 0; oy < outH; oy++ {
+		iy0 := oy*g.Stride - g.Pad
+		for ox := 0; ox < outW; ox++ {
+			ix0 := ox*g.Stride - g.Pad
+			row := src[(oy*outW+ox)*rowLen:]
+			p := 0
+			for c := 0; c < g.InC; c++ {
+				plane := dst[c*g.InH*g.InW:]
+				for ky := 0; ky < g.KH; ky++ {
+					iy := iy0 + ky
+					if iy < 0 || iy >= g.InH {
+						p += g.KW
+						continue
+					}
+					base := iy * g.InW
+					for kx := 0; kx < g.KW; kx++ {
+						ix := ix0 + kx
+						if ix >= 0 && ix < g.InW {
+							plane[base+ix] += row[p]
+						}
+						p++
+					}
+				}
+			}
+		}
+	}
+	return img
+}

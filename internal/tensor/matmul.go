@@ -1,0 +1,191 @@
+package tensor
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// parallelThreshold is the number of output elements below which MatMul
+// runs single-threaded; spawning goroutines for tiny products costs more
+// than it saves.
+const parallelThreshold = 16 * 1024
+
+// MatMul returns the matrix product a·b for rank-2 tensors of shapes
+// [m,k] and [k,n]. The inner loops are ordered i-k-j so the hot loop
+// streams both b and the output row, and rows of the result are computed
+// in parallel across GOMAXPROCS workers for large products.
+func MatMul(a, b *Tensor) *Tensor {
+	if a.Rank() != 2 || b.Rank() != 2 {
+		panic(fmt.Sprintf("tensor: MatMul requires rank-2 tensors, got %v x %v", a.shape, b.shape))
+	}
+	m, k := a.shape[0], a.shape[1]
+	k2, n := b.shape[0], b.shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMul inner dimension mismatch %v x %v", a.shape, b.shape))
+	}
+	out := New(m, n)
+	matmulInto(out.data, a.data, b.data, m, k, n)
+	return out
+}
+
+// MatMulInto computes a·b into dst, which must have shape [m,n]. It avoids
+// allocating in inner training loops.
+func MatMulInto(dst, a, b *Tensor) {
+	m, k := a.shape[0], a.shape[1]
+	n := b.shape[1]
+	if b.shape[0] != k || dst.shape[0] != m || dst.shape[1] != n {
+		panic(fmt.Sprintf("tensor: MatMulInto shape mismatch dst %v = %v x %v", dst.shape, a.shape, b.shape))
+	}
+	matmulInto(dst.data, a.data, b.data, m, k, n)
+}
+
+func matmulInto(dst, a, b []float64, m, k, n int) {
+	rowFn := func(i int) {
+		out := dst[i*n : (i+1)*n]
+		for j := range out {
+			out[j] = 0
+		}
+		ar := a[i*k : (i+1)*k]
+		for p, av := range ar {
+			if av == 0 {
+				continue
+			}
+			br := b[p*n : (p+1)*n]
+			for j, bv := range br {
+				out[j] += av * bv
+			}
+		}
+	}
+	if m*n < parallelThreshold || m < 2 {
+		for i := 0; i < m; i++ {
+			rowFn(i)
+		}
+		return
+	}
+	parallelRows(m, rowFn)
+}
+
+// MatMulT1 returns aᵀ·b for a of shape [k,m] and b of shape [k,n]: the
+// gradient-of-weights product in linear/conv backward passes.
+func MatMulT1(a, b *Tensor) *Tensor {
+	if a.Rank() != 2 || b.Rank() != 2 {
+		panic("tensor: MatMulT1 requires rank-2 tensors")
+	}
+	k, m := a.shape[0], a.shape[1]
+	if b.shape[0] != k {
+		panic(fmt.Sprintf("tensor: MatMulT1 dimension mismatch %v x %v", a.shape, b.shape))
+	}
+	n := b.shape[1]
+	out := New(m, n)
+	rowFn := func(i int) {
+		o := out.data[i*n : (i+1)*n]
+		for p := 0; p < k; p++ {
+			av := a.data[p*m+i]
+			if av == 0 {
+				continue
+			}
+			br := b.data[p*n : (p+1)*n]
+			for j, bv := range br {
+				o[j] += av * bv
+			}
+		}
+	}
+	if m*n < parallelThreshold || m < 2 {
+		for i := 0; i < m; i++ {
+			rowFn(i)
+		}
+		return out
+	}
+	parallelRows(m, rowFn)
+	return out
+}
+
+// MatMulT2 returns a·bᵀ for a of shape [m,k] and b of shape [n,k]: the
+// gradient-of-input product in linear/conv backward passes.
+func MatMulT2(a, b *Tensor) *Tensor {
+	if a.Rank() != 2 || b.Rank() != 2 {
+		panic("tensor: MatMulT2 requires rank-2 tensors")
+	}
+	m, k := a.shape[0], a.shape[1]
+	n := b.shape[0]
+	if b.shape[1] != k {
+		panic(fmt.Sprintf("tensor: MatMulT2 dimension mismatch %v x %v", a.shape, b.shape))
+	}
+	out := New(m, n)
+	rowFn := func(i int) {
+		ar := a.data[i*k : (i+1)*k]
+		o := out.data[i*n : (i+1)*n]
+		for j := 0; j < n; j++ {
+			br := b.data[j*k : (j+1)*k]
+			s := 0.0
+			for p, av := range ar {
+				s += av * br[p]
+			}
+			o[j] = s
+		}
+	}
+	if m*n < parallelThreshold || m < 2 {
+		for i := 0; i < m; i++ {
+			rowFn(i)
+		}
+		return out
+	}
+	parallelRows(m, rowFn)
+	return out
+}
+
+// Transpose returns the transpose of a rank-2 tensor.
+func Transpose(a *Tensor) *Tensor {
+	if a.Rank() != 2 {
+		panic("tensor: Transpose requires a rank-2 tensor")
+	}
+	m, n := a.shape[0], a.shape[1]
+	out := New(n, m)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			out.data[j*m+i] = a.data[i*n+j]
+		}
+	}
+	return out
+}
+
+// parallelRows invokes fn(i) for i in [0,m) across GOMAXPROCS workers.
+func parallelRows(m int, fn func(i int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > m {
+		workers = m
+	}
+	var wg sync.WaitGroup
+	chunk := (m + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > m {
+			hi = m
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				fn(i)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// ParallelFor runs fn over [0,n) in parallel chunks. Exported for use by
+// layer implementations that parallelize across a batch.
+func ParallelFor(n int, fn func(i int)) {
+	if n <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	parallelRows(n, fn)
+}

@@ -1,0 +1,80 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+)
+
+// RNG wraps math/rand with the sampling primitives the Shredder pipeline
+// needs, most importantly the Laplace distribution used to initialize noise
+// tensors (paper §2.4). All randomness in the repository flows through
+// explicitly seeded RNGs so experiments are reproducible.
+type RNG struct {
+	src *rand.Rand
+}
+
+// NewRNG returns a deterministic generator for the given seed.
+func NewRNG(seed int64) *RNG {
+	return &RNG{src: rand.New(rand.NewSource(seed))}
+}
+
+// Float64 returns a uniform sample in [0,1).
+func (r *RNG) Float64() float64 { return r.src.Float64() }
+
+// Intn returns a uniform integer in [0,n).
+func (r *RNG) Intn(n int) int { return r.src.Intn(n) }
+
+// Int63 returns a non-negative 63-bit integer, used to derive child seeds.
+func (r *RNG) Int63() int64 { return r.src.Int63() }
+
+// Perm returns a random permutation of [0,n).
+func (r *RNG) Perm(n int) []int { return r.src.Perm(n) }
+
+// Uniform returns a sample from U[lo, hi).
+func (r *RNG) Uniform(lo, hi float64) float64 {
+	return lo + (hi-lo)*r.src.Float64()
+}
+
+// Normal returns a sample from N(mu, sigma²).
+func (r *RNG) Normal(mu, sigma float64) float64 {
+	return mu + sigma*r.src.NormFloat64()
+}
+
+// Laplace returns a sample from the Laplace distribution with location mu
+// and scale b, via inverse-CDF sampling: X = mu − b·sgn(u)·ln(1−2|u|) for
+// u ∈ (−½, ½).
+func (r *RNG) Laplace(mu, b float64) float64 {
+	u := r.src.Float64() - 0.5
+	if u >= 0 {
+		return mu - b*math.Log(1-2*u)
+	}
+	return mu + b*math.Log(1+2*u)
+}
+
+// FillUniform fills t with U[lo,hi) samples and returns it.
+func (r *RNG) FillUniform(t *Tensor, lo, hi float64) *Tensor {
+	for i := range t.data {
+		t.data[i] = r.Uniform(lo, hi)
+	}
+	return t
+}
+
+// FillNormal fills t with N(mu, sigma²) samples and returns it.
+func (r *RNG) FillNormal(t *Tensor, mu, sigma float64) *Tensor {
+	for i := range t.data {
+		t.data[i] = r.Normal(mu, sigma)
+	}
+	return t
+}
+
+// FillLaplace fills t with Laplace(mu, b) samples and returns it. This is
+// how Shredder initializes a noise tensor before training.
+func (r *RNG) FillLaplace(t *Tensor, mu, b float64) *Tensor {
+	for i := range t.data {
+		t.data[i] = r.Laplace(mu, b)
+	}
+	return t
+}
+
+// Shuffle permutes n items using the provided swap function.
+func (r *RNG) Shuffle(n int, swap func(i, j int)) { r.src.Shuffle(n, swap) }

@@ -1,0 +1,52 @@
+package tensor
+
+import (
+	"bytes"
+	"encoding/gob"
+	"testing"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	rng := NewRNG(21)
+	orig := rng.FillNormal(New(3, 4, 5), 0, 1)
+	var buf bytes.Buffer
+	if err := orig.Encode(&buf); err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	got, err := Decode(&buf)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if !Equal(orig, got) {
+		t.Fatal("round trip changed tensor")
+	}
+	if !ShapeEq(got.Shape(), []int{3, 4, 5}) {
+		t.Fatalf("round trip shape = %v", got.Shape())
+	}
+}
+
+func TestDecodeGarbageFails(t *testing.T) {
+	if _, err := Decode(bytes.NewReader([]byte{1, 2, 3})); err == nil {
+		t.Fatal("Decode of garbage should fail")
+	}
+}
+
+func TestGobEmbedding(t *testing.T) {
+	type msg struct {
+		Name string
+		Act  *Tensor
+	}
+	rng := NewRNG(22)
+	in := msg{Name: "activation", Act: rng.FillLaplace(New(2, 6), 0, 0.5)}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(in); err != nil {
+		t.Fatalf("gob encode: %v", err)
+	}
+	var out msg
+	if err := gob.NewDecoder(&buf).Decode(&out); err != nil {
+		t.Fatalf("gob decode: %v", err)
+	}
+	if out.Name != "activation" || !Equal(in.Act, out.Act) {
+		t.Fatal("gob embedding round trip failed")
+	}
+}

@@ -1,0 +1,379 @@
+// Package shredder is the public API of the Shredder reproduction: an
+// end-to-end pipeline that splits a pre-trained DNN between an edge device
+// and the cloud, learns additive noise distributions over the transmitted
+// activation (Mireshghallah et al., "Shredder: Learning Noise Distributions
+// to Protect Inference Privacy", ASPLOS 2020), and quantifies the privacy
+// gained as mutual-information loss.
+//
+// The typical flow:
+//
+//	sys, err := shredder.NewSystem("lenet", shredder.Config{Seed: 1})
+//	sys.LearnNoise(8)                     // train a collection of noise tensors
+//	rep := sys.Evaluate()                 // Table-1 style metrics
+//	label, _ := sys.Classify(pixels)      // private split inference
+//
+// For remote deployment, ServeCloud hosts the network's remote part over
+// TCP and ConnectEdge returns a client that sends only noisy activations.
+package shredder
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"shredder/internal/core"
+	"shredder/internal/mi"
+	"shredder/internal/model"
+	"shredder/internal/splitrt"
+	"shredder/internal/tensor"
+)
+
+// Config controls system construction.
+type Config struct {
+	// Cut names the cutting point ("conv2", ...); empty selects the
+	// network's default (its last convolution layer, as in the paper).
+	Cut string
+	// Seed makes the whole pipeline deterministic (default 1).
+	Seed int64
+	// TrainN, TestN, Epochs override the pre-training defaults when
+	// non-zero. Smaller values trade accuracy for speed.
+	TrainN, TestN, Epochs int
+	// WeightCacheDir, when set, caches pre-trained weights between runs.
+	WeightCacheDir string
+	// Progress, when non-nil, receives human-readable progress lines.
+	Progress io.Writer
+}
+
+// NoiseOptions override the benchmark's tuned noise hyperparameters; zero
+// fields keep the defaults.
+type NoiseOptions struct {
+	Scale          float64 // Laplace initialization scale b
+	Lambda         float64 // privacy knob λ of the loss CE − λΣ|n|
+	PrivacyTarget  float64 // in vivo (1/SNR) level at which λ decays
+	Epochs         float64 // noise-training length (fractional allowed)
+	SelfSupervised bool    // train against the model's own predictions
+}
+
+// Report carries the headline metrics of an evaluation — the quantities of
+// the paper's Table 1.
+type Report struct {
+	Network       string
+	Cut           string
+	BaselineAcc   float64 // accuracy without noise, fraction
+	NoisyAcc      float64 // accuracy with sampled noise, fraction
+	AccLossPct    float64 // percentage points
+	OriginalMI    float64 // I(x; a) in bits
+	ShreddedMI    float64 // I(x; a′) in bits
+	MILossPct     float64
+	InVivoPrivacy float64 // 1/SNR
+	NoiseParams   int     // trainable noise parameters
+	ModelParams   int     // frozen network parameters
+}
+
+// String renders the report as a compact human-readable block.
+func (r Report) String() string {
+	return fmt.Sprintf(
+		"%s (cut %s): accuracy %.2f%% → %.2f%% (−%.2f pts); MI %.2f → %.2f bits (−%.1f%%); "+
+			"1/SNR %.3f; noise params %d (%.2f%% of model)",
+		r.Network, r.Cut, 100*r.BaselineAcc, 100*r.NoisyAcc, r.AccLossPct,
+		r.OriginalMI, r.ShreddedMI, r.MILossPct, r.InVivoPrivacy,
+		r.NoiseParams, 100*float64(r.NoiseParams)/float64(r.ModelParams))
+}
+
+// System is a pre-trained benchmark network split at a cutting point, with
+// an optional learned noise collection.
+type System struct {
+	bench      model.Benchmark
+	pre        *model.Pretrained
+	split      *core.Split
+	cutName    string
+	cutLayer   string
+	collection *core.Collection
+	rng        *tensor.RNG
+	seed       int64
+}
+
+// Networks lists the available benchmark networks.
+func Networks() []string {
+	var out []string
+	for _, s := range model.All() {
+		out = append(out, s.Name)
+	}
+	return out
+}
+
+// NewSystem pre-trains (or loads from cache) the named benchmark network
+// on its synthetic dataset and splits it at the configured cutting point.
+func NewSystem(network string, cfg Config) (*System, error) {
+	bench, err := model.BenchmarkByName(network)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	tc := model.TrainConfig{
+		TrainN: cfg.TrainN, TestN: cfg.TestN, Epochs: cfg.Epochs,
+		Seed: cfg.Seed, Progress: cfg.Progress,
+	}
+	var pre *model.Pretrained
+	if cfg.WeightCacheDir != "" {
+		pre, err = model.TrainCached(bench.Spec, tc, cfg.WeightCacheDir)
+	} else {
+		pre, err = model.Train(bench.Spec, tc)
+	}
+	if err != nil {
+		return nil, err
+	}
+	cutName := cfg.Cut
+	if cutName == "" {
+		cutName = bench.Spec.DefaultCut
+	}
+	cutLayer, err := bench.Spec.CutLayer(cutName)
+	if err != nil {
+		return nil, err
+	}
+	split, err := core.NewSplit(pre.Net, cutLayer, bench.Spec.Dataset.SampleShape())
+	if err != nil {
+		return nil, err
+	}
+	return &System{
+		bench: bench, pre: pre, split: split,
+		cutName: cutName, cutLayer: cutLayer,
+		rng: tensor.NewRNG(cfg.Seed + 77), seed: cfg.Seed,
+	}, nil
+}
+
+// Network returns the benchmark network name.
+func (s *System) Network() string { return s.bench.Spec.Name }
+
+// Cut returns the active cutting point name.
+func (s *System) Cut() string { return s.cutName }
+
+// BaselineAccuracy returns the pre-trained network's test accuracy.
+func (s *System) BaselineAccuracy() float64 { return s.pre.TestAcc }
+
+// InputShape returns the per-sample [C,H,W] input shape.
+func (s *System) InputShape() []int { return s.bench.Spec.Dataset.SampleShape() }
+
+// Classes returns the number of output classes.
+func (s *System) Classes() int { return s.bench.Spec.Dataset.Classes() }
+
+// TestSample returns the pixels and label of test sample i, for demo and
+// example use.
+func (s *System) TestSample(i int) (pixels []float64, label int) {
+	img := s.pre.Test.Image(i)
+	out := make([]float64, img.Len())
+	copy(out, img.Data())
+	return out, s.pre.Test.Labels[i]
+}
+
+// TestSize returns the number of test samples.
+func (s *System) TestSize() int { return s.pre.Test.N() }
+
+// noiseConfig merges tuned defaults with user overrides.
+func (s *System) noiseConfig(opt NoiseOptions) core.NoiseConfig {
+	nc := core.NoiseConfig{
+		Mu:            s.bench.NoiseMu,
+		Scale:         s.bench.NoiseScale,
+		Lambda:        s.bench.Lambda,
+		PrivacyTarget: s.bench.PrivacyTarget,
+		LR:            s.bench.NoiseLR,
+		Epochs:        s.bench.NoiseEpochs,
+		Seed:          s.seed,
+	}
+	if opt.Scale != 0 {
+		nc.Scale = opt.Scale
+	}
+	if opt.Lambda != 0 {
+		nc.Lambda = opt.Lambda
+	}
+	if opt.PrivacyTarget != 0 {
+		nc.PrivacyTarget = opt.PrivacyTarget
+	}
+	if opt.Epochs != 0 {
+		nc.Epochs = opt.Epochs
+	}
+	nc.SelfSupervised = opt.SelfSupervised
+	return nc
+}
+
+// LearnNoise trains a collection of count noise tensors with the
+// network's tuned hyperparameters (paper §2.5's sampling set).
+func (s *System) LearnNoise(count int) { s.LearnNoiseWith(count, NoiseOptions{}) }
+
+// LearnNoiseWith is LearnNoise with hyperparameter overrides.
+func (s *System) LearnNoiseWith(count int, opt NoiseOptions) {
+	s.collection = core.Collect(s.split, s.pre.Train, s.noiseConfig(opt), count)
+}
+
+// HasNoise reports whether a collection has been learned or loaded.
+func (s *System) HasNoise() bool { return s.collection != nil && s.collection.Len() > 0 }
+
+// Evaluate measures accuracy and mutual information on the test set.
+// LearnNoise (or LoadNoise) must have been called.
+func (s *System) Evaluate() Report {
+	if !s.HasNoise() {
+		panic("shredder: Evaluate before LearnNoise/LoadNoise")
+	}
+	ev := core.Evaluate(s.split, s.pre.Test, s.collection, core.EvalConfig{
+		MI:   mi.Options{K: 3, MaxSamples: 256, Seed: s.seed},
+		Seed: s.seed,
+	})
+	noiseParams := 1
+	for _, d := range s.split.ActivationShape() {
+		noiseParams *= d
+	}
+	return Report{
+		Network:       s.Network(),
+		Cut:           s.cutName,
+		BaselineAcc:   ev.BaselineAcc,
+		NoisyAcc:      ev.NoisyAcc,
+		AccLossPct:    ev.AccLossPct,
+		OriginalMI:    ev.OrigMI,
+		ShreddedMI:    ev.ShreddedMI,
+		MILossPct:     ev.MILossPct,
+		InVivoPrivacy: ev.InVivo,
+		NoiseParams:   noiseParams,
+		ModelParams:   s.pre.Net.ParamCount(),
+	}
+}
+
+// toBatch wraps raw pixels as a single-sample batch after validating the
+// length against the input shape.
+func (s *System) toBatch(pixels []float64) (*tensor.Tensor, error) {
+	shape := s.InputShape()
+	if len(pixels) != tensor.Volume(shape) {
+		return nil, fmt.Errorf("shredder: got %d pixels, %s expects %d (%v)",
+			len(pixels), s.Network(), tensor.Volume(shape), shape)
+	}
+	buf := make([]float64, len(pixels))
+	copy(buf, pixels)
+	return tensor.From(buf, append([]int{1}, shape...)...), nil
+}
+
+// Classify performs private split inference on one image: local layers,
+// plus a noise tensor sampled from the learned collection, then the remote
+// layers. Pixels must be in the normalized domain of TestSample outputs.
+func (s *System) Classify(pixels []float64) (int, error) {
+	if !s.HasNoise() {
+		return 0, fmt.Errorf("shredder: Classify before LearnNoise/LoadNoise")
+	}
+	x, err := s.toBatch(pixels)
+	if err != nil {
+		return 0, err
+	}
+	a := s.split.Local(x)
+	a.Slice(0).AddInPlace(s.collection.Sample(s.rng))
+	logits := s.split.Remote(a, false)
+	return logits.Slice(0).Argmax(), nil
+}
+
+// ClassifyBaseline performs inference without noise (the original
+// execution the paper compares against).
+func (s *System) ClassifyBaseline(pixels []float64) (int, error) {
+	x, err := s.toBatch(pixels)
+	if err != nil {
+		return 0, err
+	}
+	return s.split.Forward(x).Slice(0).Argmax(), nil
+}
+
+// SaveNoise writes the learned collection to path.
+func (s *System) SaveNoise(path string) error {
+	if !s.HasNoise() {
+		return fmt.Errorf("shredder: no noise collection to save")
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return s.collection.Encode(f)
+}
+
+// LoadNoise reads a collection written by SaveNoise.
+func (s *System) LoadNoise(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	col, err := core.DecodeCollection(f)
+	if err != nil {
+		return err
+	}
+	if !tensor.ShapeEq(col.Shape, s.split.ActivationShape()) {
+		return fmt.Errorf("shredder: collection shape %v does not match cut activation %v",
+			col.Shape, s.split.ActivationShape())
+	}
+	s.collection = col
+	return nil
+}
+
+// SaveWeights writes the pre-trained network weights to path.
+func (s *System) SaveWeights(path string) error {
+	return saveWeights(s.pre, path)
+}
+
+// CloudHandle is a running cloud server hosting the remote part.
+type CloudHandle struct {
+	srv  *splitrt.CloudServer
+	Addr string
+}
+
+// Close shuts the server down.
+func (h *CloudHandle) Close() error { return h.srv.Close() }
+
+// ServeCloud starts a TCP server for the system's remote part on addr
+// (e.g. "127.0.0.1:0") and returns its handle with the bound address.
+func (s *System) ServeCloud(addr string) (*CloudHandle, error) {
+	srv := splitrt.NewCloudServer(s.split, s.cutLayer)
+	bound, err := srv.Serve(addr)
+	if err != nil {
+		return nil, err
+	}
+	return &CloudHandle{srv: srv, Addr: bound}, nil
+}
+
+// EdgeHandle is a connected edge client performing remote split inference.
+type EdgeHandle struct {
+	client *splitrt.EdgeClient
+	sys    *System
+}
+
+// ConnectEdge dials a cloud server and returns an edge client that sends
+// only noisy activations (raw activations when no noise is learned).
+func (s *System) ConnectEdge(addr string) (*EdgeHandle, error) {
+	client, err := splitrt.Dial(addr, s.split, s.cutLayer, s.collection, s.seed+99)
+	if err != nil {
+		return nil, err
+	}
+	return &EdgeHandle{client: client, sys: s}, nil
+}
+
+// SetWireQuantization switches the edge→cloud transport to linear
+// quantization at the given bit width (0 = dense float). 8 bits cuts the
+// wire volume several-fold with negligible accuracy impact.
+func (h *EdgeHandle) SetWireQuantization(bits int) error {
+	return h.client.SetWireQuantization(bits)
+}
+
+// BytesSent returns the cumulative bytes the edge has sent to the cloud.
+func (h *EdgeHandle) BytesSent() int64 { return h.client.Stats().BytesSent }
+
+// Classify runs one image through the remote pipeline.
+func (h *EdgeHandle) Classify(pixels []float64) (int, error) {
+	x, err := h.sys.toBatch(pixels)
+	if err != nil {
+		return 0, err
+	}
+	preds, err := h.client.Classify(x)
+	if err != nil {
+		return 0, err
+	}
+	return preds[0], nil
+}
+
+// Close terminates the client connection.
+func (h *EdgeHandle) Close() error { return h.client.Close() }

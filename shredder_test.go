@@ -1,0 +1,309 @@
+package shredder
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// tinySystem builds a fast LeNet system for API tests.
+func tinySystem(t *testing.T) *System {
+	t.Helper()
+	sys, err := NewSystem("lenet", Config{Seed: 3, TrainN: 400, TestN: 120, Epochs: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func TestNetworksList(t *testing.T) {
+	nets := Networks()
+	if len(nets) != 4 {
+		t.Fatalf("Networks() = %v", nets)
+	}
+	want := map[string]bool{"lenet": true, "cifar": true, "svhn": true, "alexnet": true}
+	for _, n := range nets {
+		if !want[n] {
+			t.Fatalf("unexpected network %q", n)
+		}
+	}
+}
+
+func TestNewSystemUnknownNetwork(t *testing.T) {
+	if _, err := NewSystem("resnet", Config{}); err == nil {
+		t.Fatal("expected error for unknown network")
+	}
+}
+
+func TestNewSystemBadCut(t *testing.T) {
+	if _, err := NewSystem("lenet", Config{Cut: "conv9", TrainN: 50, TestN: 20, Epochs: 1}); err == nil {
+		t.Fatal("expected error for unknown cut")
+	}
+}
+
+func TestSystemBasics(t *testing.T) {
+	sys := tinySystem(t)
+	if sys.Network() != "lenet" || sys.Cut() != "conv2" {
+		t.Fatalf("network %s cut %s", sys.Network(), sys.Cut())
+	}
+	if sys.Classes() != 10 {
+		t.Fatalf("classes %d", sys.Classes())
+	}
+	if got := sys.InputShape(); got[0] != 1 || got[1] != 28 {
+		t.Fatalf("input shape %v", got)
+	}
+	if sys.BaselineAccuracy() < 0.4 {
+		t.Fatalf("baseline accuracy %v", sys.BaselineAccuracy())
+	}
+	if sys.TestSize() != 120 {
+		t.Fatalf("test size %d", sys.TestSize())
+	}
+	if sys.HasNoise() {
+		t.Fatal("fresh system should have no noise")
+	}
+}
+
+func TestClassifyLifecycle(t *testing.T) {
+	sys := tinySystem(t)
+	pixels, _ := sys.TestSample(0)
+
+	// Before noise: Classify errors, baseline works.
+	if _, err := sys.Classify(pixels); err == nil {
+		t.Fatal("Classify should fail before LearnNoise")
+	}
+	if _, err := sys.ClassifyBaseline(pixels); err != nil {
+		t.Fatal(err)
+	}
+
+	sys.LearnNoiseWith(3, NoiseOptions{Scale: 2, Lambda: 0.01, PrivacyTarget: 4, Epochs: 5})
+	if !sys.HasNoise() {
+		t.Fatal("HasNoise false after LearnNoise")
+	}
+	if _, err := sys.Classify(pixels); err != nil {
+		t.Fatal(err)
+	}
+	// Wrong pixel count must error.
+	if _, err := sys.Classify(pixels[:10]); err == nil {
+		t.Fatal("expected error for wrong pixel count")
+	}
+
+	// Noisy classification should still match labels most of the time.
+	correct := 0
+	n := 40
+	for i := 0; i < n; i++ {
+		px, y := sys.TestSample(i)
+		got, err := sys.Classify(px)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got == y {
+			correct++
+		}
+	}
+	if correct < n/4 {
+		t.Fatalf("noisy accuracy %d/%d collapsed", correct, n)
+	}
+}
+
+func TestEvaluateReport(t *testing.T) {
+	sys := tinySystem(t)
+	sys.LearnNoiseWith(4, NoiseOptions{Scale: 2, Lambda: 0.01, PrivacyTarget: 4, Epochs: 3})
+	rep := sys.Evaluate()
+	if rep.Network != "lenet" || rep.Cut != "conv2" {
+		t.Fatalf("report identity %+v", rep)
+	}
+	if rep.ShreddedMI >= rep.OriginalMI {
+		t.Fatalf("MI did not drop: %v → %v", rep.OriginalMI, rep.ShreddedMI)
+	}
+	if rep.NoiseParams <= 0 || rep.NoiseParams >= rep.ModelParams {
+		t.Fatalf("params: noise %d model %d", rep.NoiseParams, rep.ModelParams)
+	}
+	s := rep.String()
+	for _, want := range []string{"lenet", "MI", "noise params"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("report string missing %q: %s", want, s)
+		}
+	}
+}
+
+func TestEvaluateWithoutNoisePanics(t *testing.T) {
+	sys := tinySystem(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	sys.Evaluate()
+}
+
+func TestSaveLoadNoise(t *testing.T) {
+	sys := tinySystem(t)
+	sys.LearnNoiseWith(2, NoiseOptions{Epochs: 0.5})
+	dir := t.TempDir()
+	path := filepath.Join(dir, "noise.gob")
+	if err := sys.SaveNoise(path); err != nil {
+		t.Fatal(err)
+	}
+
+	other := tinySystem(t)
+	if err := other.LoadNoise(path); err != nil {
+		t.Fatal(err)
+	}
+	if !other.HasNoise() {
+		t.Fatal("LoadNoise did not install collection")
+	}
+	px, _ := other.TestSample(0)
+	if _, err := other.Classify(px); err != nil {
+		t.Fatal(err)
+	}
+
+	// Loading into a mismatched cut must fail.
+	shallow, err := NewSystem("lenet", Config{Cut: "conv0", Seed: 3, TrainN: 100, TestN: 30, Epochs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := shallow.LoadNoise(path); err == nil {
+		t.Fatal("LoadNoise should reject mismatched activation shape")
+	}
+}
+
+func TestSaveNoiseWithoutCollection(t *testing.T) {
+	sys := tinySystem(t)
+	if err := sys.SaveNoise(filepath.Join(t.TempDir(), "x.gob")); err == nil {
+		t.Fatal("SaveNoise should fail with no collection")
+	}
+}
+
+func TestCloudEdgeRoundTrip(t *testing.T) {
+	sys := tinySystem(t)
+	sys.LearnNoiseWith(3, NoiseOptions{Scale: 2, Lambda: 0.01, PrivacyTarget: 4, Epochs: 5})
+	cloud, err := sys.ServeCloud("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cloud.Close()
+	edge, err := sys.ConnectEdge(cloud.Addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer edge.Close()
+
+	correct, n := 0, 30
+	for i := 0; i < n; i++ {
+		px, y := sys.TestSample(i)
+		got, err := edge.Classify(px)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got == y {
+			correct++
+		}
+	}
+	if correct < n/4 {
+		t.Fatalf("remote noisy accuracy %d/%d collapsed", correct, n)
+	}
+}
+
+func TestWeightCache(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{Seed: 5, TrainN: 150, TestN: 40, Epochs: 1, WeightCacheDir: dir}
+	a, err := NewSystem("lenet", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewSystem("lenet", cfg) // cache hit
+	if err != nil {
+		t.Fatal(err)
+	}
+	px, _ := a.TestSample(0)
+	la, _ := a.ClassifyBaseline(px)
+	lb, _ := b.ClassifyBaseline(px)
+	if la != lb {
+		t.Fatal("cached system disagrees with trained system")
+	}
+	if err := a.SaveWeights(filepath.Join(dir, "w.gob")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAttackResistance(t *testing.T) {
+	sys, err := NewSystem("lenet", Config{Cut: "conv0", Seed: 3, TrainN: 300, TestN: 60, Epochs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.AttackResistance(1, 50); err == nil {
+		t.Fatal("AttackResistance should fail before LearnNoise")
+	}
+	sys.LearnNoiseWith(3, NoiseOptions{Scale: 2, Lambda: 0.01, PrivacyTarget: 4, Epochs: 2})
+	rep, err := sys.AttackResistance(2, 150)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ShreddedMSE <= rep.CleanMSE {
+		t.Fatalf("noise should degrade inversion: %+v", rep)
+	}
+	if rep.Ratio <= 1 {
+		t.Fatalf("ratio %v should exceed 1", rep.Ratio)
+	}
+	if !strings.Contains(rep.String(), "inversion attack") {
+		t.Fatal("report string malformed")
+	}
+}
+
+func TestGalleryAttackFacade(t *testing.T) {
+	sys, err := NewSystem("lenet", Config{Cut: "conv0", Seed: 3, TrainN: 300, TestN: 60, Epochs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.GalleryAttack(5); err == nil {
+		t.Fatal("GalleryAttack should fail before LearnNoise")
+	}
+	sys.LearnNoiseWith(3, NoiseOptions{Scale: 3, Lambda: 0.01, PrivacyTarget: 6, Epochs: 2})
+	rep, err := sys.GalleryAttack(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.CleanTop1 != 1 {
+		t.Fatalf("clean identification should be perfect, got %v", rep.CleanTop1)
+	}
+	// Accuracy-preserving noise does not necessarily defeat coarse
+	// identification over a small gallery; it must just never help it.
+	if rep.NoisyTop1 > rep.CleanTop1 {
+		t.Fatalf("noise should not improve identification: %+v", rep)
+	}
+	if !strings.Contains(rep.String(), "gallery attack") {
+		t.Fatal("report string malformed")
+	}
+}
+
+func TestEdgeQuantizedTransportFacade(t *testing.T) {
+	sys := tinySystem(t)
+	cloud, err := sys.ServeCloud("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cloud.Close()
+	edge, err := sys.ConnectEdge(cloud.Addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer edge.Close()
+	if err := edge.SetWireQuantization(8); err != nil {
+		t.Fatal(err)
+	}
+	px, _ := sys.TestSample(0)
+	qPred, err := edge.Classify(px)
+	if err != nil {
+		t.Fatal(err)
+	}
+	basePred, err := sys.ClassifyBaseline(px)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qPred != basePred {
+		t.Fatalf("8-bit transport changed the prediction: %d vs %d", qPred, basePred)
+	}
+	if edge.BytesSent() <= 0 {
+		t.Fatal("byte counter did not advance")
+	}
+}

@@ -1,0 +1,11 @@
+package shredder
+
+import (
+	"shredder/internal/model"
+	"shredder/internal/nn"
+)
+
+// saveWeights persists a pre-trained network checkpoint.
+func saveWeights(pre *model.Pretrained, path string) error {
+	return nn.SaveFile(pre.Net, path)
+}
