@@ -1,0 +1,26 @@
+GO ?= go
+
+.PHONY: ci fmt vet build test race bench
+
+## ci: the full gate — formatting, vet, build, tests, and the race suite
+## over the concurrency-sensitive packages. Run before every push.
+ci: fmt vet build test race
+
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/splitrt/... ./internal/tensor/... ./internal/nn/...
+
+bench:
+	$(GO) test -run '^$$' -bench BenchmarkCloudServerThroughput -benchtime 200x .

@@ -9,6 +9,7 @@
 package shredder
 
 import (
+	"fmt"
 	"os"
 	"path/filepath"
 	"sync"
@@ -23,6 +24,7 @@ import (
 	"shredder/internal/model"
 	"shredder/internal/nn"
 	"shredder/internal/quantize"
+	"shredder/internal/splitrt"
 	"shredder/internal/tensor"
 )
 
@@ -358,6 +360,69 @@ func BenchmarkEndToEndPrivateInference(b *testing.B) {
 		a := spl.Local(batch.Images)
 		a.Slice(0).AddInPlace(col.Sample(rng))
 		spl.Remote(a, false)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Split-runtime throughput: N concurrent edge clients hammering one cloud
+// server over loopback TCP. The "locked" variant reproduces the seed
+// behaviour (one global inference at a time via WithSerializedInference);
+// the "concurrent" variant is the reentrant forward path with no inference
+// lock. On a multi-core host the concurrent server's ops/sec scales with
+// cores while the locked one stays flat; on a single core they converge.
+// ---------------------------------------------------------------------------
+
+func benchServerThroughput(b *testing.B, clients int, opts ...splitrt.ServerOption) {
+	pre, spl := lenetSplit(b)
+	layer, err := pre.Spec.CutLayer("conv2")
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv := splitrt.NewCloudServer(spl, layer, opts...)
+	addr, err := srv.Serve("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	batch := pre.Test.Batches(1)[0]
+	cs := make([]*splitrt.EdgeClient, clients)
+	for i := range cs {
+		c, err := splitrt.Dial(addr, spl, layer, nil, int64(i+1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer c.Close()
+		cs[i] = c
+	}
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	for i, c := range cs {
+		n := b.N / clients
+		if i < b.N%clients {
+			n++
+		}
+		wg.Add(1)
+		go func(c *splitrt.EdgeClient, n int) {
+			defer wg.Done()
+			for j := 0; j < n; j++ {
+				if _, err := c.Infer(batch.Images); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}(c, n)
+	}
+	wg.Wait()
+}
+
+func BenchmarkCloudServerThroughput(b *testing.B) {
+	for _, clients := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("locked/clients=%d", clients), func(b *testing.B) {
+			benchServerThroughput(b, clients, splitrt.WithSerializedInference())
+		})
+		b.Run(fmt.Sprintf("concurrent/clients=%d", clients), func(b *testing.B) {
+			benchServerThroughput(b, clients)
+		})
 	}
 }
 

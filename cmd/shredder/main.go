@@ -23,8 +23,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"shredder"
+	"shredder/internal/splitrt"
 )
 
 func main() {
@@ -177,12 +179,18 @@ func cmdServe(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	c := registerCommon(fs)
 	addr := fs.String("addr", "127.0.0.1:7777", "listen address")
+	idle := fs.Duration("idle-timeout", 5*time.Minute, "drop connections idle longer than this (0 = never)")
+	write := fs.Duration("write-timeout", 30*time.Second, "per-response write deadline (0 = none)")
+	handler := fs.Duration("handler-timeout", time.Minute, "per-request inference bound (0 = none)")
 	fs.Parse(args)
 	sys, err := c.system()
 	if err != nil {
 		return err
 	}
-	cloud, err := sys.ServeCloud(*addr)
+	cloud, err := sys.ServeCloud(*addr,
+		splitrt.WithIdleTimeout(*idle),
+		splitrt.WithWriteTimeout(*write),
+		splitrt.WithHandlerTimeout(*handler))
 	if err != nil {
 		return err
 	}
@@ -196,6 +204,8 @@ func cmdInfer(args []string) error {
 	addr := fs.String("addr", "127.0.0.1:7777", "cloud server address")
 	noise := fs.String("noise", "", "noise collection file (empty = send raw activations)")
 	n := fs.Int("n", 16, "number of test samples to classify")
+	timeout := fs.Duration("timeout", 30*time.Second, "per-request round-trip deadline (0 = none)")
+	retries := fs.Int("retries", 3, "reconnect attempts on a broken connection")
 	fs.Parse(args)
 	sys, err := c.system()
 	if err != nil {
@@ -206,7 +216,9 @@ func cmdInfer(args []string) error {
 			return err
 		}
 	}
-	edge, err := sys.ConnectEdge(*addr)
+	edge, err := sys.ConnectEdge(*addr,
+		splitrt.WithTimeout(*timeout),
+		splitrt.WithReconnect(*retries, 100*time.Millisecond))
 	if err != nil {
 		return err
 	}

@@ -48,15 +48,25 @@ func (s *Split) ActivationShape() []int {
 }
 
 // Local computes a = L(x) for a batch. The local part never needs
-// gradients in Shredder, so it always runs in inference mode.
+// gradients in Shredder, so it runs on the reentrant inference path and is
+// safe to call from many goroutines sharing one Split.
 func (s *Split) Local(x *tensor.Tensor) *tensor.Tensor {
-	return s.Net.ForwardRange(x, 0, s.CutIndex+1, false)
+	return s.Net.InferRange(x, 0, s.CutIndex+1)
 }
 
 // Remote computes y = R(a') for a batch of (possibly noisy) activations.
 // train selects training-mode behaviour (needed before RemoteBackward).
+// Forward passes — even with train=false — cache state on the layers, so
+// Remote is NOT reentrant; concurrent servers must use RemoteInfer.
 func (s *Split) Remote(a *tensor.Tensor, train bool) *tensor.Tensor {
 	return s.Net.ForwardRange(a, s.CutIndex+1, s.Net.Len(), train)
+}
+
+// RemoteInfer computes y = R(a') on the reentrant inference path: no layer
+// state is touched, so any number of goroutines may serve remote inference
+// over one shared Split concurrently. This is the path CloudServer uses.
+func (s *Split) RemoteInfer(a *tensor.Tensor) *tensor.Tensor {
+	return s.Net.InferRange(a, s.CutIndex+1, s.Net.Len())
 }
 
 // RemoteBackward backpropagates an output gradient through R and returns
@@ -68,6 +78,7 @@ func (s *Split) RemoteBackward(grad *tensor.Tensor) *tensor.Tensor {
 }
 
 // Forward runs the entire intact network (no noise) — the baseline path.
+// It uses the reentrant inference path and is safe for concurrent use.
 func (s *Split) Forward(x *tensor.Tensor) *tensor.Tensor {
-	return s.Net.Forward(x, false)
+	return s.Net.Infer(x)
 }

@@ -43,6 +43,19 @@ func (r *ReLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	return out
 }
 
+// Infer implements Layer: max(0, x) with no mask cache. Safe for
+// concurrent use.
+func (r *ReLU) Infer(x *tensor.Tensor) *tensor.Tensor {
+	out := tensor.New(x.Shape()...)
+	xd, od := x.Data(), out.Data()
+	for i, v := range xd {
+		if v > 0 {
+			od[i] = v
+		}
+	}
+	return out
+}
+
 // Backward implements Layer.
 func (r *ReLU) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	if r.mask == nil {
@@ -84,6 +97,12 @@ func (f *Flatten) OutShape(in []int) []int { return []int{tensor.Volume(in)} }
 func (f *Flatten) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	checkBatched(f.name, x)
 	f.lastShape = append([]int(nil), x.Shape()...)
+	return x.Reshape(x.Dim(0), -1)
+}
+
+// Infer implements Layer: a stateless reshape. Safe for concurrent use.
+func (f *Flatten) Infer(x *tensor.Tensor) *tensor.Tensor {
+	checkBatched(f.name, x)
 	return x.Reshape(x.Dim(0), -1)
 }
 
@@ -144,6 +163,10 @@ func (d *Dropout) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	}
 	return out
 }
+
+// Infer implements Layer: dropout is the identity at inference. Safe for
+// concurrent use.
+func (d *Dropout) Infer(x *tensor.Tensor) *tensor.Tensor { return x }
 
 // Backward implements Layer.
 func (d *Dropout) Backward(grad *tensor.Tensor) *tensor.Tensor {

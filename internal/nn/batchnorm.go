@@ -77,18 +77,8 @@ func (bn *BatchNorm2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	gd, bd := bn.Gamma.Value.Data(), bn.Beta.Value.Data()
 
 	if !train {
-		for c := 0; c < bn.C; c++ {
-			inv := 1 / math.Sqrt(bn.runningVar[c]+bn.Eps)
-			mean := bn.runningMean[c]
-			g, b := gd[c], bd[c]
-			for i := 0; i < n; i++ {
-				base := (i*bn.C + c) * hw
-				for p := 0; p < hw; p++ {
-					od[base+p] = g*(xd[base+p]-mean)*inv + b
-				}
-			}
-		}
 		bn.lastXHat = nil
+		bn.normalizeRunning(xd, od, n, hw)
 		return out
 	}
 
@@ -130,6 +120,36 @@ func (bn *BatchNorm2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 		bn.runningVar[c] = (1-bn.Momentum)*bn.runningVar[c] + bn.Momentum*variance
 	}
 	return out
+}
+
+// Infer implements Layer: normalization by the frozen running statistics,
+// with no cache writes. Safe for concurrent use provided no training-mode
+// Forward runs concurrently (training updates the running stats).
+func (bn *BatchNorm2D) Infer(x *tensor.Tensor) *tensor.Tensor {
+	checkBatched(bn.name, x)
+	if x.Rank() != 4 || x.Dim(1) != bn.C {
+		panic(fmt.Sprintf("nn: %s expects [N,%d,H,W], got %v", bn.name, bn.C, x.Shape()))
+	}
+	out := tensor.New(x.Shape()...)
+	bn.normalizeRunning(x.Data(), out.Data(), x.Dim(0), x.Dim(2)*x.Dim(3))
+	return out
+}
+
+// normalizeRunning applies the running-statistics affine normalization,
+// reading only immutable-at-inference layer state.
+func (bn *BatchNorm2D) normalizeRunning(xd, od []float64, n, hw int) {
+	gd, bd := bn.Gamma.Value.Data(), bn.Beta.Value.Data()
+	for c := 0; c < bn.C; c++ {
+		inv := 1 / math.Sqrt(bn.runningVar[c]+bn.Eps)
+		mean := bn.runningMean[c]
+		g, b := gd[c], bd[c]
+		for i := 0; i < n; i++ {
+			base := (i*bn.C + c) * hw
+			for p := 0; p < hw; p++ {
+				od[base+p] = g*(xd[base+p]-mean)*inv + b
+			}
+		}
+	}
 }
 
 // Backward implements Layer.

@@ -10,16 +10,15 @@ import (
 // matrix multiplication via im2col. Weights have shape
 // [OutC, InC*KH*KW] and biases [OutC].
 type Conv2D struct {
-	name         string
-	InC, OutC    int
-	KH, KW       int
-	Stride, Pad  int
-	W, B         *Param
-	lastIn       *tensor.Tensor // cached input batch for backward
-	lastGeom     tensor.ConvGeom
-	lastOutH     int
-	lastOutW     int
-	forwardCalls int
+	name        string
+	InC, OutC   int
+	KH, KW      int
+	Stride, Pad int
+	W, B        *Param
+	lastIn      *tensor.Tensor // cached input batch for backward
+	lastGeom    tensor.ConvGeom
+	lastOutH    int
+	lastOutW    int
 }
 
 // NewConv2D constructs a convolution layer with He-initialized weights.
@@ -60,18 +59,35 @@ func (c *Conv2D) geom(in []int) tensor.ConvGeom {
 // Forward implements Layer. The batch is processed sample-parallel.
 func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	checkBatched(c.name, x)
-	n := x.Dim(0)
 	g := c.geom(x.Shape()[1:])
-	outH, outW := g.OutH(), g.OutW()
-	c.lastGeom, c.lastOutH, c.lastOutW = g, outH, outW
+	c.lastGeom, c.lastOutH, c.lastOutW = g, g.OutH(), g.OutW()
 	c.lastIn = x
-	c.forwardCalls++
+	return c.compute(x, g)
+}
+
+// Infer implements Layer: the same lowering as Forward with no state
+// writes, drawing the per-sample column and product matrices from the
+// tensor scratch pool so concurrent inference does not scale allocations
+// with request rate.
+func (c *Conv2D) Infer(x *tensor.Tensor) *tensor.Tensor {
+	checkBatched(c.name, x)
+	return c.compute(x, c.geom(x.Shape()[1:]))
+}
+
+// compute runs the im2col-lowered convolution over a batch. It reads only
+// the layer's parameters, never its cached state.
+func (c *Conv2D) compute(x *tensor.Tensor, g tensor.ConvGeom) *tensor.Tensor {
+	n := x.Dim(0)
+	outH, outW := g.OutH(), g.OutW()
 	out := tensor.New(n, c.OutC, outH, outW)
 	p := outH * outW
+	ckk := c.InC * c.KH * c.KW
 	tensor.ParallelFor(n, func(i int) {
-		cols := tensor.Im2Col(x.Slice(i), g)     // [P, CKK]
-		prod := tensor.MatMulT2(cols, c.W.Value) // [P, OutC]
-		dst := out.Slice(i).Data()               // [OutC, P] layout
+		cols := tensor.GetScratch(p, ckk) // [P, CKK]
+		prod := tensor.GetScratch(p, c.OutC)
+		tensor.Im2ColInto(cols, x.Slice(i), g)
+		tensor.MatMulT2Into(prod, cols, c.W.Value) // [P, OutC]
+		dst := out.Slice(i).Data()                 // [OutC, P] layout
 		bias := c.B.Value.Data()
 		pd := prod.Data()
 		for pos := 0; pos < p; pos++ {
@@ -80,6 +96,8 @@ func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 				dst[oc*p+pos] = row[oc] + bias[oc]
 			}
 		}
+		tensor.PutScratch(prod)
+		tensor.PutScratch(cols)
 	})
 	return out
 }
@@ -98,7 +116,6 @@ func (c *Conv2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
 		panic(fmt.Sprintf("nn: %s backward grad shape %v does not match forward output", c.name, grad.Shape()))
 	}
 	dx := tensor.New(x.Shape()...)
-	ckk := c.InC * c.KH * c.KW
 
 	// Per-sample weight/bias gradients are accumulated into private buffers
 	// and reduced at the end so the batch loop can run in parallel without
@@ -134,7 +151,6 @@ func (c *Conv2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
 		c.W.Grad.AddInPlace(dWs[i])
 		c.B.Grad.AddInPlace(dBs[i])
 	}
-	_ = ckk
 	return dx
 }
 

@@ -44,12 +44,21 @@ func (p *Param) ZeroGrad() { p.Grad.Zero() }
 // most recent Forward and returns ∂loss/∂input, accumulating parameter
 // gradients as a side effect. Calling Backward without a preceding Forward
 // is a programming error and panics.
+//
+// Infer is the reentrant forward pass: it computes exactly what
+// Forward(x, false) computes but touches no layer state, so any number of
+// goroutines may call Infer on a shared layer concurrently. Forward — even
+// in inference mode — caches buffers on the layer struct and is therefore
+// NOT safe for concurrent use; serving paths must use Infer.
 type Layer interface {
 	// Name identifies the layer within a model (e.g. "conv2"); cutting
 	// points are addressed by layer name.
 	Name() string
 	// Forward computes the layer output for a batch.
 	Forward(x *tensor.Tensor, train bool) *tensor.Tensor
+	// Infer computes the inference-mode output for a batch without
+	// mutating any layer state. Safe for concurrent use.
+	Infer(x *tensor.Tensor) *tensor.Tensor
 	// Backward computes the input gradient for the last Forward batch and
 	// accumulates parameter gradients.
 	Backward(grad *tensor.Tensor) *tensor.Tensor

@@ -41,12 +41,27 @@ func (l *Linear) OutShape(in []int) []int {
 // Forward implements Layer: y = x·Wᵀ + b.
 func (l *Linear) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	checkBatched(l.name, x)
-	n := x.Dim(0)
-	x2 := x.Reshape(n, -1)
+	x2 := x.Reshape(x.Dim(0), -1)
 	if x2.Dim(1) != l.In {
 		panic(fmt.Sprintf("nn: %s expects %d inputs, got %d", l.name, l.In, x2.Dim(1)))
 	}
 	l.lastIn = x2
+	return l.compute(x2)
+}
+
+// Infer implements Layer: Forward without the backward cache. Safe for
+// concurrent use.
+func (l *Linear) Infer(x *tensor.Tensor) *tensor.Tensor {
+	checkBatched(l.name, x)
+	x2 := x.Reshape(x.Dim(0), -1)
+	if x2.Dim(1) != l.In {
+		panic(fmt.Sprintf("nn: %s expects %d inputs, got %d", l.name, l.In, x2.Dim(1)))
+	}
+	return l.compute(x2)
+}
+
+func (l *Linear) compute(x2 *tensor.Tensor) *tensor.Tensor {
+	n := x2.Dim(0)
 	out := tensor.MatMulT2(x2, l.W.Value) // [N, Out]
 	od := out.Data()
 	bd := l.B.Value.Data()

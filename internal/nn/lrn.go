@@ -91,6 +91,36 @@ func (l *LocalResponseNorm) Forward(x *tensor.Tensor, train bool) *tensor.Tensor
 	return out
 }
 
+// Infer implements Layer: the same normalization as Forward with the
+// denominator computed locally instead of cached. Safe for concurrent use.
+func (l *LocalResponseNorm) Infer(x *tensor.Tensor) *tensor.Tensor {
+	checkBatched(l.name, x)
+	if x.Rank() != 4 {
+		panic("nn: LRN expects [N,C,H,W] input")
+	}
+	n, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+	hw := h * w
+	out := tensor.New(x.Shape()...)
+	xd, od := x.Data(), out.Data()
+	coef := l.Alpha / float64(l.N)
+	tensor.ParallelFor(n, func(i int) {
+		base := i * c * hw
+		for ch := 0; ch < c; ch++ {
+			lo, hi := l.window(ch, c)
+			for p := 0; p < hw; p++ {
+				sum := 0.0
+				for j := lo; j < hi; j++ {
+					v := xd[base+j*hw+p]
+					sum += v * v
+				}
+				idx := base + ch*hw + p
+				od[idx] = xd[idx] * math.Pow(l.K+coef*sum, -l.Beta)
+			}
+		}
+	})
+	return out
+}
+
 // Backward implements Layer.
 func (l *LocalResponseNorm) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	if l.lastIn == nil {

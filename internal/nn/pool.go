@@ -46,23 +46,37 @@ func (m *MaxPool2D) OutShape(in []int) []int {
 // Forward implements Layer.
 func (m *MaxPool2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	checkBatched(m.name, x)
-	n, c := x.Dim(0), x.Dim(1)
-	h, w := x.Dim(2), x.Dim(3)
-	os := m.OutShape([]int{c, h, w})
+	os := m.OutShape(x.Shape()[1:])
 	oh, ow := os[1], os[2]
 	m.lastShape = append([]int(nil), x.Shape()...)
 	m.lastOutDims = [2]int{oh, ow}
-	out := tensor.New(n, c, oh, ow)
-	if cap(m.lastArgmax) < out.Len() {
-		m.lastArgmax = make([]int, out.Len())
+	vol := x.Dim(0) * x.Dim(1) * oh * ow
+	if cap(m.lastArgmax) < vol {
+		m.lastArgmax = make([]int, vol)
 	}
-	m.lastArgmax = m.lastArgmax[:out.Len()]
+	m.lastArgmax = m.lastArgmax[:vol]
+	return m.compute(x, oh, ow, m.lastArgmax)
+}
+
+// Infer implements Layer: max pooling with no argmax cache. Safe for
+// concurrent use.
+func (m *MaxPool2D) Infer(x *tensor.Tensor) *tensor.Tensor {
+	checkBatched(m.name, x)
+	os := m.OutShape(x.Shape()[1:])
+	return m.compute(x, os[1], os[2], nil)
+}
+
+// compute runs the window sweep; when argmax is non-nil it records the flat
+// input index of each output's maximum for Backward.
+func (m *MaxPool2D) compute(x *tensor.Tensor, oh, ow int, argmax []int) *tensor.Tensor {
+	n, c := x.Dim(0), x.Dim(1)
+	h, w := x.Dim(2), x.Dim(3)
+	out := tensor.New(n, c, oh, ow)
 	xd, od := x.Data(), out.Data()
 	tensor.ParallelFor(n, func(i int) {
 		for ch := 0; ch < c; ch++ {
 			in := xd[(i*c+ch)*h*w:]
 			outPlane := od[(i*c+ch)*oh*ow:]
-			argPlane := m.lastArgmax[(i*c+ch)*oh*ow:]
 			for oy := 0; oy < oh; oy++ {
 				for ox := 0; ox < ow; ox++ {
 					y0, x0 := oy*m.Stride, ox*m.Stride
@@ -77,7 +91,9 @@ func (m *MaxPool2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 						}
 					}
 					outPlane[oy*ow+ox] = best
-					argPlane[oy*ow+ox] = (i*c+ch)*h*w + bi
+					if argmax != nil {
+						argmax[(i*c+ch)*oh*ow+oy*ow+ox] = (i*c+ch)*h*w + bi
+					}
 				}
 			}
 		}
@@ -137,12 +153,18 @@ func (a *AvgPool2D) OutShape(in []int) []int {
 
 // Forward implements Layer.
 func (a *AvgPool2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	a.lastShape = append([]int(nil), x.Shape()...)
+	return a.Infer(x)
+}
+
+// Infer implements Layer: average pooling reads no layer state beyond the
+// immutable window geometry. Safe for concurrent use.
+func (a *AvgPool2D) Infer(x *tensor.Tensor) *tensor.Tensor {
 	checkBatched(a.name, x)
 	n, c := x.Dim(0), x.Dim(1)
 	h, w := x.Dim(2), x.Dim(3)
 	os := a.OutShape([]int{c, h, w})
 	oh, ow := os[1], os[2]
-	a.lastShape = append([]int(nil), x.Shape()...)
 	out := tensor.New(n, c, oh, ow)
 	inv := 1 / float64(a.K*a.K)
 	xd, od := x.Data(), out.Data()

@@ -88,6 +88,26 @@ func (s *Sequential) ForwardRange(x *tensor.Tensor, from, to int, train bool) *t
 	return x
 }
 
+// Infer runs the full network in inference mode without mutating any layer
+// state. Unlike Forward(x, false), it is safe for any number of goroutines
+// to call concurrently on a shared network.
+func (s *Sequential) Infer(x *tensor.Tensor) *tensor.Tensor {
+	return s.InferRange(x, 0, len(s.layers))
+}
+
+// InferRange runs layers [from, to) in inference mode via the reentrant
+// Infer path. It is how a concurrent split-inference server executes the
+// remote part R for many connections in parallel over one shared network.
+func (s *Sequential) InferRange(x *tensor.Tensor, from, to int) *tensor.Tensor {
+	if from < 0 || to > len(s.layers) || from > to {
+		panic(fmt.Sprintf("nn: InferRange [%d,%d) out of bounds for %d layers", from, to, len(s.layers)))
+	}
+	for _, l := range s.layers[from:to] {
+		x = l.Infer(x)
+	}
+	return x
+}
+
 // Backward propagates the output gradient through the whole network and
 // returns the input gradient.
 func (s *Sequential) Backward(grad *tensor.Tensor) *tensor.Tensor {

@@ -97,6 +97,84 @@ func (s Scheme) WireBytes(n int) int64 {
 	return int64((n*s.Bits + 7) / 8)
 }
 
+// Pack tightens level indices to bits bits each in little-endian bit order,
+// producing the WireBytes-sized representation the splitrt protocol ships.
+// Levels must fit in bits bits (Quantize guarantees this for its output).
+func Pack(levels []uint16, bits int) []byte {
+	if bits < 2 || bits > 16 {
+		panic(fmt.Errorf("quantize: pack bits %d out of [2,16]", bits))
+	}
+	out := make([]byte, (len(levels)*bits+7)/8)
+	max := uint32(1)<<bits - 1
+	bitPos := 0
+	for _, lv := range levels {
+		v := uint32(lv)
+		if v > max {
+			panic(fmt.Errorf("quantize: level %d does not fit in %d bits", lv, bits))
+		}
+		byteIdx, off := bitPos/8, bitPos%8
+		// A value spans at most 3 bytes (16 bits starting mid-byte).
+		wide := v << off
+		out[byteIdx] |= byte(wide)
+		if off+bits > 8 {
+			out[byteIdx+1] |= byte(wide >> 8)
+		}
+		if off+bits > 16 {
+			out[byteIdx+2] |= byte(wide >> 16)
+		}
+		bitPos += bits
+	}
+	return out
+}
+
+// Unpack reverses Pack, reading n levels of bits bits each. It returns an
+// error (not a panic) on short input, because packed payloads arrive from
+// the network and malformed ones must not crash a server.
+func Unpack(packed []byte, bits, n int) ([]uint16, error) {
+	if bits < 2 || bits > 16 {
+		return nil, fmt.Errorf("quantize: unpack bits %d out of [2,16]", bits)
+	}
+	if n < 0 {
+		return nil, fmt.Errorf("quantize: unpack count %d negative", n)
+	}
+	need := (n*bits + 7) / 8
+	if len(packed) != need {
+		return nil, fmt.Errorf("quantize: packed payload is %d bytes, %d levels at %d bits need %d",
+			len(packed), n, bits, need)
+	}
+	out := make([]uint16, n)
+	mask := uint32(1)<<bits - 1
+	bitPos := 0
+	for i := range out {
+		byteIdx, off := bitPos/8, bitPos%8
+		wide := uint32(packed[byteIdx])
+		if byteIdx+1 < len(packed) {
+			wide |= uint32(packed[byteIdx+1]) << 8
+		}
+		if byteIdx+2 < len(packed) {
+			wide |= uint32(packed[byteIdx+2]) << 16
+		}
+		out[i] = uint16((wide >> off) & mask)
+		bitPos += bits
+	}
+	return out, nil
+}
+
+// QuantizePacked quantizes x and packs the levels in one step: the exact
+// bytes the wire carries.
+func (s Scheme) QuantizePacked(x *tensor.Tensor) []byte {
+	return Pack(s.Quantize(x), s.Bits)
+}
+
+// DequantizePacked unpacks a wire payload and reconstructs the tensor.
+func (s Scheme) DequantizePacked(packed []byte, shape ...int) (*tensor.Tensor, error) {
+	levels, err := Unpack(packed, s.Bits, tensor.Volume(shape))
+	if err != nil {
+		return nil, err
+	}
+	return s.Dequantize(levels, shape...), nil
+}
+
 // MSE returns the mean squared reconstruction error of a round trip.
 func (s Scheme) MSE(x *tensor.Tensor) float64 {
 	rt := s.RoundTrip(x)

@@ -142,3 +142,72 @@ func TestPropertyDequantizeInRange(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// ---------------------------------------------------------------------------
+// Bit packing — the wire format splitrt ships.
+// ---------------------------------------------------------------------------
+
+func TestPackUnpackRoundTrip(t *testing.T) {
+	rng := tensor.NewRNG(21)
+	for bits := 2; bits <= 16; bits++ {
+		for _, n := range []int{0, 1, 3, 8, 17, 64} {
+			levels := make([]uint16, n)
+			for i := range levels {
+				levels[i] = uint16(rng.Intn(1 << bits))
+			}
+			packed := Pack(levels, bits)
+			if want := (n*bits + 7) / 8; len(packed) != want {
+				t.Fatalf("bits=%d n=%d: packed %d bytes, want %d", bits, n, len(packed), want)
+			}
+			got, err := Unpack(packed, bits, n)
+			if err != nil {
+				t.Fatalf("bits=%d n=%d: %v", bits, n, err)
+			}
+			for i := range levels {
+				if got[i] != levels[i] {
+					t.Fatalf("bits=%d n=%d: level %d round-tripped %d -> %d", bits, n, i, levels[i], got[i])
+				}
+			}
+		}
+	}
+}
+
+func TestPackedSizeMatchesWireBytes(t *testing.T) {
+	rng := tensor.NewRNG(22)
+	for _, bits := range []int{2, 5, 8, 11, 16} {
+		s, err := NewScheme(bits, -1, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		x := rng.FillNormal(tensor.New(257), 0, 1)
+		packed := s.QuantizePacked(x)
+		if int64(len(packed)) != s.WireBytes(x.Len()) {
+			t.Fatalf("bits=%d: packed %d bytes, WireBytes says %d", bits, len(packed), s.WireBytes(x.Len()))
+		}
+		rt, err := s.DequantizePacked(packed, 257)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !tensor.AllClose(rt, s.RoundTrip(x), 0) {
+			t.Fatalf("bits=%d: packed round trip diverges from dense round trip", bits)
+		}
+	}
+}
+
+func TestUnpackRejectsMalformedPayloads(t *testing.T) {
+	if _, err := Unpack([]byte{1, 2, 3}, 8, 16); err == nil {
+		t.Fatal("short payload must be rejected")
+	}
+	if _, err := Unpack([]byte{1, 2, 3, 4}, 8, 2); err == nil {
+		t.Fatal("oversized payload must be rejected")
+	}
+	if _, err := Unpack(nil, 1, 4); err == nil {
+		t.Fatal("bits out of range must be rejected")
+	}
+	if _, err := Unpack(nil, 8, -1); err == nil {
+		t.Fatal("negative count must be rejected")
+	}
+	if _, err := Unpack(nil, 8, 0); err != nil {
+		t.Fatalf("empty payload with zero count is valid: %v", err)
+	}
+}

@@ -1,10 +1,12 @@
 package splitrt
 
 import (
+	"context"
 	"encoding/gob"
 	"fmt"
 	"net"
 	"sync/atomic"
+	"time"
 
 	"shredder/internal/core"
 	"shredder/internal/quantize"
@@ -15,15 +17,65 @@ import (
 // L, adds a noise tensor sampled from a trained collection, and sends only
 // the noisy activation to the cloud. When the collection is nil the client
 // transmits raw activations (the paper's "original execution" baseline).
+//
+// An EdgeClient issues one request at a time (the wire protocol is
+// request/response over a single connection); callers must not invoke
+// Infer/Classify from multiple goroutines concurrently. Stats, however, is
+// safe to call from a concurrent poller at any time.
 type EdgeClient struct {
 	split      *core.Split
 	collection *core.Collection
 	rng        *tensor.RNG
-	conn       *countingConn
-	enc        *gob.Encoder
-	dec        *gob.Decoder
-	nextID     uint64
-	wireBits   int // 0 = dense float transport
+
+	addr     string
+	cutLayer string
+
+	conn *countingConn
+	enc  *gob.Encoder
+	dec  *gob.Decoder
+
+	// Counters live on the client, not the connection, so cumulative stats
+	// survive reconnects; all are accessed atomically (Stats may race with
+	// an in-flight request).
+	sent     int64
+	received int64
+	nextID   uint64
+
+	wireBits int // 0 = dense float transport
+
+	timeout    time.Duration // per-call bound when the context has no deadline
+	maxRedials int           // reconnect attempts per broken call
+	redialBase time.Duration // first backoff step, doubled per attempt
+	redialMax  time.Duration // backoff ceiling
+	broken     bool          // transport errored; redial before next use
+	redials    int64         // successful redials, for Stats
+}
+
+// ClientOption configures an EdgeClient at Dial time.
+type ClientOption func(*EdgeClient)
+
+// WithTimeout bounds every Infer call that arrives without a context
+// deadline (0 = no bound). The deadline covers the network round trip, not
+// the local forward pass.
+func WithTimeout(d time.Duration) ClientOption {
+	return func(c *EdgeClient) { c.timeout = d }
+}
+
+// WithReconnect makes the client transparently redial and re-handshake a
+// broken connection up to max times per call, sleeping base, 2·base,
+// 4·base, ... (capped at 2s) between attempts. Without this option a
+// transport error is returned to the caller and the client stays broken.
+func WithReconnect(max int, base time.Duration) ClientOption {
+	return func(c *EdgeClient) {
+		if max < 0 {
+			max = 0
+		}
+		if base <= 0 {
+			base = 50 * time.Millisecond
+		}
+		c.maxRedials = max
+		c.redialBase = base
+	}
 }
 
 // Stats reports cumulative wire traffic of the connection.
@@ -31,22 +83,25 @@ type Stats struct {
 	BytesSent     int64
 	BytesReceived int64
 	Requests      uint64
+	Redials       int
 }
 
-// Stats returns the client's transfer statistics.
+// Stats returns the client's transfer statistics. Safe to call
+// concurrently with an in-flight request.
 func (c *EdgeClient) Stats() Stats {
 	return Stats{
-		BytesSent:     atomic.LoadInt64(&c.conn.sent),
-		BytesReceived: atomic.LoadInt64(&c.conn.received),
-		Requests:      c.nextID,
+		BytesSent:     atomic.LoadInt64(&c.sent),
+		BytesReceived: atomic.LoadInt64(&c.received),
+		Requests:      atomic.LoadUint64(&c.nextID),
+		Redials:       int(atomic.LoadInt64(&c.redials)),
 	}
 }
 
 // SetWireQuantization switches the activation transport to linear
 // quantization with the given bit width (0 restores dense float transport).
-// Quantization shrinks the wire volume by roughly 64/bits× versus the gob
-// float64 encoding and, being deterministic post-processing, can only
-// decrease the information the cloud receives.
+// Levels are bit-packed on the wire, so the payload shrinks by roughly
+// 64/bits× versus the gob float64 encoding and, being deterministic
+// post-processing, can only decrease the information the cloud receives.
 func (c *EdgeClient) SetWireQuantization(bits int) error {
 	if bits != 0 {
 		if _, err := quantize.NewScheme(bits, 0, 1); err != nil {
@@ -57,63 +112,116 @@ func (c *EdgeClient) SetWireQuantization(bits int) error {
 	return nil
 }
 
-// countingConn wraps a net.Conn with byte counters.
+// countingConn wraps a net.Conn, accumulating byte counts into the
+// client's cumulative counters.
 type countingConn struct {
 	net.Conn
-	sent, received int64
+	sent, received *int64
 }
 
 func (c *countingConn) Write(p []byte) (int, error) {
 	n, err := c.Conn.Write(p)
-	atomic.AddInt64(&c.sent, int64(n))
+	atomic.AddInt64(c.sent, int64(n))
 	return n, err
 }
 
 func (c *countingConn) Read(p []byte) (int, error) {
 	n, err := c.Conn.Read(p)
-	atomic.AddInt64(&c.received, int64(n))
+	atomic.AddInt64(c.received, int64(n))
 	return n, err
 }
 
 // Dial connects to a CloudServer and performs the handshake.
-func Dial(addr string, split *core.Split, cutLayer string, col *core.Collection, seed int64) (*EdgeClient, error) {
-	raw, err := net.Dial("tcp", addr)
-	if err != nil {
-		return nil, fmt.Errorf("splitrt: dial: %w", err)
-	}
-	conn := &countingConn{Conn: raw}
+func Dial(addr string, split *core.Split, cutLayer string, col *core.Collection, seed int64, opts ...ClientOption) (*EdgeClient, error) {
 	c := &EdgeClient{
 		split: split, collection: col, rng: tensor.NewRNG(seed),
-		conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn),
+		addr: addr, cutLayer: cutLayer,
+		redialBase: 50 * time.Millisecond, redialMax: 2 * time.Second,
 	}
-	if err := c.enc.Encode(hello{Network: split.Net.Name(), CutLayer: cutLayer}); err != nil {
+	for _, o := range opts {
+		o(c)
+	}
+	if err := c.connect(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// connect dials and handshakes, installing the fresh connection.
+func (c *EdgeClient) connect() error {
+	raw, err := net.Dial("tcp", c.addr)
+	if err != nil {
+		return fmt.Errorf("splitrt: dial: %w", err)
+	}
+	conn := &countingConn{Conn: raw, sent: &c.sent, received: &c.received}
+	enc, dec := gob.NewEncoder(conn), gob.NewDecoder(conn)
+	if err := enc.Encode(hello{Network: c.split.Net.Name(), CutLayer: c.cutLayer}); err != nil {
 		conn.Close()
-		return nil, fmt.Errorf("splitrt: handshake send: %w", err)
+		return fmt.Errorf("splitrt: handshake send: %w", err)
 	}
 	var ack helloAck
-	if err := c.dec.Decode(&ack); err != nil {
+	if err := dec.Decode(&ack); err != nil {
 		conn.Close()
-		return nil, fmt.Errorf("splitrt: handshake recv: %w", err)
+		return fmt.Errorf("splitrt: handshake recv: %w", err)
 	}
 	if !ack.OK {
 		conn.Close()
-		return nil, fmt.Errorf("splitrt: handshake rejected: %s", ack.Err)
+		return fmt.Errorf("splitrt: handshake rejected: %s", ack.Err)
 	}
-	return c, nil
+	c.conn, c.enc, c.dec = conn, enc, dec
+	c.broken = false
+	return nil
+}
+
+// reconnect redials with exponential backoff, honouring the context. The
+// handshake-rejected error is terminal: the server will keep refusing, so
+// backing off cannot help.
+func (c *EdgeClient) reconnect(ctx context.Context) error {
+	if c.conn != nil {
+		c.conn.Close()
+	}
+	backoff := c.redialBase
+	var err error
+	for attempt := 0; attempt <= c.maxRedials; attempt++ {
+		if attempt > 0 {
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(backoff):
+			}
+			backoff *= 2
+			if backoff > c.redialMax {
+				backoff = c.redialMax
+			}
+		}
+		if err = c.connect(); err == nil {
+			atomic.AddInt64(&c.redials, 1)
+			return nil
+		}
+	}
+	return fmt.Errorf("splitrt: reconnect failed after %d attempts: %w", c.maxRedials+1, err)
 }
 
 // Infer runs split inference on a batch [N, C, H, W] and returns the
 // logits computed by the cloud. Each sample gets an independently sampled
 // noise tensor, as at real inference time (paper §2.5).
 func (c *EdgeClient) Infer(x *tensor.Tensor) (*tensor.Tensor, error) {
+	return c.InferContext(context.Background(), x)
+}
+
+// InferContext is Infer bounded by a context: the context's deadline (or
+// the client's configured timeout, when the context has none) is applied
+// to the network round trip, and a broken connection is transparently
+// redialed with backoff when WithReconnect is configured.
+func (c *EdgeClient) InferContext(ctx context.Context, x *tensor.Tensor) (*tensor.Tensor, error) {
 	a := c.split.Local(x)
 	if c.collection != nil {
 		for i := 0; i < a.Dim(0); i++ {
 			a.Slice(i).AddInPlace(c.collection.Sample(c.rng))
 		}
 	}
-	c.nextID++
-	req := request{ID: c.nextID}
+	id := atomic.AddUint64(&c.nextID, 1)
+	req := request{ID: id}
 	if c.wireBits > 0 {
 		scheme, err := quantize.Fit(a, c.wireBits)
 		if err != nil {
@@ -121,19 +229,74 @@ func (c *EdgeClient) Infer(x *tensor.Tensor) (*tensor.Tensor, error) {
 		}
 		req.Quant = &quantPayload{
 			Bits: scheme.Bits, Lo: scheme.Lo, Hi: scheme.Hi,
-			Shape: append([]int(nil), a.Shape()...), Levels: scheme.Quantize(a),
+			Shape: append([]int(nil), a.Shape()...), Packed: scheme.QuantizePacked(a),
 		}
 	} else {
 		req.Activation = a
 	}
+
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if c.broken || c.conn == nil {
+			if attempt > c.maxRedials {
+				break
+			}
+			if err := c.reconnect(ctx); err != nil {
+				return nil, err
+			}
+		}
+		logits, err := c.roundTrip(ctx, req)
+		if err == nil {
+			return logits, nil
+		}
+		lastErr = err
+		if !c.broken || c.maxRedials == 0 {
+			// Protocol-level errors (and transport errors with reconnect
+			// disabled) are returned to the caller directly.
+			return nil, err
+		}
+		if attempt >= c.maxRedials {
+			break
+		}
+	}
+	return nil, fmt.Errorf("splitrt: request failed after retries: %w", lastErr)
+}
+
+// roundTrip sends one request and decodes its response on the current
+// connection, applying the call deadline. Transport failures mark the
+// connection broken; protocol failures (remote error string, ID mismatch)
+// do not.
+func (c *EdgeClient) roundTrip(ctx context.Context, req request) (*tensor.Tensor, error) {
+	deadline, ok := ctx.Deadline()
+	if !ok && c.timeout > 0 {
+		deadline = time.Now().Add(c.timeout)
+		ok = true
+	}
+	if ok {
+		if err := c.conn.SetDeadline(deadline); err != nil {
+			c.broken = true
+			return nil, fmt.Errorf("splitrt: set deadline: %w", err)
+		}
+	} else if err := c.conn.SetDeadline(time.Time{}); err != nil {
+		c.broken = true
+		return nil, fmt.Errorf("splitrt: clear deadline: %w", err)
+	}
 	if err := c.enc.Encode(req); err != nil {
+		c.broken = true
 		return nil, fmt.Errorf("splitrt: send: %w", err)
 	}
 	var resp response
 	if err := c.dec.Decode(&resp); err != nil {
+		c.broken = true
 		return nil, fmt.Errorf("splitrt: recv: %w", err)
 	}
 	if resp.ID != req.ID {
+		// The stream is desynchronized (e.g. a stale response from before a
+		// timeout); the connection cannot be trusted for further requests.
+		c.broken = true
 		return nil, fmt.Errorf("splitrt: response id %d for request %d", resp.ID, req.ID)
 	}
 	if resp.Err != "" {
@@ -156,4 +319,9 @@ func (c *EdgeClient) Classify(x *tensor.Tensor) ([]int, error) {
 }
 
 // Close terminates the connection.
-func (c *EdgeClient) Close() error { return c.conn.Close() }
+func (c *EdgeClient) Close() error {
+	if c.conn == nil {
+		return nil
+	}
+	return c.conn.Close()
+}

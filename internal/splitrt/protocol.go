@@ -30,12 +30,16 @@ type request struct {
 }
 
 // quantPayload is the quantized wire representation of an activation
-// batch: linear levels plus the scheme needed to dequantize them.
+// batch: level indices bit-packed at Bits bits each (little-endian bit
+// order, Volume(Shape) values — see quantize.Pack) plus the scheme needed
+// to unpack and dequantize them. Packing is what makes the bytes on the
+// wire actually match Scheme.WireBytes instead of gob's 2-byte uint16
+// encoding.
 type quantPayload struct {
 	Bits   int
 	Lo, Hi float64
 	Shape  []int
-	Levels []uint16
+	Packed []byte
 }
 
 // response returns the remote network's logits for a request.

@@ -2,10 +2,10 @@ package splitrt
 
 import (
 	"encoding/gob"
-	"errors"
 	"fmt"
 	"net"
 	"sync"
+	"time"
 
 	"shredder/internal/core"
 	"shredder/internal/quantize"
@@ -15,21 +15,68 @@ import (
 // CloudServer hosts the remote part R of a split network. It models the
 // cloud side of the paper's deployment: it receives only noisy activations
 // and returns logits, never seeing raw inputs.
+//
+// Concurrency model: inference runs on core.Split.RemoteInfer, the
+// reentrant forward path that keeps no per-layer state, so every
+// connection serves requests truly in parallel — there is no inference
+// lock. The server's mutex guards only the connection registry and
+// shutdown flag and is never held across an inference or a network I/O
+// call.
 type CloudServer struct {
 	split    *core.Split
 	cutLayer string
 
-	mu       sync.Mutex // serializes inference (layers cache state) and conn set
+	idleTimeout    time.Duration
+	writeTimeout   time.Duration
+	handlerTimeout time.Duration
+	serialized     bool
+	serialMu       sync.Mutex // used only when serialized (legacy mode)
+
+	mu       sync.Mutex // guards listener, conns, closed — never held across inference
 	listener net.Listener
 	conns    map[net.Conn]struct{}
-	wg       sync.WaitGroup
 	closed   bool
+	wg       sync.WaitGroup
+}
+
+// ServerOption configures a CloudServer.
+type ServerOption func(*CloudServer)
+
+// WithIdleTimeout closes a connection when no request arrives within d
+// (0 = wait forever). It bounds how long a stalled or dead peer can hold a
+// connection slot.
+func WithIdleTimeout(d time.Duration) ServerOption {
+	return func(s *CloudServer) { s.idleTimeout = d }
+}
+
+// WithWriteTimeout bounds each response write by d (0 = no bound), so a
+// client that stops draining its socket cannot wedge its serving goroutine.
+func WithWriteTimeout(d time.Duration) ServerOption {
+	return func(s *CloudServer) { s.writeTimeout = d }
+}
+
+// WithHandlerTimeout bounds each remote forward pass by d (0 = no bound);
+// a request exceeding it gets an error response instead of stalling the
+// connection.
+func WithHandlerTimeout(d time.Duration) ServerOption {
+	return func(s *CloudServer) { s.handlerTimeout = d }
+}
+
+// WithSerializedInference restores the pre-concurrency behaviour of one
+// global inference at a time. It exists so benchmarks can measure what the
+// global lock used to cost; production servers should never set it.
+func WithSerializedInference() ServerOption {
+	return func(s *CloudServer) { s.serialized = true }
 }
 
 // NewCloudServer creates a server for the given split. cutLayer is the
 // layer name clients must declare in their handshake.
-func NewCloudServer(split *core.Split, cutLayer string) *CloudServer {
-	return &CloudServer{split: split, cutLayer: cutLayer, conns: map[net.Conn]struct{}{}}
+func NewCloudServer(split *core.Split, cutLayer string, opts ...ServerOption) *CloudServer {
+	s := &CloudServer{split: split, cutLayer: cutLayer, conns: map[net.Conn]struct{}{}}
+	for _, o := range opts {
+		o(s)
+	}
+	return s
 }
 
 // Serve starts listening on addr (e.g. "127.0.0.1:0") and returns the
@@ -41,6 +88,11 @@ func (s *CloudServer) Serve(addr string) (string, error) {
 		return "", fmt.Errorf("splitrt: listen: %w", err)
 	}
 	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return "", fmt.Errorf("splitrt: server is closed")
+	}
 	s.listener = ln
 	s.mu.Unlock()
 	s.wg.Add(1)
@@ -55,6 +107,10 @@ func (s *CloudServer) acceptLoop(ln net.Listener) {
 		if err != nil {
 			return // listener closed
 		}
+		// Register under the lock BEFORE serving so Close, which flips
+		// closed and then snapshots conns under the same lock, either sees
+		// this conn (and closes it) or has already flipped closed (and we
+		// drop it here). No conn can slip in after Close's snapshot.
 		s.mu.Lock()
 		if s.closed {
 			s.mu.Unlock()
@@ -62,8 +118,8 @@ func (s *CloudServer) acceptLoop(ln net.Listener) {
 			return
 		}
 		s.conns[conn] = struct{}{}
-		s.mu.Unlock()
 		s.wg.Add(1)
+		s.mu.Unlock()
 		go s.serveConn(conn)
 	}
 }
@@ -80,7 +136,7 @@ func (s *CloudServer) serveConn(conn net.Conn) {
 	enc := gob.NewEncoder(conn)
 
 	var h hello
-	if err := dec.Decode(&h); err != nil {
+	if err := s.decodeWithIdleDeadline(conn, dec, &h); err != nil {
 		return
 	}
 	ack := helloAck{OK: true}
@@ -89,23 +145,45 @@ func (s *CloudServer) serveConn(conn net.Conn) {
 			"server hosts %s cut at %s, client wants %s cut at %s",
 			s.split.Net.Name(), s.cutLayer, h.Network, h.CutLayer)}
 	}
-	if err := enc.Encode(ack); err != nil || !ack.OK {
+	if err := s.encodeWithWriteDeadline(conn, enc, ack); err != nil || !ack.OK {
 		return
 	}
 
 	for {
 		var req request
-		if err := dec.Decode(&req); err != nil {
+		if err := s.decodeWithIdleDeadline(conn, dec, &req); err != nil {
 			return
 		}
 		resp := s.handle(req)
-		if err := enc.Encode(resp); err != nil {
+		if err := s.encodeWithWriteDeadline(conn, enc, resp); err != nil {
 			return
 		}
 	}
 }
 
-// handle computes R(a′) for one request, converting panics (bad shapes
+// decodeWithIdleDeadline arms the connection's read deadline (when an idle
+// timeout is configured) and decodes one value.
+func (s *CloudServer) decodeWithIdleDeadline(conn net.Conn, dec *gob.Decoder, v any) error {
+	if s.idleTimeout > 0 {
+		if err := conn.SetReadDeadline(time.Now().Add(s.idleTimeout)); err != nil {
+			return err
+		}
+	}
+	return dec.Decode(v)
+}
+
+// encodeWithWriteDeadline arms the connection's write deadline (when a
+// write timeout is configured) and encodes one value.
+func (s *CloudServer) encodeWithWriteDeadline(conn net.Conn, enc *gob.Encoder, v any) error {
+	if s.writeTimeout > 0 {
+		if err := conn.SetWriteDeadline(time.Now().Add(s.writeTimeout)); err != nil {
+			return err
+		}
+	}
+	return enc.Encode(v)
+}
+
+// handle computes R(a′) for one request, converting panics (bad payloads
 // from a misbehaving client) into error responses rather than crashing the
 // server.
 func (s *CloudServer) handle(req request) (resp response) {
@@ -123,11 +201,11 @@ func (s *CloudServer) handle(req request) (resp response) {
 			resp.Err = fmt.Sprintf("bad quantization scheme: %v", err)
 			return resp
 		}
-		if tensor.Volume(req.Quant.Shape) != len(req.Quant.Levels) {
-			resp.Err = "quantized payload shape/levels mismatch"
+		act, err = scheme.DequantizePacked(req.Quant.Packed, req.Quant.Shape...)
+		if err != nil {
+			resp.Err = fmt.Sprintf("bad quantized payload: %v", err)
 			return resp
 		}
-		act = scheme.Dequantize(req.Quant.Levels, req.Quant.Shape...)
 	}
 	if act == nil {
 		resp.Err = "missing activation"
@@ -139,28 +217,69 @@ func (s *CloudServer) handle(req request) (resp response) {
 		resp.Err = fmt.Sprintf("activation shape %v does not match expected [N %v]", got, want)
 		return resp
 	}
-	s.mu.Lock()
-	logits := s.split.Remote(act, false)
-	s.mu.Unlock()
-	resp.Logits = logits
+	resp.Logits = s.infer(act)
 	return resp
 }
 
-// Close stops the listener and waits for in-flight connections to finish.
+// infer runs the reentrant remote forward pass, optionally bounded by the
+// handler timeout. On timeout the computation goroutine is left to finish
+// in the background (Go cannot cancel a compute loop), but the request
+// gets an error response and the connection moves on.
+func (s *CloudServer) infer(act *tensor.Tensor) *tensor.Tensor {
+	run := func() *tensor.Tensor {
+		if s.serialized {
+			s.serialMu.Lock()
+			defer s.serialMu.Unlock()
+		}
+		return s.split.RemoteInfer(act)
+	}
+	if s.handlerTimeout <= 0 {
+		return run()
+	}
+	done := make(chan *tensor.Tensor, 1)
+	panicked := make(chan any, 1)
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				panicked <- r
+			}
+		}()
+		done <- run()
+	}()
+	timer := time.NewTimer(s.handlerTimeout)
+	defer timer.Stop()
+	select {
+	case logits := <-done:
+		return logits
+	case r := <-panicked:
+		panic(r) // re-panic on the handler goroutine; handle's recover replies with the error
+	case <-timer.C:
+		panic(fmt.Sprintf("inference exceeded handler timeout %v", s.handlerTimeout))
+	}
+}
+
+// Close stops the listener, closes live connections and waits for their
+// serving goroutines to finish. It is idempotent: closing an already
+// closed server is a no-op returning nil.
 func (s *CloudServer) Close() error {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
-		return errors.New("splitrt: server already closed")
+		return nil
 	}
 	s.closed = true
 	ln := s.listener
+	s.listener = nil
+	conns := make([]net.Conn, 0, len(s.conns))
 	for c := range s.conns {
-		c.Close()
+		conns = append(conns, c)
 	}
 	s.mu.Unlock()
 	if ln != nil {
 		ln.Close()
+	}
+	for _, c := range conns {
+		c.Close()
 	}
 	s.wg.Wait()
 	return nil

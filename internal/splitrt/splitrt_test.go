@@ -198,8 +198,8 @@ func TestCloseStopsServer(t *testing.T) {
 	if err := srv.Close(); err != nil {
 		t.Fatal(err)
 	}
-	if err := srv.Close(); err == nil {
-		t.Fatal("double Close should error")
+	if err := srv.Close(); err != nil {
+		t.Fatalf("Close must be idempotent, second call returned %v", err)
 	}
 	if _, err := Dial(addr, split, cutLayer, nil, 5); err == nil {
 		t.Fatal("Dial should fail after server Close")
@@ -241,10 +241,11 @@ func TestQuantizedTransportAccuracyAndVolume(t *testing.T) {
 	if agree < len(b.Labels)-2 {
 		t.Fatalf("quantized transport changed %d/%d predictions", len(b.Labels)-agree, len(b.Labels))
 	}
-	// And move far fewer bytes: gob float64 is ≥8B/value, 8-bit levels ~2B
-	// (gob uint16) — demand at least 2.5x reduction.
+	// And move far fewer bytes: gob float64 is ≥8B/value, bit-packed 8-bit
+	// levels are 1B/value — demand at least 3x reduction (fixed protocol
+	// overhead dilutes the per-value win at this small activation volume).
 	ds, qs := denseClient.Stats(), quantClient.Stats()
-	if ds.BytesSent < qs.BytesSent*5/2 {
+	if ds.BytesSent < qs.BytesSent*3 {
 		t.Fatalf("quantized transport not smaller: dense %d bytes, quant %d bytes", ds.BytesSent, qs.BytesSent)
 	}
 	if ds.Requests != 1 || qs.Requests != 1 {

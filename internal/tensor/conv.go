@@ -37,11 +37,23 @@ func (g ConvGeom) Validate() error {
 // receptive field of one output position. Convolution then becomes
 // cols · Wᵀ, which is how the nn package implements Conv2D.
 func Im2Col(img *Tensor, g ConvGeom) *Tensor {
+	cols := New(g.OutH()*g.OutW(), g.InC*g.KH*g.KW)
+	Im2ColInto(cols, img, g)
+	return cols
+}
+
+// Im2ColInto is Im2Col writing into a caller-provided column matrix of
+// shape [OutH*OutW, C*KH*KW]. Every element of cols is overwritten, so a
+// non-zeroed scratch buffer (GetScratch) is a valid destination.
+func Im2ColInto(cols, img *Tensor, g ConvGeom) {
 	if img.Len() != g.InC*g.InH*g.InW {
 		panic(fmt.Sprintf("tensor: Im2Col input has %d elems, geometry wants %d", img.Len(), g.InC*g.InH*g.InW))
 	}
 	outH, outW := g.OutH(), g.OutW()
-	cols := New(outH*outW, g.InC*g.KH*g.KW)
+	if cols.Len() != outH*outW*g.InC*g.KH*g.KW {
+		panic(fmt.Sprintf("tensor: Im2ColInto destination has %d elems, geometry wants %d",
+			cols.Len(), outH*outW*g.InC*g.KH*g.KW))
+	}
 	src := img.data
 	dst := cols.data
 	rowLen := g.InC * g.KH * g.KW
@@ -76,7 +88,6 @@ func Im2Col(img *Tensor, g ConvGeom) *Tensor {
 			}
 		}
 	}
-	return cols
 }
 
 // Col2Im scatters a column matrix (as produced by Im2Col) back into an

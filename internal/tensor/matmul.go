@@ -135,6 +135,37 @@ func MatMulT2(a, b *Tensor) *Tensor {
 	return out
 }
 
+// MatMulT2Into computes a·bᵀ into dst (shape [m,n] for a [m,k], b [n,k]).
+// Every element of dst is overwritten, so a non-zeroed scratch buffer is a
+// valid destination. It is the allocation-free variant the reentrant
+// inference path uses.
+func MatMulT2Into(dst, a, b *Tensor) {
+	m, k := a.shape[0], a.shape[1]
+	n := b.shape[0]
+	if b.shape[1] != k || dst.shape[0] != m || dst.shape[1] != n {
+		panic(fmt.Sprintf("tensor: MatMulT2Into shape mismatch dst %v = %v x %vᵀ", dst.shape, a.shape, b.shape))
+	}
+	rowFn := func(i int) {
+		ar := a.data[i*k : (i+1)*k]
+		o := dst.data[i*n : (i+1)*n]
+		for j := 0; j < n; j++ {
+			br := b.data[j*k : (j+1)*k]
+			s := 0.0
+			for p, av := range ar {
+				s += av * br[p]
+			}
+			o[j] = s
+		}
+	}
+	if m*n < parallelThreshold || m < 2 {
+		for i := 0; i < m; i++ {
+			rowFn(i)
+		}
+		return
+	}
+	parallelRows(m, rowFn)
+}
+
 // Transpose returns the transpose of a rank-2 tensor.
 func Transpose(a *Tensor) *Tensor {
 	if a.Rank() != 2 {

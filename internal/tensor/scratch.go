@@ -1,0 +1,37 @@
+package tensor
+
+import "sync"
+
+// scratchPool recycles the flat float64 storage of short-lived tensors used
+// by inference hot paths (im2col column matrices, matmul products). Buffers
+// are handed out by GetScratch and returned by PutScratch; pooling them keeps
+// the per-request allocation volume of a concurrent inference server flat
+// instead of scaling with request rate.
+var scratchPool = sync.Pool{
+	New: func() any { return []float64(nil) },
+}
+
+// GetScratch returns a tensor of the given shape backed by pooled storage.
+// The contents are NOT zeroed: callers must fully overwrite every element
+// (Im2ColInto and the MatMul*Into family do). Return the tensor with
+// PutScratch when done; do not retain references to it afterwards.
+func GetScratch(shape ...int) *Tensor {
+	n := Volume(shape)
+	buf := scratchPool.Get().([]float64)
+	if cap(buf) < n {
+		buf = make([]float64, n)
+	}
+	s := make([]int, len(shape))
+	copy(s, shape)
+	return &Tensor{shape: s, data: buf[:n]}
+}
+
+// PutScratch returns a tensor obtained from GetScratch to the pool. The
+// tensor must not be used after this call.
+func PutScratch(t *Tensor) {
+	if t == nil {
+		return
+	}
+	//lint:ignore SA6002 the slice header is what we pool; the allocation is amortized
+	scratchPool.Put(t.data[:0])
+}

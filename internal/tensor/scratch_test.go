@@ -1,0 +1,80 @@
+package tensor
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestGetScratchShapeAndReuse(t *testing.T) {
+	a := GetScratch(4, 5)
+	if !ShapeEq(a.Shape(), []int{4, 5}) || a.Len() != 20 {
+		t.Fatalf("scratch shape %v len %d", a.Shape(), a.Len())
+	}
+	for i := range a.Data() {
+		a.Data()[i] = float64(i)
+	}
+	PutScratch(a)
+	// A smaller request may reuse the pooled buffer; contents are
+	// unspecified, but shape and length must be exact.
+	b := GetScratch(3, 3)
+	if !ShapeEq(b.Shape(), []int{3, 3}) || b.Len() != 9 {
+		t.Fatalf("scratch shape %v len %d", b.Shape(), b.Len())
+	}
+	PutScratch(b)
+	PutScratch(nil) // must not panic
+}
+
+func TestIm2ColIntoMatchesIm2Col(t *testing.T) {
+	rng := NewRNG(3)
+	img := rng.FillNormal(New(2, 5, 5), 0, 1)
+	g := ConvGeom{InC: 2, InH: 5, InW: 5, KH: 3, KW: 3, Stride: 1, Pad: 1}
+	want := Im2Col(img, g)
+	dst := GetScratch(g.OutH()*g.OutW(), 2*3*3)
+	dst.Fill(99) // dirty buffer: Im2ColInto must overwrite everything
+	Im2ColInto(dst, img, g)
+	if !AllClose(dst, want, 0) {
+		t.Fatal("Im2ColInto diverges from Im2Col")
+	}
+	PutScratch(dst)
+}
+
+func TestMatMulT2IntoMatchesMatMulT2(t *testing.T) {
+	rng := NewRNG(4)
+	a := rng.FillNormal(New(7, 11), 0, 1)
+	b := rng.FillNormal(New(5, 11), 0, 1)
+	want := MatMulT2(a, b)
+	dst := GetScratch(7, 5)
+	dst.Fill(-3)
+	MatMulT2Into(dst, a, b)
+	if !AllClose(dst, want, 0) {
+		t.Fatal("MatMulT2Into diverges from MatMulT2")
+	}
+	PutScratch(dst)
+}
+
+// TestScratchConcurrent hammers the pool from many goroutines; -race
+// verifies two goroutines never share one live buffer.
+func TestScratchConcurrent(t *testing.T) {
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				s := GetScratch(16, 16)
+				d := s.Data()
+				for j := range d {
+					d[j] = float64(w)
+				}
+				for j := range d {
+					if d[j] != float64(w) {
+						t.Errorf("scratch buffer shared across goroutines")
+						break
+					}
+				}
+				PutScratch(s)
+			}
+		}(w)
+	}
+	wg.Wait()
+}

@@ -327,8 +327,10 @@ func (h *CloudHandle) Close() error { return h.srv.Close() }
 
 // ServeCloud starts a TCP server for the system's remote part on addr
 // (e.g. "127.0.0.1:0") and returns its handle with the bound address.
-func (s *System) ServeCloud(addr string) (*CloudHandle, error) {
-	srv := splitrt.NewCloudServer(s.split, s.cutLayer)
+// Connections are served fully concurrently (the remote forward pass is
+// reentrant); opts configure per-connection timeouts.
+func (s *System) ServeCloud(addr string, opts ...splitrt.ServerOption) (*CloudHandle, error) {
+	srv := splitrt.NewCloudServer(s.split, s.cutLayer, opts...)
 	bound, err := srv.Serve(addr)
 	if err != nil {
 		return nil, err
@@ -344,8 +346,9 @@ type EdgeHandle struct {
 
 // ConnectEdge dials a cloud server and returns an edge client that sends
 // only noisy activations (raw activations when no noise is learned).
-func (s *System) ConnectEdge(addr string) (*EdgeHandle, error) {
-	client, err := splitrt.Dial(addr, s.split, s.cutLayer, s.collection, s.seed+99)
+// opts configure request timeouts and reconnect-with-backoff behaviour.
+func (s *System) ConnectEdge(addr string, opts ...splitrt.ClientOption) (*EdgeHandle, error) {
+	client, err := splitrt.Dial(addr, s.split, s.cutLayer, s.collection, s.seed+99, opts...)
 	if err != nil {
 		return nil, err
 	}
