@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -257,7 +258,7 @@ func BenchmarkAblationCollectionSize(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		nc := core.NoiseConfig{Scale: 2, Lambda: 0.01, PrivacyTarget: 4, Epochs: 2, Seed: int64(i + 1)}
 		ev := func(count int) float64 {
-			col := core.Collect(spl, pre.Train, nc, count)
+			col := core.Collect(spl, pre.Train, nc, count, 1)
 			res := core.Evaluate(spl, pre.Test, col, core.EvalConfig{
 				MI: mi.Options{K: 3, MaxSamples: 128, Seed: 1}, Seed: 1,
 			})
@@ -267,6 +268,31 @@ func BenchmarkAblationCollectionSize(b *testing.B) {
 	}
 	b.ReportMetric(gain, "milossgain%")
 }
+
+// ---------------------------------------------------------------------------
+// Collection training: sequential vs parallel. The members of a collection
+// are independent (paper §2.5), so Collect fans them out over a worker
+// pool; both modes produce byte-identical collections, and the wall-clock
+// ratio of these two benchmarks is the multicore speedup (≈ min(members,
+// workers)× on an otherwise idle machine; no speedup on a single core).
+// ---------------------------------------------------------------------------
+
+func benchCollect(b *testing.B, workers int) {
+	pre, spl := lenetSplit(b)
+	nc := core.NoiseConfig{Scale: 2, Lambda: 0.01, PrivacyTarget: 4, Epochs: 1, Seed: 1}
+	const members = 8
+	b.ResetTimer()
+	var col *core.Collection
+	for i := 0; i < b.N; i++ {
+		col = core.Collect(spl, pre.Train, nc, members, workers)
+	}
+	b.ReportMetric(float64(col.Len()), "members")
+	b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "cores")
+}
+
+func BenchmarkCollectSequential(b *testing.B) { benchCollect(b, 1) }
+
+func BenchmarkCollectParallel(b *testing.B) { benchCollect(b, runtime.GOMAXPROCS(0)) }
 
 // ---------------------------------------------------------------------------
 // Substrate micro-benchmarks.
@@ -352,7 +378,7 @@ func BenchmarkEndToEndPrivateInference(b *testing.B) {
 	pre, spl := lenetSplit(b)
 	col := core.Collect(spl, pre.Train, core.NoiseConfig{
 		Scale: 2, Lambda: 0.01, PrivacyTarget: 4, Epochs: 1, Seed: 1,
-	}, 4)
+	}, 4, 1)
 	batch := pre.Test.Batches(1)[0]
 	rng := tensor.NewRNG(9)
 	b.ResetTimer()
@@ -444,7 +470,7 @@ func BenchmarkAblationInversionAttack(b *testing.B) {
 	}
 	col := core.Collect(spl, pre.Train, core.NoiseConfig{
 		Scale: 2, Lambda: 0.01, PrivacyTarget: 4, Epochs: 1, Seed: 1,
-	}, 3)
+	}, 3, 1)
 	var ratio float64
 	for i := 0; i < b.N; i++ {
 		clean, shredded := attack.Evaluate(spl, pre.Test.Images, col, 1,
@@ -462,7 +488,7 @@ func BenchmarkBaselineVsAgnosticNoise(b *testing.B) {
 	pre, spl := lenetSplit(b)
 	col := core.Collect(spl, pre.Train, core.NoiseConfig{
 		Scale: 2.5, Lambda: 0.005, PrivacyTarget: 5, Epochs: 3, Seed: 1,
-	}, 3)
+	}, 3, 1)
 	var adv float64
 	for i := 0; i < b.N; i++ {
 		res := baseline.Compare(spl, pre.Test, col, int64(i+1))
@@ -478,7 +504,7 @@ func BenchmarkAblationQuantizedWire(b *testing.B) {
 	pre, spl := lenetSplit(b)
 	col := core.Collect(spl, pre.Train, core.NoiseConfig{
 		Scale: 2, Lambda: 0.01, PrivacyTarget: 4, Epochs: 2, Seed: 1,
-	}, 3)
+	}, 3, 1)
 	rng := tensor.NewRNG(5)
 	var accDrop, ratio float64
 	for i := 0; i < b.N; i++ {

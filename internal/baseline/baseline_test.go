@@ -57,7 +57,7 @@ func TestCompareShredderBeatsAgnosticNoise(t *testing.T) {
 	}
 	col := core.Collect(split, pre.Train, core.NoiseConfig{
 		Scale: 2.5, Lambda: 0.005, PrivacyTarget: 5, Epochs: 5, Seed: 71,
-	}, 3)
+	}, 3, 1)
 	res := Compare(split, pre.Test, col, 72)
 	if res.InVivo <= 0 {
 		t.Fatalf("matched in vivo level %v", res.InVivo)

@@ -4,6 +4,8 @@ import (
 	"encoding/gob"
 	"fmt"
 	"io"
+	"runtime"
+	"sync"
 
 	"shredder/internal/data"
 	"shredder/internal/tensor"
@@ -62,16 +64,63 @@ func (c *Collection) MeanInVivo() float64 {
 // Collect trains count noise tensors with distinct seeds and returns them
 // as a collection. Each run repeats the full training process from a fresh
 // Laplace initialization, exactly as §2.5 prescribes.
-func Collect(split *Split, ds *data.Dataset, cfg NoiseConfig, count int) *Collection {
+//
+// workers bounds the number of members trained concurrently: 1 trains
+// sequentially, n > 1 fans the members over n goroutines sharing the one
+// Split (training is reentrant — each run owns a frozen tape), and any
+// value <= 0 selects GOMAXPROCS. Every member's randomness derives from
+// its own seed (cfg.Seed + i·1_000_003) and results are assembled by
+// member index, so parallel and sequential runs produce byte-identical
+// collections.
+func Collect(split *Split, ds *data.Dataset, cfg NoiseConfig, count, workers int) *Collection {
 	if count <= 0 {
 		panic("core: Collect needs a positive count")
 	}
-	c := &Collection{}
-	for i := 0; i < count; i++ {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > count {
+		workers = count
+	}
+
+	type member struct {
+		noise  *NoiseTensor
+		inVivo float64
+	}
+	results := make([]member, count)
+	train := func(i int) {
 		run := cfg
 		run.Seed = cfg.Seed + int64(i)*1_000_003
 		res := TrainNoise(split, ds, run)
-		c.Add(res.Noise, res.FinalInVivo)
+		results[i] = member{noise: res.Noise, inVivo: res.FinalInVivo}
+	}
+
+	if workers == 1 {
+		for i := 0; i < count; i++ {
+			train(i)
+		}
+	} else {
+		idx := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range idx {
+					train(i)
+				}
+			}()
+		}
+		for i := 0; i < count; i++ {
+			idx <- i
+		}
+		close(idx)
+		wg.Wait()
+	}
+
+	c := &Collection{}
+	for _, m := range results {
+		c.Add(m.noise, m.inVivo)
 	}
 	return c
 }

@@ -339,7 +339,7 @@ func TestCollectionEncodeDecode(t *testing.T) {
 
 func TestCollectDistinctMembers(t *testing.T) {
 	split, pre := testSplit(t, 29)
-	col := Collect(split, pre.Train, NoiseConfig{Scale: 1, Lambda: 0.01, Epochs: 0.1, Seed: 100}, 3)
+	col := Collect(split, pre.Train, NoiseConfig{Scale: 1, Lambda: 0.01, Epochs: 0.1, Seed: 100}, 3, 1)
 	if col.Len() != 3 {
 		t.Fatalf("collected %d members", col.Len())
 	}
@@ -352,7 +352,7 @@ func TestEvaluateEndToEnd(t *testing.T) {
 	split, pre := testSplit(t, 30)
 	col := Collect(split, pre.Train, NoiseConfig{
 		Scale: 2, Lambda: 0.01, PrivacyTarget: 4, Epochs: 2, Seed: 200,
-	}, 4)
+	}, 4, 1)
 	res := Evaluate(split, pre.Test, col, EvalConfig{Seed: 1})
 	if res.BaselineAcc <= 0.3 {
 		t.Fatalf("baseline accuracy %v too low for a trained net", res.BaselineAcc)

@@ -82,7 +82,7 @@ func Evaluate(split *Split, ds *data.Dataset, col *Collection, cfg EvalConfig) E
 	batches := 0
 	for _, b := range ds.Batches(cfg.BatchSize) {
 		a := split.Local(b.Images)
-		base := split.Remote(a, false)
+		base := split.RemoteInfer(a)
 		// Per-sample noise draws, as at real inference time (§2.5).
 		aPrime := a.Clone()
 		var lastNoise *tensor.Tensor
@@ -90,7 +90,7 @@ func Evaluate(split *Split, ds *data.Dataset, col *Collection, cfg EvalConfig) E
 			lastNoise = col.Sample(rng)
 			aPrime.Slice(i).AddInPlace(lastNoise)
 		}
-		noisy := split.Remote(aPrime, false)
+		noisy := split.RemoteInfer(aPrime)
 		for i, y := range b.Labels {
 			if base.Slice(i).Argmax() == y {
 				correctBase++

@@ -7,11 +7,14 @@
 //
 // The network weights are never modified: the trainer backpropagates
 // through R only to obtain ∂loss/∂(R's input), which equals ∂loss/∂n since
-// a' = a + n, and updates only the noise tensor.
+// a' = a + n, and updates only the noise tensor. Training runs on frozen
+// tapes (nn.Tape with FrozenParams), which makes TrainNoise reentrant: any
+// number of noise tensors can train concurrently over one shared Split.
 package core
 
 import (
 	"fmt"
+	"sync"
 
 	"shredder/internal/nn"
 	"shredder/internal/tensor"
@@ -26,6 +29,11 @@ type Split struct {
 	CutIndex int
 	// InShape is the per-sample input shape.
 	InShape []int
+
+	// gradMu serializes the one legitimate mutation of shared network
+	// state the training path performs: clearing parameter gradients left
+	// behind by pre-training or legacy (non-frozen) backward passes.
+	gradMu sync.Mutex
 }
 
 // NewSplit cuts net after the layer with the given name. in is the
@@ -56,10 +64,17 @@ func (s *Split) Local(x *tensor.Tensor) *tensor.Tensor {
 
 // Remote computes y = R(a') for a batch of (possibly noisy) activations.
 // train selects training-mode behaviour (needed before RemoteBackward).
-// Forward passes — even with train=false — cache state on the layers, so
-// Remote is NOT reentrant; concurrent servers must use RemoteInfer.
+// This legacy path caches state on the layers, so it is NOT reentrant;
+// concurrent code must use RemoteT or RemoteInfer.
 func (s *Split) Remote(a *tensor.Tensor, train bool) *tensor.Tensor {
 	return s.Net.ForwardRange(a, s.CutIndex+1, s.Net.Len(), train)
+}
+
+// RemoteT computes y = R(a') recording backward state on tape. With a
+// frozen tape per training run, any number of goroutines may train over
+// one shared Split concurrently.
+func (s *Split) RemoteT(tape *nn.Tape, a *tensor.Tensor, train bool) *tensor.Tensor {
+	return s.Net.ForwardRangeT(tape, a, s.CutIndex+1, s.Net.Len(), train)
 }
 
 // RemoteInfer computes y = R(a') on the reentrant inference path: no layer
@@ -71,14 +86,33 @@ func (s *Split) RemoteInfer(a *tensor.Tensor) *tensor.Tensor {
 
 // RemoteBackward backpropagates an output gradient through R and returns
 // ∂loss/∂a′ — which is exactly ∂loss/∂n, the quantity the paper derives in
-// §2.1. Parameter gradients accumulated in R as a side effect are discarded
-// by the caller (the trainer zeroes them; Shredder never updates weights).
+// §2.1 (legacy path; parameter gradients accumulate and must be zeroed by
+// the caller).
 func (s *Split) RemoteBackward(grad *tensor.Tensor) *tensor.Tensor {
 	return s.Net.BackwardRange(grad, s.CutIndex+1, s.Net.Len())
+}
+
+// RemoteBackwardT backpropagates an output gradient through R, consuming
+// the matching RemoteT's tape, and returns ∂loss/∂a′ = ∂loss/∂n. On a
+// frozen tape no parameter gradients are written, so concurrent backward
+// passes over one shared Split are race-free.
+func (s *Split) RemoteBackwardT(tape *nn.Tape, grad *tensor.Tensor) *tensor.Tensor {
+	return s.Net.BackwardRangeT(tape, grad, s.CutIndex+1, s.Net.Len())
 }
 
 // Forward runs the entire intact network (no noise) — the baseline path.
 // It uses the reentrant inference path and is safe for concurrent use.
 func (s *Split) Forward(x *tensor.Tensor) *tensor.Tensor {
 	return s.Net.Infer(x)
+}
+
+// zeroParamGrads clears any parameter gradients left on the network (e.g.
+// by pre-training), serialized so concurrent trainers do not race on the
+// shared gradient buffers. Frozen-tape training never writes parameter
+// gradients, so clearing on entry keeps the invariant "weights and their
+// gradients are untouched by noise training".
+func (s *Split) zeroParamGrads() {
+	s.gradMu.Lock()
+	defer s.gradMu.Unlock()
+	s.Net.ZeroGrad()
 }

@@ -87,15 +87,31 @@ type TrainResult struct {
 	Events      []TrainEvent
 }
 
+// dropoutSeedOffset decorrelates the dropout stream from the noise
+// initialization stream derived from the same cfg.Seed.
+const dropoutSeedOffset = 77_003
+
 // TrainNoise learns one noise tensor for the split on the given dataset.
 // Network weights are left untouched: only the noise tensor is optimized
-// (with Adam, as in the paper §3.2), and any parameter gradients R
-// accumulates during backpropagation are zeroed after each step.
+// (with Adam, as in the paper §3.2). The whole run executes on a private
+// frozen tape — R's parameter gradients are never even computed — so any
+// number of TrainNoise calls may run concurrently over one shared Split.
+// All randomness (initialization, shuffling, dropout) derives from
+// cfg.Seed, making each run reproducible independent of scheduling.
 func TrainNoise(split *Split, ds *data.Dataset, cfg NoiseConfig) *TrainResult {
 	cfg = cfg.withDefaults()
+	// Clear any parameter gradients a pre-training phase left behind, so
+	// the "noise training leaves weights and gradients untouched"
+	// invariant holds from here on (serialized on the Split).
+	split.zeroParamGrads()
 	rng := tensor.NewRNG(cfg.Seed)
 	noise := NewNoiseTensor(split.ActivationShape(), cfg.Mu, cfg.Scale, rng)
 	opt := optim.NewAdam([]*nn.Param{noise.Param}, cfg.LR)
+
+	// The run's private execution context: frozen (no ∂loss/∂θ), with its
+	// own dropout stream.
+	tape := nn.NewFrozenTape()
+	tape.RNG = tensor.NewRNG(cfg.Seed + dropoutSeedOffset)
 
 	batches := ds.Batches(cfg.BatchSize)
 	if len(batches) == 0 {
@@ -123,24 +139,26 @@ func TrainNoise(split *Split, ds *data.Dataset, cfg NoiseConfig) *TrainResult {
 			}
 			a := split.Local(b.Images)
 			aPrime := noise.Apply(a)
-			logits := split.Remote(aPrime, true)
+			tape.Reset()
+			logits := split.RemoteT(tape, aPrime, true)
 
 			var total, ce float64
 			var grad *tensor.Tensor
 			if cfg.SelfSupervised {
-				target := nn.Softmax(split.Remote(a, false))
+				// The soft target comes from the clean activations on the
+				// reentrant inference path, leaving the tape recording of
+				// the noisy pass — the pass being differentiated — intact.
+				target := nn.Softmax(split.RemoteInfer(a))
 				total, ce, grad = ShredderLossSoft(logits, target, noise, lambda)
 			} else {
 				total, ce, grad = ShredderLoss(logits, b.Labels, noise, lambda)
 			}
 
-			dAprime := split.RemoteBackward(grad)
+			dAprime := split.RemoteBackwardT(tape, grad)
 			noise.Param.ZeroGrad()
 			noise.AccumulateGrad(dAprime)
 			AddPrivacyGrad(noise, lambda)
 			opt.Step()
-			// Discard the weight gradients R accumulated: weights frozen.
-			split.Net.ZeroGrad()
 
 			ea2Sum += a.SqSum() / float64(a.Len())
 			ea2N++

@@ -28,6 +28,11 @@ type Config struct {
 	Seed int64
 	// Networks restricts runs to the named benchmarks (nil = all four).
 	Networks []string
+	// Workers bounds how many noise tensors train concurrently per
+	// collection (0 = all cores, 1 = sequential). Collections are
+	// byte-identical regardless of the worker count, so results never
+	// depend on it.
+	Workers int
 	// Progress, when non-nil, receives human-readable progress lines.
 	Progress io.Writer
 }

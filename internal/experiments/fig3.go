@@ -75,7 +75,7 @@ func Fig3(cfg Config) (*Fig3Result, error) {
 			nc.Lambda *= op.lambdaMul
 			nc.PrivacyTarget *= op.targetMul
 			nc.Seed = cfg.Seed + int64(i)*101
-			col := core.Collect(split, pre.Train, nc, cfg.sweepCollectionSize())
+			col := core.Collect(split, pre.Train, nc, cfg.sweepCollectionSize(), cfg.Workers)
 			ev := core.Evaluate(split, pre.Test, col, core.EvalConfig{MI: cfg.miOptions(), Seed: cfg.Seed + int64(i)})
 			if series.ZeroLeakage == 0 {
 				series.ZeroLeakage = ev.OrigMI

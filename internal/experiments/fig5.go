@@ -82,7 +82,7 @@ func Fig5(cfg Config) (*Fig5Result, error) {
 				nc.Scale *= mul
 				nc.PrivacyTarget *= mul
 				nc.Seed = cfg.Seed + int64(i)*211
-				col := core.Collect(split, pre.Train, nc, cfg.sweepCollectionSize())
+				col := core.Collect(split, pre.Train, nc, cfg.sweepCollectionSize(), cfg.Workers)
 				ev := core.Evaluate(split, pre.Test, col, core.EvalConfig{MI: cfg.miOptions(), Seed: cfg.Seed + int64(i)})
 				series.Points = append(series.Points, Fig5Point{
 					ScaleMul: mul,

@@ -71,7 +71,7 @@ func Fig6(cfg Config) (*Fig6Result, error) {
 			}
 			nc := cfg.noiseConfig(b)
 			nc.Seed = cfg.Seed + int64(i)*307
-			col := core.Collect(split, pre.Train, nc, cfg.sweepCollectionSize())
+			col := core.Collect(split, pre.Train, nc, cfg.sweepCollectionSize(), cfg.Workers)
 			ev := core.Evaluate(split, pre.Test, col, core.EvalConfig{MI: cfg.miOptions(), Seed: cfg.Seed + int64(i)})
 			cc := costByCut[cp.Name]
 			net.Points = append(net.Points, Fig6Point{

@@ -52,7 +52,7 @@ func Table1(cfg Config) (*Table1Result, error) {
 		nc := cfg.noiseConfig(b)
 		cfg.logf("table1: training %d noise tensors for %s (λ=%g, b=%g)",
 			cfg.collectionSize(), b.Spec.Name, nc.Lambda, nc.Scale)
-		col := core.Collect(split, pre.Train, nc, cfg.collectionSize())
+		col := core.Collect(split, pre.Train, nc, cfg.collectionSize(), cfg.Workers)
 		ev := core.Evaluate(split, pre.Test, col, core.EvalConfig{MI: cfg.miOptions(), Seed: cfg.Seed})
 
 		noiseParams := 1

@@ -5,10 +5,11 @@ import (
 )
 
 // ReLU applies max(0, x) elementwise. The backward pass gates the gradient
-// by the sign of the forward input.
+// by the sign of the forward input, recovered from the taped output (out>0
+// exactly where in>0), so the tape costs no extra storage.
 type ReLU struct {
 	name string
-	mask []bool
+	tape Tape // backs the legacy Forward/Backward API
 }
 
 // NewReLU constructs a ReLU activation layer.
@@ -23,62 +24,54 @@ func (r *ReLU) Params() []*Param { return nil }
 // OutShape implements Layer.
 func (r *ReLU) OutShape(in []int) []int { return in }
 
-// Forward implements Layer.
+// ForwardT implements Layer.
+func (r *ReLU) ForwardT(tape *Tape, x *tensor.Tensor, train bool) *tensor.Tensor {
+	out := tensor.New(x.Shape()...)
+	xd, od := x.Data(), out.Data()
+	for i, v := range xd {
+		if v > 0 {
+			od[i] = v
+		}
+	}
+	tape.push(r, out)
+	return out
+}
+
+// Forward implements Layer (legacy wrapper over the struct-held tape).
 func (r *ReLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
-	out := tensor.New(x.Shape()...)
-	if cap(r.mask) < x.Len() {
-		r.mask = make([]bool, x.Len())
-	}
-	r.mask = r.mask[:x.Len()]
-	xd, od := x.Data(), out.Data()
-	for i, v := range xd {
-		if v > 0 {
-			od[i] = v
-			r.mask[i] = true
-		} else {
-			od[i] = 0
-			r.mask[i] = false
-		}
-	}
-	return out
+	r.tape.Reset()
+	return r.ForwardT(&r.tape, x, train)
 }
 
-// Infer implements Layer: max(0, x) with no mask cache. Safe for
-// concurrent use.
-func (r *ReLU) Infer(x *tensor.Tensor) *tensor.Tensor {
-	out := tensor.New(x.Shape()...)
-	xd, od := x.Data(), out.Data()
-	for i, v := range xd {
-		if v > 0 {
-			od[i] = v
-		}
-	}
-	return out
-}
-
-// Backward implements Layer.
-func (r *ReLU) Backward(grad *tensor.Tensor) *tensor.Tensor {
-	if r.mask == nil {
-		panic("nn: ReLU.Backward before Forward")
-	}
-	if grad.Len() != len(r.mask) {
+// BackwardT implements Layer.
+func (r *ReLU) BackwardT(tape *Tape, grad *tensor.Tensor) *tensor.Tensor {
+	fwd := tape.pop(r).(*tensor.Tensor)
+	if grad.Len() != fwd.Len() {
 		panic("nn: ReLU backward grad size mismatch")
 	}
 	out := tensor.New(grad.Shape()...)
-	gd, od := grad.Data(), out.Data()
-	for i, m := range r.mask {
-		if m {
+	gd, od, fd := grad.Data(), out.Data(), fwd.Data()
+	for i, v := range fd {
+		if v > 0 {
 			od[i] = gd[i]
 		}
 	}
 	return out
 }
 
+// Backward implements Layer (legacy wrapper over the struct-held tape).
+func (r *ReLU) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if r.tape.Len() == 0 {
+		panic("nn: ReLU.Backward before Forward")
+	}
+	return r.BackwardT(&r.tape, grad)
+}
+
 // Flatten reshapes [N, ...] to [N, D]. It exists so that cutting points can
 // fall on either side of the features/classifier boundary the paper uses.
 type Flatten struct {
-	name      string
-	lastShape []int
+	name string
+	tape Tape // backs the legacy Forward/Backward API
 }
 
 // NewFlatten constructs a flatten layer.
@@ -93,34 +86,43 @@ func (f *Flatten) Params() []*Param { return nil }
 // OutShape implements Layer.
 func (f *Flatten) OutShape(in []int) []int { return []int{tensor.Volume(in)} }
 
-// Forward implements Layer.
+// ForwardT implements Layer: a reshape, taping the original shape.
+func (f *Flatten) ForwardT(tape *Tape, x *tensor.Tensor, train bool) *tensor.Tensor {
+	checkBatched(f.name, x)
+	tape.push(f, append([]int(nil), x.Shape()...))
+	return x.Reshape(x.Dim(0), -1)
+}
+
+// Forward implements Layer (legacy wrapper over the struct-held tape).
 func (f *Flatten) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
-	checkBatched(f.name, x)
-	f.lastShape = append([]int(nil), x.Shape()...)
-	return x.Reshape(x.Dim(0), -1)
+	f.tape.Reset()
+	return f.ForwardT(&f.tape, x, train)
 }
 
-// Infer implements Layer: a stateless reshape. Safe for concurrent use.
-func (f *Flatten) Infer(x *tensor.Tensor) *tensor.Tensor {
-	checkBatched(f.name, x)
-	return x.Reshape(x.Dim(0), -1)
+// BackwardT implements Layer.
+func (f *Flatten) BackwardT(tape *Tape, grad *tensor.Tensor) *tensor.Tensor {
+	shape := tape.pop(f).([]int)
+	return grad.Reshape(shape...)
 }
 
-// Backward implements Layer.
+// Backward implements Layer (legacy wrapper over the struct-held tape).
 func (f *Flatten) Backward(grad *tensor.Tensor) *tensor.Tensor {
-	if f.lastShape == nil {
+	if f.tape.Len() == 0 {
 		panic("nn: Flatten.Backward before Forward")
 	}
-	return grad.Reshape(f.lastShape...)
+	return f.BackwardT(&f.tape, grad)
 }
 
 // Dropout zeroes a fraction p of activations during training and scales the
 // survivors by 1/(1-p) (inverted dropout); it is the identity at inference.
+// Training-mode randomness comes from the tape's RNG when it carries one
+// (so concurrent training runs draw independent reproducible streams), and
+// from the layer's construction RNG otherwise.
 type Dropout struct {
 	name string
 	P    float64
 	rng  *tensor.RNG
-	mask []float64
+	tape Tape // backs the legacy Forward/Backward API
 }
 
 // NewDropout constructs a dropout layer with drop probability p.
@@ -140,43 +142,56 @@ func (d *Dropout) Params() []*Param { return nil }
 // OutShape implements Layer.
 func (d *Dropout) OutShape(in []int) []int { return in }
 
-// Forward implements Layer.
-func (d *Dropout) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+// ForwardT implements Layer. A nil mask on the tape marks an identity
+// (inference-mode) pass.
+func (d *Dropout) ForwardT(tape *Tape, x *tensor.Tensor, train bool) *tensor.Tensor {
 	if !train || d.P == 0 {
-		d.mask = nil
+		tape.push(d, (*tensor.Tensor)(nil))
 		return x
 	}
+	rng := tape.rng(d.rng)
 	out := tensor.New(x.Shape()...)
-	if cap(d.mask) < x.Len() {
-		d.mask = make([]float64, x.Len())
-	}
-	d.mask = d.mask[:x.Len()]
+	mask := tensor.GetScratch(x.Shape()...)
+	md := mask.Data()
 	keep := 1 / (1 - d.P)
 	xd, od := x.Data(), out.Data()
 	for i := range xd {
-		if d.rng.Float64() < d.P {
-			d.mask[i] = 0
+		if rng.Float64() < d.P {
+			md[i] = 0
 		} else {
-			d.mask[i] = keep
+			md[i] = keep
 			od[i] = xd[i] * keep
 		}
 	}
+	tape.push(d, mask)
 	return out
 }
 
-// Infer implements Layer: dropout is the identity at inference. Safe for
-// concurrent use.
-func (d *Dropout) Infer(x *tensor.Tensor) *tensor.Tensor { return x }
+// Forward implements Layer (legacy wrapper over the struct-held tape).
+func (d *Dropout) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	d.tape.Reset()
+	return d.ForwardT(&d.tape, x, train)
+}
 
-// Backward implements Layer.
-func (d *Dropout) Backward(grad *tensor.Tensor) *tensor.Tensor {
-	if d.mask == nil { // inference-mode forward: identity
+// BackwardT implements Layer.
+func (d *Dropout) BackwardT(tape *Tape, grad *tensor.Tensor) *tensor.Tensor {
+	mask := tape.pop(d).(*tensor.Tensor)
+	if mask == nil { // inference-mode forward: identity
 		return grad
 	}
 	out := tensor.New(grad.Shape()...)
-	gd, od := grad.Data(), out.Data()
+	gd, od, md := grad.Data(), out.Data(), mask.Data()
 	for i := range gd {
-		od[i] = gd[i] * d.mask[i]
+		od[i] = gd[i] * md[i]
 	}
+	tensor.PutScratch(mask)
 	return out
+}
+
+// Backward implements Layer (legacy wrapper over the struct-held tape).
+func (d *Dropout) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if d.tape.Len() == 0 {
+		panic("nn: Dropout.Backward before Forward")
+	}
+	return d.BackwardT(&d.tape, grad)
 }

@@ -12,6 +12,10 @@ import (
 // applies a learned affine transform (γ, β). At inference it uses running
 // statistics accumulated during training.
 //
+// Training-mode forward passes on a FrozenParams tape still normalize by
+// batch statistics but skip the running-statistics update — the one write
+// to shared layer state — so frozen training passes are reentrant.
+//
 // The backward pass is the exact batch-norm Jacobian product:
 //
 //	dx = (γ/σ)·(dy − mean(dy) − x̂·mean(dy·x̂))
@@ -26,10 +30,15 @@ type BatchNorm2D struct {
 	runningMean []float64
 	runningVar  []float64
 
-	// cached state from the last training-mode forward
-	lastXHat *tensor.Tensor
-	lastStd  []float64
-	lastN    int // elements per channel in the batch
+	tape Tape // backs the legacy Forward/Backward API
+}
+
+// batchNormState is the tape record of one training-mode forward pass. A
+// nil xhat marks an inference-mode pass, which has no backward.
+type batchNormState struct {
+	xhat *tensor.Tensor
+	std  []float64
+	n    int // elements per channel in the batch
 }
 
 // NewBatchNorm2D constructs a batch-norm layer over c channels.
@@ -63,8 +72,8 @@ func (bn *BatchNorm2D) OutShape(in []int) []int {
 	return in
 }
 
-// Forward implements Layer.
-func (bn *BatchNorm2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+// ForwardT implements Layer.
+func (bn *BatchNorm2D) ForwardT(tape *Tape, x *tensor.Tensor, train bool) *tensor.Tensor {
 	checkBatched(bn.name, x)
 	if x.Rank() != 4 || x.Dim(1) != bn.C {
 		panic(fmt.Sprintf("nn: %s expects [N,%d,H,W], got %v", bn.name, bn.C, x.Shape()))
@@ -77,15 +86,18 @@ func (bn *BatchNorm2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	gd, bd := bn.Gamma.Value.Data(), bn.Beta.Value.Data()
 
 	if !train {
-		bn.lastXHat = nil
+		tape.push(bn, batchNormState{})
 		bn.normalizeRunning(xd, od, n, hw)
 		return out
 	}
 
-	bn.lastXHat = tensor.New(x.Shape()...)
-	bn.lastStd = make([]float64, bn.C)
-	bn.lastN = perC
-	xh := bn.lastXHat.Data()
+	st := batchNormState{
+		xhat: tensor.New(x.Shape()...),
+		std:  make([]float64, bn.C),
+		n:    perC,
+	}
+	xh := st.xhat.Data()
+	updateRunning := !tape.frozen()
 	for c := 0; c < bn.C; c++ {
 		sum := 0.0
 		for i := 0; i < n; i++ {
@@ -105,7 +117,7 @@ func (bn *BatchNorm2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 		}
 		variance := vsum / float64(perC)
 		std := math.Sqrt(variance + bn.Eps)
-		bn.lastStd[c] = std
+		st.std[c] = std
 		inv := 1 / std
 		g, b := gd[c], bd[c]
 		for i := 0; i < n; i++ {
@@ -116,23 +128,19 @@ func (bn *BatchNorm2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 				od[base+p] = g*v + b
 			}
 		}
-		bn.runningMean[c] = (1-bn.Momentum)*bn.runningMean[c] + bn.Momentum*mean
-		bn.runningVar[c] = (1-bn.Momentum)*bn.runningVar[c] + bn.Momentum*variance
+		if updateRunning {
+			bn.runningMean[c] = (1-bn.Momentum)*bn.runningMean[c] + bn.Momentum*mean
+			bn.runningVar[c] = (1-bn.Momentum)*bn.runningVar[c] + bn.Momentum*variance
+		}
 	}
+	tape.push(bn, st)
 	return out
 }
 
-// Infer implements Layer: normalization by the frozen running statistics,
-// with no cache writes. Safe for concurrent use provided no training-mode
-// Forward runs concurrently (training updates the running stats).
-func (bn *BatchNorm2D) Infer(x *tensor.Tensor) *tensor.Tensor {
-	checkBatched(bn.name, x)
-	if x.Rank() != 4 || x.Dim(1) != bn.C {
-		panic(fmt.Sprintf("nn: %s expects [N,%d,H,W], got %v", bn.name, bn.C, x.Shape()))
-	}
-	out := tensor.New(x.Shape()...)
-	bn.normalizeRunning(x.Data(), out.Data(), x.Dim(0), x.Dim(2)*x.Dim(3))
-	return out
+// Forward implements Layer (legacy wrapper over the struct-held tape).
+func (bn *BatchNorm2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	bn.tape.Reset()
+	return bn.ForwardT(&bn.tape, x, train)
 }
 
 // normalizeRunning applies the running-statistics affine normalization,
@@ -152,24 +160,25 @@ func (bn *BatchNorm2D) normalizeRunning(xd, od []float64, n, hw int) {
 	}
 }
 
-// Backward implements Layer.
-func (bn *BatchNorm2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
-	if bn.lastXHat == nil {
+// BackwardT implements Layer. Under FrozenParams the γ/β gradient
+// accumulation is skipped.
+func (bn *BatchNorm2D) BackwardT(tape *Tape, grad *tensor.Tensor) *tensor.Tensor {
+	st := tape.pop(bn).(batchNormState)
+	if st.xhat == nil {
 		panic("nn: BatchNorm2D.Backward before training-mode Forward")
 	}
-	if !grad.SameShape(bn.lastXHat) {
+	if !grad.SameShape(st.xhat) {
 		panic("nn: BatchNorm2D backward grad shape mismatch")
 	}
 	nT := grad.Dim(0)
 	h, w := grad.Dim(2), grad.Dim(3)
 	hw := h * w
-	perC := float64(bn.lastN)
+	perC := float64(st.n)
+	frozen := tape.frozen()
 	dx := tensor.New(grad.Shape()...)
 	gd := grad.Data()
-	xh := bn.lastXHat.Data()
+	xh := st.xhat.Data()
 	dd := dx.Data()
-	gg := bn.Gamma.Grad.Data()
-	bg := bn.Beta.Grad.Data()
 	gv := bn.Gamma.Value.Data()
 	for c := 0; c < bn.C; c++ {
 		var sumDy, sumDyXh float64
@@ -181,9 +190,11 @@ func (bn *BatchNorm2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
 				sumDyXh += dy * xh[base+p]
 			}
 		}
-		gg[c] += sumDyXh
-		bg[c] += sumDy
-		coef := gv[c] / bn.lastStd[c]
+		if !frozen {
+			bn.Gamma.Grad.Data()[c] += sumDyXh
+			bn.Beta.Grad.Data()[c] += sumDy
+		}
+		coef := gv[c] / st.std[c]
 		meanDy := sumDy / perC
 		meanDyXh := sumDyXh / perC
 		for i := 0; i < nT; i++ {
@@ -194,4 +205,12 @@ func (bn *BatchNorm2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
 		}
 	}
 	return dx
+}
+
+// Backward implements Layer (legacy wrapper over the struct-held tape).
+func (bn *BatchNorm2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if bn.tape.Len() == 0 {
+		panic("nn: BatchNorm2D.Backward before training-mode Forward")
+	}
+	return bn.BackwardT(&bn.tape, grad)
 }

@@ -15,10 +15,14 @@ type Conv2D struct {
 	KH, KW      int
 	Stride, Pad int
 	W, B        *Param
-	lastIn      *tensor.Tensor // cached input batch for backward
-	lastGeom    tensor.ConvGeom
-	lastOutH    int
-	lastOutW    int
+	tape        Tape // backs the legacy Forward/Backward API
+}
+
+// convState is the tape record of one Conv2D forward pass.
+type convState struct {
+	in         *tensor.Tensor
+	geom       tensor.ConvGeom
+	outH, outW int
 }
 
 // NewConv2D constructs a convolution layer with He-initialized weights.
@@ -56,26 +60,24 @@ func (c *Conv2D) geom(in []int) tensor.ConvGeom {
 	return g
 }
 
-// Forward implements Layer. The batch is processed sample-parallel.
-func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+// ForwardT implements Layer. The batch is processed sample-parallel, with
+// the per-sample column and product matrices drawn from the tensor scratch
+// pool so concurrent passes do not scale allocations with request rate.
+func (c *Conv2D) ForwardT(tape *Tape, x *tensor.Tensor, train bool) *tensor.Tensor {
 	checkBatched(c.name, x)
 	g := c.geom(x.Shape()[1:])
-	c.lastGeom, c.lastOutH, c.lastOutW = g, g.OutH(), g.OutW()
-	c.lastIn = x
+	tape.push(c, convState{in: x, geom: g, outH: g.OutH(), outW: g.OutW()})
 	return c.compute(x, g)
 }
 
-// Infer implements Layer: the same lowering as Forward with no state
-// writes, drawing the per-sample column and product matrices from the
-// tensor scratch pool so concurrent inference does not scale allocations
-// with request rate.
-func (c *Conv2D) Infer(x *tensor.Tensor) *tensor.Tensor {
-	checkBatched(c.name, x)
-	return c.compute(x, c.geom(x.Shape()[1:]))
+// Forward implements Layer (legacy wrapper over the struct-held tape).
+func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	c.tape.Reset()
+	return c.ForwardT(&c.tape, x, train)
 }
 
 // compute runs the im2col-lowered convolution over a batch. It reads only
-// the layer's parameters, never its cached state.
+// the layer's parameters, never mutable layer state.
 func (c *Conv2D) compute(x *tensor.Tensor, g tensor.ConvGeom) *tensor.Tensor {
 	n := x.Dim(0)
 	outH, outW := g.OutH(), g.OutW()
@@ -102,31 +104,35 @@ func (c *Conv2D) compute(x *tensor.Tensor, g tensor.ConvGeom) *tensor.Tensor {
 	return out
 }
 
-// Backward implements Layer. It recomputes im2col from the cached input
-// rather than caching column matrices, trading FLOPs for memory.
-func (c *Conv2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
-	if c.lastIn == nil {
-		panic("nn: Conv2D.Backward before Forward")
-	}
-	x := c.lastIn
+// BackwardT implements Layer. It recomputes im2col from the recorded input
+// rather than taping column matrices, trading FLOPs for memory. Under
+// FrozenParams the weight/bias gradients — and the im2col they need — are
+// skipped entirely: only ∂loss/∂input is produced.
+func (c *Conv2D) BackwardT(tape *Tape, grad *tensor.Tensor) *tensor.Tensor {
+	st := tape.pop(c).(convState)
+	x := st.in
 	n := x.Dim(0)
-	g := c.lastGeom
-	p := c.lastOutH * c.lastOutW
+	g := st.geom
+	p := st.outH * st.outW
 	if grad.Dim(0) != n || grad.Len() != n*c.OutC*p {
 		panic(fmt.Sprintf("nn: %s backward grad shape %v does not match forward output", c.name, grad.Shape()))
 	}
+	frozen := tape.frozen()
 	dx := tensor.New(x.Shape()...)
+	ckk := c.InC * c.KH * c.KW
 
 	// Per-sample weight/bias gradients are accumulated into private buffers
 	// and reduced at the end so the batch loop can run in parallel without
 	// locking.
-	dWs := make([]*tensor.Tensor, n)
-	dBs := make([]*tensor.Tensor, n)
+	var dWs, dBs []*tensor.Tensor
+	if !frozen {
+		dWs = make([]*tensor.Tensor, n)
+		dBs = make([]*tensor.Tensor, n)
+	}
 	tensor.ParallelFor(n, func(i int) {
-		cols := tensor.Im2Col(x.Slice(i), g) // [P, CKK]
 		// Reassemble grad slice [OutC, P] into G [P, OutC].
 		gi := grad.Slice(i).Data()
-		G := tensor.New(p, c.OutC)
+		G := tensor.GetScratch(p, c.OutC)
 		gd := G.Data()
 		for oc := 0; oc < c.OutC; oc++ {
 			row := gi[oc*p:]
@@ -134,24 +140,42 @@ func (c *Conv2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
 				gd[pos*c.OutC+oc] = row[pos]
 			}
 		}
-		dWs[i] = tensor.MatMulT1(G, cols)    // [OutC, CKK]
-		dcols := tensor.MatMul(G, c.W.Value) // [P, CKK]
-		dx.Slice(i).CopyFrom(tensor.Col2Im(dcols, g))
-		db := tensor.New(c.OutC)
-		dbd := db.Data()
-		for pos := 0; pos < p; pos++ {
-			row := gd[pos*c.OutC:]
-			for oc := 0; oc < c.OutC; oc++ {
-				dbd[oc] += row[oc]
+		if !frozen {
+			cols := tensor.GetScratch(p, ckk) // [P, CKK]
+			tensor.Im2ColInto(cols, x.Slice(i), g)
+			dWs[i] = tensor.MatMulT1(G, cols) // [OutC, CKK]
+			db := tensor.New(c.OutC)
+			dbd := db.Data()
+			for pos := 0; pos < p; pos++ {
+				row := gd[pos*c.OutC:]
+				for oc := 0; oc < c.OutC; oc++ {
+					dbd[oc] += row[oc]
+				}
 			}
+			dBs[i] = db
+			tensor.PutScratch(cols)
 		}
-		dBs[i] = db
+		dcols := tensor.GetScratch(p, ckk)
+		tensor.MatMulInto(dcols, G, c.W.Value) // [P, CKK]
+		dx.Slice(i).CopyFrom(tensor.Col2Im(dcols, g))
+		tensor.PutScratch(dcols)
+		tensor.PutScratch(G)
 	})
-	for i := 0; i < n; i++ {
-		c.W.Grad.AddInPlace(dWs[i])
-		c.B.Grad.AddInPlace(dBs[i])
+	if !frozen {
+		for i := 0; i < n; i++ {
+			c.W.Grad.AddInPlace(dWs[i])
+			c.B.Grad.AddInPlace(dBs[i])
+		}
 	}
 	return dx
+}
+
+// Backward implements Layer (legacy wrapper over the struct-held tape).
+func (c *Conv2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if c.tape.Len() == 0 {
+		panic("nn: Conv2D.Backward before Forward")
+	}
+	return c.BackwardT(&c.tape, grad)
 }
 
 // MACs returns the multiply-accumulate count of one forward pass over a

@@ -10,7 +10,9 @@ import (
 // gradCheckLayer verifies a layer's backward pass against central finite
 // differences. It uses loss = Σ w⊙Forward(x) with random w, so the analytic
 // gradient is Backward(w), and checks both the input gradient and every
-// parameter gradient.
+// parameter gradient. The same gradients are then recomputed through an
+// explicit tape (ForwardT/BackwardT) and must match the legacy path
+// bitwise, and a frozen tape must leave every parameter gradient untouched.
 func gradCheckLayer(t *testing.T, l Layer, x *tensor.Tensor, eps, tol float64, seed int64) {
 	t.Helper()
 	rng := tensor.NewRNG(seed)
@@ -25,6 +27,49 @@ func gradCheckLayer(t *testing.T, l Layer, x *tensor.Tensor, eps, tol float64, s
 
 	loss := func() float64 {
 		return tensor.Dot(l.Forward(x, false), w)
+	}
+
+	// Tape path: identical math, explicit execution context.
+	legacyGrads := make([]*tensor.Tensor, len(l.Params()))
+	for i, p := range l.Params() {
+		legacyGrads[i] = p.Grad.Clone()
+		p.ZeroGrad()
+	}
+	tape := NewTape()
+	outT := l.ForwardT(tape, x, true)
+	if !tensor.Equal(outT, out) {
+		t.Fatalf("%s: tape ForwardT diverges from legacy Forward", l.Name())
+	}
+	dxT := l.BackwardT(tape, w)
+	if !tensor.Equal(dxT, dx) {
+		t.Fatalf("%s: tape BackwardT input grad diverges from legacy Backward", l.Name())
+	}
+	for i, p := range l.Params() {
+		if !tensor.Equal(p.Grad, legacyGrads[i]) {
+			t.Fatalf("%s: tape param %s grad diverges from legacy path", l.Name(), p.Name)
+		}
+	}
+
+	// Frozen tape: same input gradient, zero parameter gradients.
+	for _, p := range l.Params() {
+		p.ZeroGrad()
+	}
+	frozen := NewFrozenTape()
+	l.ForwardT(frozen, x, true)
+	if dxF := l.BackwardT(frozen, w); !tensor.Equal(dxF, dx) {
+		t.Fatalf("%s: frozen-tape input grad diverges", l.Name())
+	}
+	for _, p := range l.Params() {
+		for _, v := range p.Grad.Data() {
+			if v != 0 {
+				t.Fatalf("%s: frozen tape wrote param gradient %s", l.Name(), p.Name)
+			}
+		}
+	}
+
+	// Restore the legacy-path gradients for the finite-difference check.
+	for i, p := range l.Params() {
+		p.Grad.CopyFrom(legacyGrads[i])
 	}
 
 	// Input gradient. Checking every element is O(|x|) forwards; keep the

@@ -1,9 +1,10 @@
 package nn
 
-// Tests for the reentrant Infer path: for every layer, Infer must compute
-// exactly what Forward(x, false) computes, and running Infer from many
-// goroutines over one shared network must be race-free (the -race runs in
-// CI enforce the latter).
+// Tests for the reentrant inference path: for every layer, ForwardT with a
+// discarded (nil) tape must compute exactly what Forward(x, false)
+// computes, and running Sequential.Infer from many goroutines over one
+// shared network must be race-free (the -race runs in CI enforce the
+// latter).
 
 import (
 	"sync"
@@ -44,12 +45,12 @@ func inferCases(rng *tensor.RNG) []struct {
 func TestInferMatchesInferenceForward(t *testing.T) {
 	for _, tc := range inferCases(tensor.NewRNG(11)) {
 		want := tc.layer.Forward(tc.x, false)
-		got := tc.layer.Infer(tc.x)
+		got := tc.layer.ForwardT(nil, tc.x, false)
 		if !tensor.AllClose(got, want, 0) {
-			t.Errorf("%s: Infer diverges from Forward(x, false)", tc.name)
+			t.Errorf("%s: nil-tape ForwardT diverges from Forward(x, false)", tc.name)
 		}
 		if !tensor.ShapeEq(got.Shape(), want.Shape()) {
-			t.Errorf("%s: Infer shape %v != Forward shape %v", tc.name, got.Shape(), want.Shape())
+			t.Errorf("%s: nil-tape ForwardT shape %v != Forward shape %v", tc.name, got.Shape(), want.Shape())
 		}
 	}
 }
@@ -64,10 +65,10 @@ func TestInferDoesNotDisturbTrainingState(t *testing.T) {
 	conv.W.Grad.Zero()
 	conv.B.Grad.Zero()
 
-	// An interleaved Infer (e.g. a serving goroutine) must not corrupt the
-	// Forward→Backward pairing of a concurrent training loop.
+	// An interleaved nil-tape inference (e.g. a serving goroutine) must not
+	// corrupt the Forward→Backward pairing of a concurrent training loop.
 	conv.Forward(x, true)
-	conv.Infer(rng.FillNormal(tensor.New(5, 3, 8, 8), 0, 1))
+	conv.ForwardT(nil, rng.FillNormal(tensor.New(5, 3, 8, 8), 0, 1), false)
 	gotDx := conv.Backward(g)
 	if !tensor.AllClose(gotDx, wantDx, 0) {
 		t.Fatal("Infer between Forward and Backward corrupted the backward pass")

@@ -4,6 +4,13 @@
 // normalization), a Sequential container, softmax cross-entropy loss,
 // weight initialization, and checkpoint I/O.
 //
+// Execution is tape-based: a forward pass records the state its backward
+// pass needs on an explicit per-call Tape instead of on the layer structs,
+// so one shared network supports any number of concurrent forward and
+// forward/backward passes (one Tape per in-flight pass). A nil tape is the
+// inference path; a FrozenParams tape skips parameter gradients for
+// training against a frozen network — Shredder's only training mode.
+//
 // Every layer computes gradients with respect to both its parameters and its
 // input. The input gradient is what makes Shredder possible: the noise
 // tensor is trained purely through ∂loss/∂(input of the remote network),
@@ -38,29 +45,35 @@ func (p *Param) ZeroGrad() { p.Grad.Zero() }
 
 // Layer is one differentiable stage of a network.
 //
-// Forward consumes a batched input and returns the batched output; when
-// train is true the layer may cache state for Backward and apply
-// train-only behaviour (dropout). Backward consumes ∂loss/∂output of the
-// most recent Forward and returns ∂loss/∂input, accumulating parameter
-// gradients as a side effect. Calling Backward without a preceding Forward
-// is a programming error and panics.
+// ForwardT and BackwardT are the primary execution surface: all
+// intermediate state flows through the explicit *Tape, so a shared layer
+// supports any number of concurrent in-flight passes (one tape per pass).
+// ForwardT with a nil tape is the reentrant inference path — it records
+// nothing and is safe for unbounded concurrent use. BackwardT consumes the
+// tape entry its matching ForwardT pushed, returns ∂loss/∂input, and
+// accumulates parameter gradients unless the tape is in FrozenParams mode.
 //
-// Infer is the reentrant forward pass: it computes exactly what
-// Forward(x, false) computes but touches no layer state, so any number of
-// goroutines may call Infer on a shared layer concurrently. Forward — even
-// in inference mode — caches buffers on the layer struct and is therefore
-// NOT safe for concurrent use; serving paths must use Infer.
+// Forward and Backward are thin legacy wrappers over a tape held on the
+// layer struct: Forward resets that tape and delegates to ForwardT,
+// Backward delegates to BackwardT. They preserve the historic
+// one-in-flight-pass-per-layer API (and its non-reentrancy); new code
+// should pass tapes explicitly.
 type Layer interface {
 	// Name identifies the layer within a model (e.g. "conv2"); cutting
 	// points are addressed by layer name.
 	Name() string
-	// Forward computes the layer output for a batch.
+	// ForwardT computes the layer output for a batch, recording backward
+	// state on tape. A nil tape discards the state (inference mode); any
+	// number of goroutines may run nil-tape ForwardT on a shared layer.
+	ForwardT(tape *Tape, x *tensor.Tensor, train bool) *tensor.Tensor
+	// BackwardT consumes ∂loss/∂output of the matching ForwardT on tape
+	// and returns ∂loss/∂input, accumulating parameter gradients unless
+	// tape.FrozenParams is set.
+	BackwardT(tape *Tape, grad *tensor.Tensor) *tensor.Tensor
+	// Forward is ForwardT over the layer's struct-held tape (legacy API,
+	// not safe for concurrent use).
 	Forward(x *tensor.Tensor, train bool) *tensor.Tensor
-	// Infer computes the inference-mode output for a batch without
-	// mutating any layer state. Safe for concurrent use.
-	Infer(x *tensor.Tensor) *tensor.Tensor
-	// Backward computes the input gradient for the last Forward batch and
-	// accumulates parameter gradients.
+	// Backward is BackwardT over the layer's struct-held tape (legacy API).
 	Backward(grad *tensor.Tensor) *tensor.Tensor
 	// Params returns the layer's trainable parameters (nil if none).
 	Params() []*Param

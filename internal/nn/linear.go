@@ -12,7 +12,7 @@ type Linear struct {
 	name    string
 	In, Out int
 	W, B    *Param
-	lastIn  *tensor.Tensor
+	tape    Tape // backs the legacy Forward/Backward API
 }
 
 // NewLinear constructs a fully-connected layer with Xavier-initialized
@@ -38,28 +38,24 @@ func (l *Linear) OutShape(in []int) []int {
 	return []int{l.Out}
 }
 
-// Forward implements Layer: y = x·Wᵀ + b.
+// ForwardT implements Layer: y = x·Wᵀ + b, taping the flattened input.
+func (l *Linear) ForwardT(tape *Tape, x *tensor.Tensor, train bool) *tensor.Tensor {
+	checkBatched(l.name, x)
+	x2 := x.Reshape(x.Dim(0), -1)
+	if x2.Dim(1) != l.In {
+		panic(fmt.Sprintf("nn: %s expects %d inputs, got %d", l.name, l.In, x2.Dim(1)))
+	}
+	tape.push(l, x2)
+	return l.compute(x2)
+}
+
+// Forward implements Layer (legacy wrapper over the struct-held tape).
 func (l *Linear) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
-	checkBatched(l.name, x)
-	x2 := x.Reshape(x.Dim(0), -1)
-	if x2.Dim(1) != l.In {
-		panic(fmt.Sprintf("nn: %s expects %d inputs, got %d", l.name, l.In, x2.Dim(1)))
-	}
-	l.lastIn = x2
-	return l.compute(x2)
+	l.tape.Reset()
+	return l.ForwardT(&l.tape, x, train)
 }
 
-// Infer implements Layer: Forward without the backward cache. Safe for
-// concurrent use.
-func (l *Linear) Infer(x *tensor.Tensor) *tensor.Tensor {
-	checkBatched(l.name, x)
-	x2 := x.Reshape(x.Dim(0), -1)
-	if x2.Dim(1) != l.In {
-		panic(fmt.Sprintf("nn: %s expects %d inputs, got %d", l.name, l.In, x2.Dim(1)))
-	}
-	return l.compute(x2)
-}
-
+// compute reads only the layer's parameters, never mutable layer state.
 func (l *Linear) compute(x2 *tensor.Tensor) *tensor.Tensor {
 	n := x2.Dim(0)
 	out := tensor.MatMulT2(x2, l.W.Value) // [N, Out]
@@ -74,23 +70,32 @@ func (l *Linear) compute(x2 *tensor.Tensor) *tensor.Tensor {
 	return out
 }
 
-// Backward implements Layer.
-func (l *Linear) Backward(grad *tensor.Tensor) *tensor.Tensor {
-	if l.lastIn == nil {
-		panic("nn: Linear.Backward before Forward")
-	}
-	n := l.lastIn.Dim(0)
+// BackwardT implements Layer. Under FrozenParams the dW GEMM and bias
+// reduction are skipped: only ∂loss/∂input is produced.
+func (l *Linear) BackwardT(tape *Tape, grad *tensor.Tensor) *tensor.Tensor {
+	x2 := tape.pop(l).(*tensor.Tensor)
+	n := x2.Dim(0)
 	g2 := grad.Reshape(n, l.Out)
-	l.W.Grad.AddInPlace(tensor.MatMulT1(g2, l.lastIn)) // [Out, In]
-	gd := g2.Data()
-	bg := l.B.Grad.Data()
-	for i := 0; i < n; i++ {
-		row := gd[i*l.Out:]
-		for j := 0; j < l.Out; j++ {
-			bg[j] += row[j]
+	if !tape.frozen() {
+		l.W.Grad.AddInPlace(tensor.MatMulT1(g2, x2)) // [Out, In]
+		gd := g2.Data()
+		bg := l.B.Grad.Data()
+		for i := 0; i < n; i++ {
+			row := gd[i*l.Out:]
+			for j := 0; j < l.Out; j++ {
+				bg[j] += row[j]
+			}
 		}
 	}
 	return tensor.MatMul(g2, l.W.Value) // [N, In]
+}
+
+// Backward implements Layer (legacy wrapper over the struct-held tape).
+func (l *Linear) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if l.tape.Len() == 0 {
+		panic("nn: Linear.Backward before Forward")
+	}
+	return l.BackwardT(&l.tape, grad)
 }
 
 // MACs returns the multiply-accumulate count of one forward pass over a

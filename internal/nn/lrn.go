@@ -20,8 +20,14 @@ type LocalResponseNorm struct {
 	N           int // window size in channels
 	K           float64
 	Alpha, Beta float64
-	lastIn      *tensor.Tensor
-	lastS       *tensor.Tensor // s_c = k + (alpha/n)·Σ x_j² per element
+	tape        Tape // backs the legacy Forward/Backward API
+}
+
+// lrnState is the tape record of one forward pass: the input and the
+// per-element denominator s_c = k + (alpha/n)·Σ x_j².
+type lrnState struct {
+	in *tensor.Tensor
+	s  *tensor.Tensor
 }
 
 // NewLocalResponseNorm constructs an LRN layer with the given window size
@@ -58,18 +64,23 @@ func (l *LocalResponseNorm) window(c, channels int) (int, int) {
 	return lo, hi
 }
 
-// Forward implements Layer.
-func (l *LocalResponseNorm) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+// ForwardT implements Layer. With a nil tape the denominator tensor is
+// never materialized — the discarded-tape path allocates strictly less.
+func (l *LocalResponseNorm) ForwardT(tape *Tape, x *tensor.Tensor, train bool) *tensor.Tensor {
 	checkBatched(l.name, x)
 	if x.Rank() != 4 {
 		panic("nn: LRN expects [N,C,H,W] input")
 	}
 	n, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
 	hw := h * w
-	l.lastIn = x
-	l.lastS = tensor.New(x.Shape()...)
 	out := tensor.New(x.Shape()...)
-	xd, sd, od := x.Data(), l.lastS.Data(), out.Data()
+	var sd []float64
+	var sT *tensor.Tensor
+	if tape != nil {
+		sT = tensor.New(x.Shape()...)
+		sd = sT.Data()
+	}
+	xd, od := x.Data(), out.Data()
 	coef := l.Alpha / float64(l.N)
 	tensor.ParallelFor(n, func(i int) {
 		base := i * c * hw
@@ -83,54 +94,31 @@ func (l *LocalResponseNorm) Forward(x *tensor.Tensor, train bool) *tensor.Tensor
 				}
 				s := l.K + coef*sum
 				idx := base + ch*hw + p
-				sd[idx] = s
+				if sd != nil {
+					sd[idx] = s
+				}
 				od[idx] = xd[idx] * math.Pow(s, -l.Beta)
 			}
 		}
 	})
+	tape.push(l, lrnState{in: x, s: sT})
 	return out
 }
 
-// Infer implements Layer: the same normalization as Forward with the
-// denominator computed locally instead of cached. Safe for concurrent use.
-func (l *LocalResponseNorm) Infer(x *tensor.Tensor) *tensor.Tensor {
-	checkBatched(l.name, x)
-	if x.Rank() != 4 {
-		panic("nn: LRN expects [N,C,H,W] input")
-	}
-	n, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
-	hw := h * w
-	out := tensor.New(x.Shape()...)
-	xd, od := x.Data(), out.Data()
-	coef := l.Alpha / float64(l.N)
-	tensor.ParallelFor(n, func(i int) {
-		base := i * c * hw
-		for ch := 0; ch < c; ch++ {
-			lo, hi := l.window(ch, c)
-			for p := 0; p < hw; p++ {
-				sum := 0.0
-				for j := lo; j < hi; j++ {
-					v := xd[base+j*hw+p]
-					sum += v * v
-				}
-				idx := base + ch*hw + p
-				od[idx] = xd[idx] * math.Pow(l.K+coef*sum, -l.Beta)
-			}
-		}
-	})
-	return out
+// Forward implements Layer (legacy wrapper over the struct-held tape).
+func (l *LocalResponseNorm) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	l.tape.Reset()
+	return l.ForwardT(&l.tape, x, train)
 }
 
-// Backward implements Layer.
-func (l *LocalResponseNorm) Backward(grad *tensor.Tensor) *tensor.Tensor {
-	if l.lastIn == nil {
-		panic("nn: LRN.Backward before Forward")
-	}
-	x := l.lastIn
+// BackwardT implements Layer.
+func (l *LocalResponseNorm) BackwardT(tape *Tape, grad *tensor.Tensor) *tensor.Tensor {
+	st := tape.pop(l).(lrnState)
+	x := st.in
 	n, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
 	hw := h * w
 	dx := tensor.New(x.Shape()...)
-	xd, sd, gd, dd := x.Data(), l.lastS.Data(), grad.Data(), dx.Data()
+	xd, sd, gd, dd := x.Data(), st.s.Data(), grad.Data(), dx.Data()
 	coef := 2 * l.Beta * l.Alpha / float64(l.N)
 	tensor.ParallelFor(n, func(i int) {
 		base := i * c * hw
@@ -171,4 +159,12 @@ func (l *LocalResponseNorm) Backward(grad *tensor.Tensor) *tensor.Tensor {
 		}
 	})
 	return dx
+}
+
+// Backward implements Layer (legacy wrapper over the struct-held tape).
+func (l *LocalResponseNorm) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if l.tape.Len() == 0 {
+		panic("nn: LRN.Backward before Forward")
+	}
+	return l.BackwardT(&l.tape, grad)
 }

@@ -9,11 +9,15 @@ import (
 // MaxPool2D applies max pooling over [N, C, H, W] inputs. The backward pass
 // routes each output gradient to the argmax input position.
 type MaxPool2D struct {
-	name        string
-	K, Stride   int
-	lastShape   []int
-	lastArgmax  []int // flat input index per output element
-	lastOutDims [2]int
+	name      string
+	K, Stride int
+	tape      Tape // backs the legacy Forward/Backward API
+}
+
+// maxPoolState is the tape record of one MaxPool2D forward pass.
+type maxPoolState struct {
+	shape  []int
+	argmax []int // flat input index per output element
 }
 
 // NewMaxPool2D constructs a max-pooling layer with a square window.
@@ -43,31 +47,29 @@ func (m *MaxPool2D) OutShape(in []int) []int {
 	return []int{in[0], oh, ow}
 }
 
-// Forward implements Layer.
-func (m *MaxPool2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+// ForwardT implements Layer. With a nil tape the argmax routing table is
+// never built — the discarded-tape path does strictly less work.
+func (m *MaxPool2D) ForwardT(tape *Tape, x *tensor.Tensor, train bool) *tensor.Tensor {
 	checkBatched(m.name, x)
 	os := m.OutShape(x.Shape()[1:])
 	oh, ow := os[1], os[2]
-	m.lastShape = append([]int(nil), x.Shape()...)
-	m.lastOutDims = [2]int{oh, ow}
-	vol := x.Dim(0) * x.Dim(1) * oh * ow
-	if cap(m.lastArgmax) < vol {
-		m.lastArgmax = make([]int, vol)
+	var argmax []int
+	if tape != nil {
+		argmax = make([]int, x.Dim(0)*x.Dim(1)*oh*ow)
 	}
-	m.lastArgmax = m.lastArgmax[:vol]
-	return m.compute(x, oh, ow, m.lastArgmax)
+	out := m.compute(x, oh, ow, argmax)
+	tape.push(m, maxPoolState{shape: append([]int(nil), x.Shape()...), argmax: argmax})
+	return out
 }
 
-// Infer implements Layer: max pooling with no argmax cache. Safe for
-// concurrent use.
-func (m *MaxPool2D) Infer(x *tensor.Tensor) *tensor.Tensor {
-	checkBatched(m.name, x)
-	os := m.OutShape(x.Shape()[1:])
-	return m.compute(x, os[1], os[2], nil)
+// Forward implements Layer (legacy wrapper over the struct-held tape).
+func (m *MaxPool2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	m.tape.Reset()
+	return m.ForwardT(&m.tape, x, train)
 }
 
 // compute runs the window sweep; when argmax is non-nil it records the flat
-// input index of each output's maximum for Backward.
+// input index of each output's maximum for BackwardT.
 func (m *MaxPool2D) compute(x *tensor.Tensor, oh, ow int, argmax []int) *tensor.Tensor {
 	n, c := x.Dim(0), x.Dim(1)
 	h, w := x.Dim(2), x.Dim(3)
@@ -101,27 +103,33 @@ func (m *MaxPool2D) compute(x *tensor.Tensor, oh, ow int, argmax []int) *tensor.
 	return out
 }
 
-// Backward implements Layer.
-func (m *MaxPool2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
-	if m.lastShape == nil {
-		panic("nn: MaxPool2D.Backward before Forward")
-	}
-	if grad.Len() != len(m.lastArgmax) {
+// BackwardT implements Layer.
+func (m *MaxPool2D) BackwardT(tape *Tape, grad *tensor.Tensor) *tensor.Tensor {
+	st := tape.pop(m).(maxPoolState)
+	if grad.Len() != len(st.argmax) {
 		panic("nn: MaxPool2D backward grad size mismatch")
 	}
-	dx := tensor.New(m.lastShape...)
+	dx := tensor.New(st.shape...)
 	dd, gd := dx.Data(), grad.Data()
-	for i, src := range m.lastArgmax {
+	for i, src := range st.argmax {
 		dd[src] += gd[i]
 	}
 	return dx
+}
+
+// Backward implements Layer (legacy wrapper over the struct-held tape).
+func (m *MaxPool2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if m.tape.Len() == 0 {
+		panic("nn: MaxPool2D.Backward before Forward")
+	}
+	return m.BackwardT(&m.tape, grad)
 }
 
 // AvgPool2D applies average pooling over [N, C, H, W] inputs.
 type AvgPool2D struct {
 	name      string
 	K, Stride int
-	lastShape []int
+	tape      Tape // backs the legacy Forward/Backward API
 }
 
 // NewAvgPool2D constructs an average-pooling layer with a square window.
@@ -151,15 +159,8 @@ func (a *AvgPool2D) OutShape(in []int) []int {
 	return []int{in[0], oh, ow}
 }
 
-// Forward implements Layer.
-func (a *AvgPool2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
-	a.lastShape = append([]int(nil), x.Shape()...)
-	return a.Infer(x)
-}
-
-// Infer implements Layer: average pooling reads no layer state beyond the
-// immutable window geometry. Safe for concurrent use.
-func (a *AvgPool2D) Infer(x *tensor.Tensor) *tensor.Tensor {
+// ForwardT implements Layer, taping only the input shape.
+func (a *AvgPool2D) ForwardT(tape *Tape, x *tensor.Tensor, train bool) *tensor.Tensor {
 	checkBatched(a.name, x)
 	n, c := x.Dim(0), x.Dim(1)
 	h, w := x.Dim(2), x.Dim(3)
@@ -186,22 +187,27 @@ func (a *AvgPool2D) Infer(x *tensor.Tensor) *tensor.Tensor {
 			}
 		}
 	})
+	tape.push(a, append([]int(nil), x.Shape()...))
 	return out
 }
 
-// Backward implements Layer.
-func (a *AvgPool2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
-	if a.lastShape == nil {
-		panic("nn: AvgPool2D.Backward before Forward")
-	}
-	n, c := a.lastShape[0], a.lastShape[1]
-	h, w := a.lastShape[2], a.lastShape[3]
+// Forward implements Layer (legacy wrapper over the struct-held tape).
+func (a *AvgPool2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	a.tape.Reset()
+	return a.ForwardT(&a.tape, x, train)
+}
+
+// BackwardT implements Layer.
+func (a *AvgPool2D) BackwardT(tape *Tape, grad *tensor.Tensor) *tensor.Tensor {
+	shape := tape.pop(a).([]int)
+	n, c := shape[0], shape[1]
+	h, w := shape[2], shape[3]
 	oh := (h-a.K)/a.Stride + 1
 	ow := (w-a.K)/a.Stride + 1
 	if grad.Len() != n*c*oh*ow {
 		panic("nn: AvgPool2D backward grad size mismatch")
 	}
-	dx := tensor.New(a.lastShape...)
+	dx := tensor.New(shape...)
 	inv := 1 / float64(a.K*a.K)
 	dd, gd := dx.Data(), grad.Data()
 	for i := 0; i < n; i++ {
@@ -222,4 +228,12 @@ func (a *AvgPool2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
 		}
 	}
 	return dx
+}
+
+// Backward implements Layer (legacy wrapper over the struct-held tape).
+func (a *AvgPool2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if a.tape.Len() == 0 {
+		panic("nn: AvgPool2D.Backward before Forward")
+	}
+	return a.BackwardT(&a.tape, grad)
 }

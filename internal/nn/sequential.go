@@ -67,7 +67,51 @@ func (s *Sequential) ZeroGrad() {
 	}
 }
 
-// Forward runs the full network on a batch.
+// ForwardT runs the full network on a batch, recording backward state on
+// tape. With a nil tape this is the reentrant inference path: any number of
+// goroutines may run it concurrently over one shared network.
+func (s *Sequential) ForwardT(tape *Tape, x *tensor.Tensor, train bool) *tensor.Tensor {
+	return s.ForwardRangeT(tape, x, 0, len(s.layers), train)
+}
+
+// ForwardRangeT runs layers [from, to) on a batch, recording backward state
+// on tape. It is how split execution runs the local part L (layers
+// [0,cut)) and remote part R (layers [cut, len)) — each in-flight pass
+// carries its own tape, so one shared network serves many concurrent
+// forward (and forward/backward) passes.
+func (s *Sequential) ForwardRangeT(tape *Tape, x *tensor.Tensor, from, to int, train bool) *tensor.Tensor {
+	if from < 0 || to > len(s.layers) || from > to {
+		panic(fmt.Sprintf("nn: ForwardRangeT [%d,%d) out of bounds for %d layers", from, to, len(s.layers)))
+	}
+	for _, l := range s.layers[from:to] {
+		x = l.ForwardT(tape, x, train)
+	}
+	return x
+}
+
+// BackwardT propagates the output gradient through the whole network in
+// reverse, consuming the tape, and returns the input gradient.
+func (s *Sequential) BackwardT(tape *Tape, grad *tensor.Tensor) *tensor.Tensor {
+	return s.BackwardRangeT(tape, grad, 0, len(s.layers))
+}
+
+// BackwardRangeT propagates the gradient through layers [from, to) in
+// reverse, consuming the matching ForwardRangeT's tape entries, and returns
+// ∂loss/∂(input of layer from). Shredder's noise training backpropagates
+// over the remote part only: the returned gradient with respect to R's
+// input *is* ∂loss/∂n, since a' = a + n.
+func (s *Sequential) BackwardRangeT(tape *Tape, grad *tensor.Tensor, from, to int) *tensor.Tensor {
+	if from < 0 || to > len(s.layers) || from > to {
+		panic(fmt.Sprintf("nn: BackwardRangeT [%d,%d) out of bounds for %d layers", from, to, len(s.layers)))
+	}
+	for i := to - 1; i >= from; i-- {
+		grad = s.layers[i].BackwardT(tape, grad)
+	}
+	return grad
+}
+
+// Forward runs the full network on a batch (legacy API over the per-layer
+// struct-held tapes; one in-flight pass per network).
 func (s *Sequential) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	for _, l := range s.layers {
 		x = l.Forward(x, train)
@@ -75,9 +119,7 @@ func (s *Sequential) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	return x
 }
 
-// ForwardRange runs layers [from, to) on a batch. It is how split
-// inference executes the local part L (layers [0,cut)) and remote part R
-// (layers [cut, len)).
+// ForwardRange runs layers [from, to) on a batch (legacy API).
 func (s *Sequential) ForwardRange(x *tensor.Tensor, from, to int, train bool) *tensor.Tensor {
 	if from < 0 || to > len(s.layers) || from > to {
 		panic(fmt.Sprintf("nn: ForwardRange [%d,%d) out of bounds for %d layers", from, to, len(s.layers)))
@@ -88,28 +130,22 @@ func (s *Sequential) ForwardRange(x *tensor.Tensor, from, to int, train bool) *t
 	return x
 }
 
-// Infer runs the full network in inference mode without mutating any layer
-// state. Unlike Forward(x, false), it is safe for any number of goroutines
-// to call concurrently on a shared network.
+// Infer runs the full network in inference mode without recording any
+// state: ForwardT with a discarded (nil) tape. Safe for any number of
+// goroutines to call concurrently on a shared network.
 func (s *Sequential) Infer(x *tensor.Tensor) *tensor.Tensor {
-	return s.InferRange(x, 0, len(s.layers))
+	return s.ForwardRangeT(nil, x, 0, len(s.layers), false)
 }
 
-// InferRange runs layers [from, to) in inference mode via the reentrant
-// Infer path. It is how a concurrent split-inference server executes the
+// InferRange runs layers [from, to) in inference mode via the discarded
+// tape path. It is how a concurrent split-inference server executes the
 // remote part R for many connections in parallel over one shared network.
 func (s *Sequential) InferRange(x *tensor.Tensor, from, to int) *tensor.Tensor {
-	if from < 0 || to > len(s.layers) || from > to {
-		panic(fmt.Sprintf("nn: InferRange [%d,%d) out of bounds for %d layers", from, to, len(s.layers)))
-	}
-	for _, l := range s.layers[from:to] {
-		x = l.Infer(x)
-	}
-	return x
+	return s.ForwardRangeT(nil, x, from, to, false)
 }
 
 // Backward propagates the output gradient through the whole network and
-// returns the input gradient.
+// returns the input gradient (legacy API).
 func (s *Sequential) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	for i := len(s.layers) - 1; i >= 0; i-- {
 		grad = s.layers[i].Backward(grad)
@@ -118,9 +154,7 @@ func (s *Sequential) Backward(grad *tensor.Tensor) *tensor.Tensor {
 }
 
 // BackwardRange propagates the gradient through layers [from, to) in
-// reverse and returns ∂loss/∂(input of layer from). Shredder's noise
-// training calls BackwardRange over the remote part only: the returned
-// gradient with respect to R's input *is* ∂loss/∂n, since a' = a + n.
+// reverse and returns ∂loss/∂(input of layer from) (legacy API).
 func (s *Sequential) BackwardRange(grad *tensor.Tensor, from, to int) *tensor.Tensor {
 	if from < 0 || to > len(s.layers) || from > to {
 		panic(fmt.Sprintf("nn: BackwardRange [%d,%d) out of bounds for %d layers", from, to, len(s.layers)))

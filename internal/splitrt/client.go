@@ -5,6 +5,7 @@ import (
 	"encoding/gob"
 	"fmt"
 	"net"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -18,14 +19,19 @@ import (
 // the noisy activation to the cloud. When the collection is nil the client
 // transmits raw activations (the paper's "original execution" baseline).
 //
-// An EdgeClient issues one request at a time (the wire protocol is
-// request/response over a single connection); callers must not invoke
-// Infer/Classify from multiple goroutines concurrently. Stats, however, is
-// safe to call from a concurrent poller at any time.
+// The wire protocol is request/response over a single connection, so the
+// client serializes round trips internally: Infer/Classify are safe to
+// call from multiple goroutines (the local forward passes still run
+// concurrently; only noise sampling and the wire exchange are serialized).
+// Stats is lock-free and safe to call from a concurrent poller at any time.
 type EdgeClient struct {
 	split      *core.Split
 	collection *core.Collection
-	rng        *tensor.RNG
+
+	// mu guards the RNG (tensor.RNG is not goroutine-safe), the connection
+	// state (conn/enc/dec/broken), and wireBits.
+	mu  sync.Mutex
+	rng *tensor.RNG
 
 	addr     string
 	cutLayer string
@@ -108,7 +114,9 @@ func (c *EdgeClient) SetWireQuantization(bits int) error {
 			return err
 		}
 	}
+	c.mu.Lock()
 	c.wireBits = bits
+	c.mu.Unlock()
 	return nil
 }
 
@@ -214,16 +222,19 @@ func (c *EdgeClient) Infer(x *tensor.Tensor) (*tensor.Tensor, error) {
 // to the network round trip, and a broken connection is transparently
 // redialed with backoff when WithReconnect is configured.
 func (c *EdgeClient) InferContext(ctx context.Context, x *tensor.Tensor) (*tensor.Tensor, error) {
-	a := c.split.Local(x)
+	a := c.split.Local(x) // reentrant: runs outside the lock
+	c.mu.Lock()
 	if c.collection != nil {
 		for i := 0; i < a.Dim(0); i++ {
 			a.Slice(i).AddInPlace(c.collection.Sample(c.rng))
 		}
 	}
+	wireBits := c.wireBits
+	c.mu.Unlock()
 	id := atomic.AddUint64(&c.nextID, 1)
 	req := request{ID: id}
-	if c.wireBits > 0 {
-		scheme, err := quantize.Fit(a, c.wireBits)
+	if wireBits > 0 {
+		scheme, err := quantize.Fit(a, wireBits)
 		if err != nil {
 			return nil, fmt.Errorf("splitrt: quantize: %w", err)
 		}
@@ -234,6 +245,11 @@ func (c *EdgeClient) InferContext(ctx context.Context, x *tensor.Tensor) (*tenso
 	} else {
 		req.Activation = a
 	}
+
+	// The wire exchange (and any redialing) owns the connection state for
+	// the duration of the call: one request/response in flight at a time.
+	c.mu.Lock()
+	defer c.mu.Unlock()
 
 	var lastErr error
 	for attempt := 0; ; attempt++ {
@@ -320,6 +336,8 @@ func (c *EdgeClient) Classify(x *tensor.Tensor) ([]int, error) {
 
 // Close terminates the connection.
 func (c *EdgeClient) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if c.conn == nil {
 		return nil
 	}

@@ -77,10 +77,7 @@ type trapLayer struct{ name string }
 const trapValue = 666.0
 
 func (l *trapLayer) Name() string { return l.name }
-func (l *trapLayer) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
-	return l.Infer(x)
-}
-func (l *trapLayer) Infer(x *tensor.Tensor) *tensor.Tensor {
+func (l *trapLayer) ForwardT(tape *nn.Tape, x *tensor.Tensor, train bool) *tensor.Tensor {
 	for _, v := range x.Data() {
 		if v == trapValue {
 			panic("trapLayer: boobytrapped activation")
@@ -88,9 +85,13 @@ func (l *trapLayer) Infer(x *tensor.Tensor) *tensor.Tensor {
 	}
 	return x
 }
-func (l *trapLayer) Backward(grad *tensor.Tensor) *tensor.Tensor { return grad }
-func (l *trapLayer) Params() []*nn.Param                         { return nil }
-func (l *trapLayer) OutShape(in []int) []int                     { return in }
+func (l *trapLayer) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	return l.ForwardT(nil, x, train)
+}
+func (l *trapLayer) BackwardT(tape *nn.Tape, grad *tensor.Tensor) *tensor.Tensor { return grad }
+func (l *trapLayer) Backward(grad *tensor.Tensor) *tensor.Tensor                 { return grad }
+func (l *trapLayer) Params() []*nn.Param                                         { return nil }
+func (l *trapLayer) OutShape(in []int) []int                                     { return in }
 
 // trapRig serves a tiny net whose remote part panics on the magic value.
 func trapRig(t *testing.T, opts ...ServerOption) (*core.Split, string, string) {

@@ -59,7 +59,7 @@ func TestClassifyWithNoiseCollection(t *testing.T) {
 	split, pre, cutLayer, addr := rig(t)
 	col := core.Collect(split, pre.Train, core.NoiseConfig{
 		Scale: 1.5, Lambda: 0.01, PrivacyTarget: 3, Epochs: 1, Seed: 300,
-	}, 3)
+	}, 3, 1)
 	client, err := Dial(addr, split, cutLayer, col, 2)
 	if err != nil {
 		t.Fatal(err)

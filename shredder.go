@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sync"
 
 	"shredder/internal/core"
 	"shredder/internal/mi"
@@ -52,6 +53,10 @@ type NoiseOptions struct {
 	PrivacyTarget  float64 // in vivo (1/SNR) level at which λ decays
 	Epochs         float64 // noise-training length (fractional allowed)
 	SelfSupervised bool    // train against the model's own predictions
+	// Workers bounds how many noise tensors train concurrently: 1 forces
+	// sequential training, 0 (the default) uses all available cores. The
+	// learned collection is byte-identical either way.
+	Workers int
 }
 
 // Report carries the headline metrics of an evaluation — the quantities of
@@ -89,6 +94,7 @@ type System struct {
 	cutName    string
 	cutLayer   string
 	collection *core.Collection
+	rngMu      sync.Mutex // guards rng: tensor.RNG is not goroutine-safe
 	rng        *tensor.RNG
 	seed       int64
 }
@@ -202,9 +208,11 @@ func (s *System) noiseConfig(opt NoiseOptions) core.NoiseConfig {
 // network's tuned hyperparameters (paper §2.5's sampling set).
 func (s *System) LearnNoise(count int) { s.LearnNoiseWith(count, NoiseOptions{}) }
 
-// LearnNoiseWith is LearnNoise with hyperparameter overrides.
+// LearnNoiseWith is LearnNoise with hyperparameter overrides. The
+// collection's members train over opt.Workers goroutines (0 = all cores);
+// the result does not depend on the worker count.
 func (s *System) LearnNoiseWith(count int, opt NoiseOptions) {
-	s.collection = core.Collect(s.split, s.pre.Train, s.noiseConfig(opt), count)
+	s.collection = core.Collect(s.split, s.pre.Train, s.noiseConfig(opt), count, opt.Workers)
 }
 
 // HasNoise reports whether a collection has been learned or loaded.
@@ -255,6 +263,8 @@ func (s *System) toBatch(pixels []float64) (*tensor.Tensor, error) {
 // Classify performs private split inference on one image: local layers,
 // plus a noise tensor sampled from the learned collection, then the remote
 // layers. Pixels must be in the normalized domain of TestSample outputs.
+// Classify is safe for concurrent use: the network passes run on the
+// reentrant inference path and the noise sampling is serialized.
 func (s *System) Classify(pixels []float64) (int, error) {
 	if !s.HasNoise() {
 		return 0, fmt.Errorf("shredder: Classify before LearnNoise/LoadNoise")
@@ -264,8 +274,11 @@ func (s *System) Classify(pixels []float64) (int, error) {
 		return 0, err
 	}
 	a := s.split.Local(x)
-	a.Slice(0).AddInPlace(s.collection.Sample(s.rng))
-	logits := s.split.Remote(a, false)
+	s.rngMu.Lock()
+	noise := s.collection.Sample(s.rng)
+	s.rngMu.Unlock()
+	a.Slice(0).AddInPlace(noise)
+	logits := s.split.RemoteInfer(a)
 	return logits.Slice(0).Argmax(), nil
 }
 
