@@ -15,6 +15,7 @@ import (
 	"runtime"
 	"sync"
 	"testing"
+	"time"
 
 	"shredder/internal/attack"
 	"shredder/internal/baseline"
@@ -25,6 +26,7 @@ import (
 	"shredder/internal/model"
 	"shredder/internal/nn"
 	"shredder/internal/quantize"
+	"shredder/internal/sched"
 	"shredder/internal/splitrt"
 	"shredder/internal/tensor"
 )
@@ -439,6 +441,11 @@ func benchServerThroughput(b *testing.B, clients int, opts ...splitrt.ServerOpti
 		}(c, n)
 	}
 	wg.Wait()
+	b.StopTimer()
+	if s, ok := srv.BatchStats(); ok {
+		b.ReportMetric(s.MeanOccupancy, "occupancy")
+		b.ReportMetric(float64(s.Batches), "batches")
+	}
 }
 
 func BenchmarkCloudServerThroughput(b *testing.B) {
@@ -448,6 +455,30 @@ func BenchmarkCloudServerThroughput(b *testing.B) {
 		})
 		b.Run(fmt.Sprintf("concurrent/clients=%d", clients), func(b *testing.B) {
 			benchServerThroughput(b, clients)
+		})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Cross-connection micro-batching (internal/sched wired into the cloud
+// server): N lockstep clients against one server, with and without
+// WithBatching. The batcher's idle-flush policy means a lone client pays no
+// MaxDelay latency (batch of 1, flushed immediately), while at 8+ clients
+// concurrent requests coalesce into [N, ...] forward passes — the
+// "occupancy" metric is the mean coalesced batch size. On a multicore host
+// batched ops/sec additionally amortize per-call overhead on top of the
+// concurrent path's core scaling; on a single core expect parity at 1
+// client and a modest win from amortization at higher client counts.
+// ---------------------------------------------------------------------------
+
+func BenchmarkServeBatched(b *testing.B) {
+	for _, clients := range []int{1, 8, 64} {
+		b.Run(fmt.Sprintf("unbatched/clients=%d", clients), func(b *testing.B) {
+			benchServerThroughput(b, clients)
+		})
+		b.Run(fmt.Sprintf("batched/clients=%d", clients), func(b *testing.B) {
+			benchServerThroughput(b, clients,
+				splitrt.WithBatching(sched.Options{MaxBatch: 32, MaxDelay: time.Millisecond}))
 		})
 	}
 }

@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"shredder"
+	"shredder/internal/sched"
 	"shredder/internal/splitrt"
 )
 
@@ -182,19 +183,31 @@ func cmdServe(args []string) error {
 	idle := fs.Duration("idle-timeout", 5*time.Minute, "drop connections idle longer than this (0 = never)")
 	write := fs.Duration("write-timeout", 30*time.Second, "per-response write deadline (0 = none)")
 	handler := fs.Duration("handler-timeout", time.Minute, "per-request inference bound (0 = none)")
+	batch := fs.Int("batch", 0, "coalesce concurrent requests into batches of up to this many samples (0 = off)")
+	batchDelay := fs.Duration("batch-delay", 2*time.Millisecond, "max queueing behind an in-flight batch before a partial batch flushes")
 	fs.Parse(args)
 	sys, err := c.system()
 	if err != nil {
 		return err
 	}
-	cloud, err := sys.ServeCloud(*addr,
+	opts := []splitrt.ServerOption{
 		splitrt.WithIdleTimeout(*idle),
 		splitrt.WithWriteTimeout(*write),
-		splitrt.WithHandlerTimeout(*handler))
+		splitrt.WithHandlerTimeout(*handler),
+	}
+	if *batch > 0 {
+		opts = append(opts, splitrt.WithBatching(sched.Options{MaxBatch: *batch, MaxDelay: *batchDelay}))
+	}
+	cloud, err := sys.ServeCloud(*addr, opts...)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("cloud part of %s (cut %s) serving on %s\n", sys.Network(), sys.Cut(), cloud.Addr)
+	if *batch > 0 {
+		fmt.Printf("cloud part of %s (cut %s) serving on %s (micro-batching ≤%d samples, %v delay budget)\n",
+			sys.Network(), sys.Cut(), cloud.Addr, *batch, *batchDelay)
+	} else {
+		fmt.Printf("cloud part of %s (cut %s) serving on %s\n", sys.Network(), sys.Cut(), cloud.Addr)
+	}
 	select {} // serve until killed
 }
 

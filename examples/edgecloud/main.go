@@ -5,9 +5,15 @@
 // leaves the edge, and the wire carries strictly less information about it
 // than the original activation would.
 //
+// With -clients > 1 the example fans the workload out over several
+// concurrent edge connections against a micro-batching cloud server: the
+// server coalesces overlapping requests into one [N, ...] forward pass and
+// reports how much it managed to batch at the end. The predictions are
+// bitwise identical either way — batching is a pure throughput knob.
+//
 // Run with:
 //
-//	go run ./examples/edgecloud [-net lenet] [-n 24]
+//	go run ./examples/edgecloud [-net lenet] [-n 24] [-clients 4]
 package main
 
 import (
@@ -15,15 +21,23 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"sync"
+	"time"
 
 	"shredder"
+	"shredder/internal/sched"
+	"shredder/internal/splitrt"
 )
 
 func main() {
 	log.SetFlags(0)
 	net := flag.String("net", "lenet", "benchmark network")
 	n := flag.Int("n", 24, "test samples to classify remotely")
+	clients := flag.Int("clients", 1, "concurrent edge connections (>1 enables server micro-batching)")
 	flag.Parse()
+	if *clients < 1 {
+		*clients = 1
+	}
 
 	fmt.Printf("pre-training %s and learning noise...\n", *net)
 	sys, err := shredder.NewSystem(*net, shredder.Config{Seed: 1, Progress: os.Stderr})
@@ -33,36 +47,84 @@ func main() {
 	sys.LearnNoise(8)
 
 	// "Cloud": hosts only the layers after the cutting point. It never
-	// sees inputs, only noisy activations.
-	cloud, err := sys.ServeCloud("127.0.0.1:0")
+	// sees inputs, only noisy activations. With several edge clients we
+	// also turn on the cross-connection micro-batching scheduler.
+	var opts []splitrt.ServerOption
+	if *clients > 1 {
+		opts = append(opts, splitrt.WithBatching(sched.Options{
+			MaxBatch: *clients, MaxDelay: 2 * time.Millisecond,
+		}))
+	}
+	cloud, err := sys.ServeCloud("127.0.0.1:0", opts...)
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer cloud.Close()
-	fmt.Printf("cloud part serving on %s\n", cloud.Addr)
+	fmt.Printf("cloud part serving on %s (%d edge client(s))\n", cloud.Addr, *clients)
 
-	// "Edge": runs the local layers and the noise sampler.
-	edge, err := sys.ConnectEdge(cloud.Addr)
-	if err != nil {
-		log.Fatal(err)
+	// "Edge": each client runs the local layers and the noise sampler on
+	// its own connection; the cloud coalesces whatever overlaps.
+	type outcome struct {
+		idx, pred, label int
 	}
-	defer edge.Close()
+	results := make([]outcome, 0, *n)
+	var (
+		mu    sync.Mutex
+		wg    sync.WaitGroup
+		fatal error
+	)
+	for c := 0; c < *clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			edge, err := sys.ConnectEdge(cloud.Addr)
+			if err != nil {
+				mu.Lock()
+				fatal = err
+				mu.Unlock()
+				return
+			}
+			defer edge.Close()
+			// Client c handles samples c, c+clients, c+2*clients, ...
+			for i := c; i < *n && i < sys.TestSize(); i += *clients {
+				pixels, label := sys.TestSample(i)
+				pred, err := edge.Classify(pixels)
+				if err != nil {
+					mu.Lock()
+					fatal = err
+					mu.Unlock()
+					return
+				}
+				mu.Lock()
+				results = append(results, outcome{i, pred, label})
+				mu.Unlock()
+			}
+		}(c)
+	}
+	wg.Wait()
+	if fatal != nil {
+		log.Fatal(fatal)
+	}
 
 	correct := 0
 	for i := 0; i < *n && i < sys.TestSize(); i++ {
-		pixels, label := sys.TestSample(i)
-		pred, err := edge.Classify(pixels)
-		if err != nil {
-			log.Fatal(err)
+		for _, r := range results {
+			if r.idx != i {
+				continue
+			}
+			mark := " "
+			if r.pred == r.label {
+				correct++
+				mark = "✓"
+			}
+			fmt.Printf("  sample %2d: cloud predicted %2d, label %2d %s\n", r.idx, r.pred, r.label, mark)
 		}
-		mark := " "
-		if pred == label {
-			correct++
-			mark = "✓"
-		}
-		fmt.Printf("  sample %2d: cloud predicted %2d, label %2d %s\n", i, pred, label, mark)
 	}
 	fmt.Printf("\nremote accuracy with noise: %d/%d (baseline %.2f%%)\n",
-		correct, *n, 100*sys.BaselineAccuracy())
+		correct, len(results), 100*sys.BaselineAccuracy())
+	if stats, ok := cloud.BatchStats(); ok {
+		fmt.Printf("micro-batching: %d requests served in %d batches (mean occupancy %.2f, mean queue delay %s)\n",
+			stats.Submitted, stats.Batches, stats.MeanOccupancy, stats.MeanQueueDelay)
+	}
 	fmt.Println("every byte that crossed the wire was a noisy activation — no raw pixels.")
 }

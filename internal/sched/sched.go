@@ -1,0 +1,327 @@
+// Package sched provides a request-coalescing micro-batch scheduler for
+// serving workloads whose unit cost amortizes over batches: many goroutines
+// submit single items, the Batcher groups them, one call processes the
+// whole group, and each submitter gets back exactly its own result.
+//
+// The flush policy is built for serving rather than throughput alone:
+//
+//   - When the batcher is idle (no batch in flight), a submission flushes
+//     immediately — an unloaded server adds no queueing latency.
+//   - While a batch is in flight, arrivals accumulate; the completed
+//     flight triggers the next flush, so coalescing emerges naturally
+//     from load instead of from a fixed delay.
+//   - MaxBatch caps how much weight one flush may carry; reaching it
+//     flushes at once, even with a flight outstanding.
+//   - MaxDelay bounds how long a queued item may wait behind a slow
+//     in-flight batch before it is flushed concurrently anyway.
+//
+// A submitter whose context is cancelled abandons its slot: it returns
+// ctx.Err() immediately and the flusher drops the slot at dispatch time,
+// without poisoning the rest of the batch.
+package sched
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrClosed is returned by Submit after Close has begun.
+var ErrClosed = errors.New("sched: batcher closed")
+
+// Options tune a Batcher. The zero value selects the defaults.
+type Options struct {
+	// MaxBatch caps the total weight of one batch (default 16). A single
+	// submission heavier than MaxBatch still runs, alone.
+	MaxBatch int
+	// MaxDelay bounds how long a queued submission may wait behind an
+	// in-flight batch before it is dispatched concurrently anyway
+	// (default 2ms). It is a latency budget, not a mandatory delay: an
+	// idle batcher always flushes immediately.
+	MaxDelay time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxBatch <= 0 {
+		o.MaxBatch = 16
+	}
+	if o.MaxDelay <= 0 {
+		o.MaxDelay = 2 * time.Millisecond
+	}
+	return o
+}
+
+// Stats is an atomic snapshot of a Batcher's lifetime counters.
+type Stats struct {
+	Submitted int64 // submissions accepted by Submit
+	Cancelled int64 // submissions abandoned by their context
+	Batches   int64 // run invocations dispatched
+	Weight    int64 // total weight dispatched across all batches
+
+	// Flush reasons, one count per dispatched batch.
+	FlushFull  int64 // pending weight reached MaxBatch
+	FlushIdle  int64 // no batch in flight: immediate dispatch
+	FlushTimer int64 // MaxDelay expired behind an in-flight batch
+	FlushClose int64 // final drain by Close
+
+	MeanOccupancy  float64       // Weight / Batches
+	MeanQueueDelay time.Duration // mean time from Submit to dispatch
+}
+
+// counters holds the Batcher's hot-path statistics as atomics so Stats can
+// snapshot them without touching the scheduling mutex.
+type counters struct {
+	submitted, cancelled atomic.Int64
+	batches, weight      atomic.Int64
+	full, idle, timer    atomic.Int64
+	closeFlush           atomic.Int64
+	dispatched           atomic.Int64 // live slots handed to run
+	queueDelayNs         atomic.Int64
+}
+
+type result[R any] struct {
+	val R
+	err error
+}
+
+// slot is one pending submission: the request, its weight, and the channel
+// its submitter is waiting on (buffered, so an abandoned slot never blocks
+// the flusher).
+type slot[Q, R any] struct {
+	ctx    context.Context
+	req    Q
+	weight int
+	enq    time.Time
+	res    chan result[R]
+}
+
+// flush reasons, recorded per dispatched batch.
+type flushReason int
+
+const (
+	flushFull flushReason = iota
+	flushIdle
+	flushTimer
+	flushClose
+)
+
+// Batcher coalesces concurrent submissions into batches and runs them
+// through a single user-supplied function. It is safe for any number of
+// concurrent Submit callers.
+type Batcher[Q, R any] struct {
+	opts Options
+	run  func([]Q) ([]R, error)
+
+	mu       sync.Mutex
+	pending  []*slot[Q, R]
+	pendingW int
+	inFlight int
+	timerGen uint64 // invalidates stale MaxDelay timers
+	timer    *time.Timer
+	closed   bool
+
+	flights sync.WaitGroup
+	stats   counters
+}
+
+// New creates a Batcher around run, which receives the coalesced requests
+// in arrival order and must return exactly one result per request (or an
+// error, which every member of the batch receives). run executes on a
+// dispatch goroutine and may be invoked concurrently with itself when
+// MaxDelay or MaxBatch forces a flush while another batch is in flight, so
+// it must be reentrant.
+func New[Q, R any](run func([]Q) ([]R, error), opts Options) *Batcher[Q, R] {
+	return &Batcher[Q, R]{opts: opts.withDefaults(), run: run}
+}
+
+// Submit queues one request of the given weight (clamped to ≥1; weight is
+// the batch-capacity cost, e.g. sample count) and blocks until its result
+// is ready, the context is cancelled, or the batcher closes. A cancelled
+// submitter returns ctx.Err() immediately; its slot is dropped at dispatch
+// time without affecting the rest of the batch.
+func (b *Batcher[Q, R]) Submit(ctx context.Context, req Q, weight int) (R, error) {
+	var zero R
+	if weight < 1 {
+		weight = 1
+	}
+	if err := ctx.Err(); err != nil {
+		b.stats.cancelled.Add(1)
+		return zero, err
+	}
+	s := &slot[Q, R]{ctx: ctx, req: req, weight: weight, enq: time.Now(), res: make(chan result[R], 1)}
+
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return zero, ErrClosed
+	}
+	b.stats.submitted.Add(1)
+	b.pending = append(b.pending, s)
+	b.pendingW += weight
+	switch {
+	case b.pendingW >= b.opts.MaxBatch:
+		b.dispatchLocked(flushFull)
+	case b.inFlight == 0:
+		b.dispatchLocked(flushIdle)
+	default:
+		b.armTimerLocked()
+	}
+	b.mu.Unlock()
+
+	select {
+	case r := <-s.res:
+		return r.val, r.err
+	case <-ctx.Done():
+		b.stats.cancelled.Add(1)
+		return zero, ctx.Err()
+	}
+}
+
+// armTimerLocked starts the MaxDelay clock for the current pending epoch
+// if it is not already running.
+func (b *Batcher[Q, R]) armTimerLocked() {
+	if b.timer != nil {
+		return
+	}
+	gen := b.timerGen
+	b.timer = time.AfterFunc(b.opts.MaxDelay, func() {
+		b.mu.Lock()
+		if b.closed || gen != b.timerGen || len(b.pending) == 0 {
+			b.mu.Unlock()
+			return
+		}
+		b.dispatchLocked(flushTimer)
+		b.mu.Unlock()
+	})
+}
+
+// dispatchLocked takes the whole pending queue and launches a flight for
+// it. Called with b.mu held; the flight itself runs on its own goroutine.
+// flights.Add happens under the mutex so Close cannot miss a flight that a
+// concurrent Submit is about to launch.
+func (b *Batcher[Q, R]) dispatchLocked(reason flushReason) {
+	batch := b.pending
+	b.pending = nil
+	b.pendingW = 0
+	b.timerGen++
+	if b.timer != nil {
+		b.timer.Stop()
+		b.timer = nil
+	}
+	if len(batch) == 0 {
+		return
+	}
+	b.inFlight++
+	b.flights.Add(1)
+	go b.fly(batch, reason)
+}
+
+// fly filters abandoned slots, runs the batch, and demultiplexes results.
+func (b *Batcher[Q, R]) fly(batch []*slot[Q, R], reason flushReason) {
+	defer func() {
+		b.mu.Lock()
+		b.inFlight--
+		// The flight that just finished is the natural trigger for the
+		// next one: anything queued behind it goes out immediately.
+		if b.inFlight == 0 && len(b.pending) > 0 && !b.closed {
+			b.dispatchLocked(flushIdle)
+		}
+		b.mu.Unlock()
+		b.flights.Done()
+	}()
+
+	now := time.Now()
+	live := batch[:0]
+	weight := 0
+	for _, s := range batch {
+		if s.ctx.Err() != nil {
+			continue // abandoned: its submitter already returned ctx.Err()
+		}
+		b.stats.queueDelayNs.Add(now.Sub(s.enq).Nanoseconds())
+		b.stats.dispatched.Add(1)
+		weight += s.weight
+		live = append(live, s)
+	}
+	if len(live) == 0 {
+		return
+	}
+	b.stats.batches.Add(1)
+	b.stats.weight.Add(int64(weight))
+	switch reason {
+	case flushFull:
+		b.stats.full.Add(1)
+	case flushIdle:
+		b.stats.idle.Add(1)
+	case flushTimer:
+		b.stats.timer.Add(1)
+	case flushClose:
+		b.stats.closeFlush.Add(1)
+	}
+
+	reqs := make([]Q, len(live))
+	for i, s := range live {
+		reqs[i] = s.req
+	}
+	out, err := b.runProtected(reqs)
+	if err == nil && len(out) != len(reqs) {
+		err = fmt.Errorf("sched: run returned %d results for %d requests", len(out), len(reqs))
+	}
+	for i, s := range live {
+		if err != nil {
+			s.res <- result[R]{err: err}
+		} else {
+			s.res <- result[R]{val: out[i]}
+		}
+	}
+}
+
+// runProtected converts a panic in the user's run function into an error
+// so one bad batch cannot kill the process or strand its submitters.
+func (b *Batcher[Q, R]) runProtected(reqs []Q) (out []R, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			out, err = nil, fmt.Errorf("sched: batch run panicked: %v", r)
+		}
+	}()
+	return b.run(reqs)
+}
+
+// Close drains the batcher deterministically: it stops accepting new
+// submissions (Submit returns ErrClosed), flushes whatever is pending as
+// one final batch so in-flight callers get real results, and waits for
+// every flight to finish. No goroutine outlives Close. It is idempotent
+// and safe to call concurrently.
+func (b *Batcher[Q, R]) Close() {
+	b.mu.Lock()
+	if !b.closed {
+		b.closed = true
+		b.dispatchLocked(flushClose)
+	}
+	b.mu.Unlock()
+	b.flights.Wait()
+}
+
+// Stats returns a consistent-enough snapshot of the lifetime counters;
+// it never blocks submissions.
+func (b *Batcher[Q, R]) Stats() Stats {
+	s := Stats{
+		Submitted:  b.stats.submitted.Load(),
+		Cancelled:  b.stats.cancelled.Load(),
+		Batches:    b.stats.batches.Load(),
+		Weight:     b.stats.weight.Load(),
+		FlushFull:  b.stats.full.Load(),
+		FlushIdle:  b.stats.idle.Load(),
+		FlushTimer: b.stats.timer.Load(),
+		FlushClose: b.stats.closeFlush.Load(),
+	}
+	if s.Batches > 0 {
+		s.MeanOccupancy = float64(s.Weight) / float64(s.Batches)
+	}
+	if dispatched := b.stats.dispatched.Load(); dispatched > 0 {
+		s.MeanQueueDelay = time.Duration(b.stats.queueDelayNs.Load() / dispatched)
+	}
+	return s
+}

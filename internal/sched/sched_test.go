@@ -1,0 +1,420 @@
+package sched
+
+// Unit suite for the micro-batching scheduler: flush policy (idle / full /
+// timer / close), per-item demultiplexing under randomized concurrent load
+// (run with -race), context cancellation before and during a flight,
+// error and panic propagation, and a goroutine-leak check around Close.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// echoRun returns one result per request, tagging each so tests can verify
+// every submitter got exactly its own answer back.
+func echoRun(reqs []int) ([]int, error) {
+	out := make([]int, len(reqs))
+	for i, r := range reqs {
+		out[i] = r * 10
+	}
+	return out, nil
+}
+
+func TestIdleBatcherFlushesImmediately(t *testing.T) {
+	// MaxDelay is huge: if the idle path did not bypass it, this test
+	// would take a minute.
+	b := New(echoRun, Options{MaxBatch: 64, MaxDelay: time.Minute})
+	defer b.Close()
+	start := time.Now()
+	got, err := b.Submit(context.Background(), 7, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 70 {
+		t.Fatalf("got %d, want 70", got)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("idle submission waited %v instead of flushing immediately", elapsed)
+	}
+	s := b.Stats()
+	if s.FlushIdle != 1 || s.Batches != 1 || s.Submitted != 1 {
+		t.Fatalf("unexpected stats: %+v", s)
+	}
+}
+
+// blockingBatcher returns a batcher whose first batch blocks until release
+// is closed, so tests can deterministically pile submissions up behind an
+// in-flight batch.
+func blockingBatcher(opts Options) (b *Batcher[int, int], release chan struct{}, started chan struct{}) {
+	release = make(chan struct{})
+	started = make(chan struct{}, 64)
+	run := func(reqs []int) ([]int, error) {
+		started <- struct{}{}
+		<-release
+		return echoRun(reqs)
+	}
+	return New(run, opts), release, started
+}
+
+func TestMaxBatchFlushesFullBatchBehindFlight(t *testing.T) {
+	b, release, started := blockingBatcher(Options{MaxBatch: 4, MaxDelay: time.Minute})
+	defer b.Close()
+
+	results := make(chan int, 8)
+	errs := make(chan error, 8)
+	submit := func(v int) {
+		go func() {
+			got, err := b.Submit(context.Background(), v, 1)
+			results <- got
+			errs <- err
+		}()
+	}
+	submit(1) // idle → immediate flight, blocks in run
+	<-started
+	// These four accumulate behind the flight; the fourth reaches
+	// MaxBatch and must flush concurrently even though the first flight
+	// still holds the release channel.
+	for v := 2; v <= 5; v++ {
+		submit(v)
+	}
+	select {
+	case <-started:
+	case <-time.After(10 * time.Second):
+		t.Fatal("full batch never dispatched while a flight was outstanding")
+	}
+	close(release)
+	seen := map[int]bool{}
+	for i := 0; i < 5; i++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+		seen[<-results] = true
+	}
+	for v := 1; v <= 5; v++ {
+		if !seen[v*10] {
+			t.Fatalf("missing result for %d: %v", v, seen)
+		}
+	}
+	s := b.Stats()
+	if s.FlushFull != 1 {
+		t.Fatalf("expected exactly one full flush, stats: %+v", s)
+	}
+	if s.MeanOccupancy <= 1 {
+		t.Fatalf("coalescing never happened: %+v", s)
+	}
+}
+
+func TestMaxDelayBoundsQueueingBehindSlowFlight(t *testing.T) {
+	b, release, started := blockingBatcher(Options{MaxBatch: 64, MaxDelay: 20 * time.Millisecond})
+	defer b.Close()
+
+	go b.Submit(context.Background(), 1, 1) // occupies the flight
+	<-started
+	done := make(chan error, 1)
+	go func() {
+		_, err := b.Submit(context.Background(), 2, 1)
+		done <- err
+	}()
+	// The queued submission must go out on the MaxDelay timer, not wait
+	// for the (still blocked) first flight.
+	select {
+	case <-started:
+	case <-time.After(10 * time.Second):
+		t.Fatal("MaxDelay timer never flushed the queued submission")
+	}
+	close(release)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if s := b.Stats(); s.FlushTimer != 1 {
+		t.Fatalf("expected a timer flush, stats: %+v", s)
+	}
+}
+
+func TestOversizedSubmissionRunsAlone(t *testing.T) {
+	var sizes []int
+	var mu sync.Mutex
+	run := func(reqs []int) ([]int, error) {
+		mu.Lock()
+		sizes = append(sizes, len(reqs))
+		mu.Unlock()
+		return echoRun(reqs)
+	}
+	b := New(run, Options{MaxBatch: 4, MaxDelay: time.Minute})
+	defer b.Close()
+	if _, err := b.Submit(context.Background(), 1, 100); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(sizes) != 1 || sizes[0] != 1 {
+		t.Fatalf("oversized submission did not run alone: %v", sizes)
+	}
+}
+
+func TestCancelledContextRejectedBeforeQueueing(t *testing.T) {
+	b := New(echoRun, Options{})
+	defer b.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := b.Submit(ctx, 1, 1); !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if s := b.Stats(); s.Submitted != 0 || s.Cancelled != 1 {
+		t.Fatalf("pre-queue cancellation miscounted: %+v", s)
+	}
+}
+
+func TestCancelMidQueueDoesNotPoisonBatch(t *testing.T) {
+	var got atomic.Value // []int: the batch the cancelled slot would have ridden in
+	release := make(chan struct{})
+	started := make(chan struct{}, 8)
+	run := func(reqs []int) ([]int, error) {
+		started <- struct{}{}
+		if len(reqs) > 1 || reqs[0] != 1 {
+			got.Store(append([]int(nil), reqs...))
+		}
+		<-release
+		return echoRun(reqs)
+	}
+	b := New(run, Options{MaxBatch: 3, MaxDelay: time.Minute})
+	defer b.Close()
+
+	go b.Submit(context.Background(), 1, 1) // flight
+	<-started
+
+	// Queue a victim, cancel it, then fill the batch with live slots.
+	ctx, cancel := context.WithCancel(context.Background())
+	victim := make(chan error, 1)
+	go func() {
+		_, err := b.Submit(ctx, 666, 1)
+		victim <- err
+	}()
+	// Wait until the victim is actually queued (Submitted reaches 2).
+	waitFor(t, func() bool { return b.Stats().Submitted == 2 })
+	cancel()
+	if err := <-victim; !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled submitter got %v", err)
+	}
+
+	live := make(chan error, 3)
+	for v := 2; v <= 4; v++ {
+		go func(v int) {
+			_, err := b.Submit(context.Background(), v, 1)
+			live <- err
+		}(v)
+	}
+	<-started // the full batch dispatches
+	close(release)
+	for i := 0; i < 3; i++ {
+		if err := <-live; err != nil {
+			t.Fatal(err)
+		}
+	}
+	batch, _ := got.Load().([]int)
+	for _, v := range batch {
+		if v == 666 {
+			t.Fatalf("abandoned slot reached the run function: %v", batch)
+		}
+	}
+}
+
+func TestCancelMidFlightReturnsPromptly(t *testing.T) {
+	b, release, started := blockingBatcher(Options{})
+	defer b.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := b.Submit(ctx, 1, 1)
+		done <- err
+	}()
+	<-started // submission is inside the blocked run
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("want context.Canceled, got %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("cancelled caller stayed blocked on an in-flight batch")
+	}
+	close(release) // the flight must still complete without anyone reading
+	b.Close()
+}
+
+func TestRunErrorReachesEveryMember(t *testing.T) {
+	boom := errors.New("boom")
+	b := New(func(reqs []int) ([]int, error) { return nil, boom }, Options{MaxBatch: 2, MaxDelay: time.Minute})
+	defer b.Close()
+	errs := make(chan error, 2)
+	for i := 0; i < 2; i++ {
+		go func(v int) {
+			_, err := b.Submit(context.Background(), v, 1)
+			errs <- err
+		}(i)
+	}
+	for i := 0; i < 2; i++ {
+		if err := <-errs; !errors.Is(err, boom) {
+			t.Fatalf("member %d got %v", i, err)
+		}
+	}
+}
+
+func TestRunPanicBecomesErrorAndBatcherSurvives(t *testing.T) {
+	calls := 0
+	b := New(func(reqs []int) ([]int, error) {
+		calls++
+		if calls == 1 {
+			panic("kaboom")
+		}
+		return echoRun(reqs)
+	}, Options{})
+	defer b.Close()
+	if _, err := b.Submit(context.Background(), 1, 1); err == nil || !strings.Contains(err.Error(), "kaboom") {
+		t.Fatalf("panic not converted to error: %v", err)
+	}
+	if got, err := b.Submit(context.Background(), 2, 1); err != nil || got != 20 {
+		t.Fatalf("batcher did not survive a panicking batch: %v %v", got, err)
+	}
+}
+
+func TestRunWrongLengthIsAnError(t *testing.T) {
+	b := New(func(reqs []int) ([]int, error) { return make([]int, len(reqs)+1), nil }, Options{})
+	defer b.Close()
+	if _, err := b.Submit(context.Background(), 1, 1); err == nil || !strings.Contains(err.Error(), "results") {
+		t.Fatalf("length mismatch not surfaced: %v", err)
+	}
+}
+
+func TestCloseFlushesPendingAndRejectsNew(t *testing.T) {
+	b, release, started := blockingBatcher(Options{MaxBatch: 64, MaxDelay: time.Minute})
+
+	go b.Submit(context.Background(), 1, 1)
+	<-started
+	queued := make(chan error, 1)
+	queuedVal := make(chan int, 1)
+	go func() {
+		v, err := b.Submit(context.Background(), 2, 1)
+		queuedVal <- v
+		queued <- err
+	}()
+	waitFor(t, func() bool { return b.Stats().Submitted == 2 })
+
+	closed := make(chan struct{})
+	go func() { b.Close(); close(closed) }()
+	// Close dispatches the pending slot as the final drain batch before
+	// waiting on flights; only then open the gate, so the drain (not the
+	// first flight's completion) is what serves the queued slot.
+	select {
+	case <-started:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Close never dispatched the drain batch")
+	}
+	close(release)
+	<-closed
+
+	// The queued slot was flushed as the final batch, not failed.
+	if err := <-queued; err != nil {
+		t.Fatalf("pending slot failed at Close: %v", err)
+	}
+	if v := <-queuedVal; v != 20 {
+		t.Fatalf("pending slot got wrong result %d", v)
+	}
+	if s := b.Stats(); s.FlushClose != 1 {
+		t.Fatalf("close drain not recorded: %+v", s)
+	}
+	if _, err := b.Submit(context.Background(), 3, 1); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Submit after Close returned %v, want ErrClosed", err)
+	}
+	b.Close() // idempotent
+}
+
+func TestCloseLeavesNoGoroutines(t *testing.T) {
+	before := runtime.NumGoroutine()
+	for round := 0; round < 3; round++ {
+		b := New(echoRun, Options{MaxBatch: 4, MaxDelay: time.Millisecond})
+		var wg sync.WaitGroup
+		for i := 0; i < 32; i++ {
+			wg.Add(1)
+			go func(v int) {
+				defer wg.Done()
+				b.Submit(context.Background(), v, 1)
+			}(i)
+		}
+		wg.Wait()
+		b.Close()
+	}
+	waitFor(t, func() bool { return runtime.NumGoroutine() <= before+2 })
+}
+
+// TestConcurrentStress hammers one batcher from many goroutines with
+// random weights and per-caller cancellation, verifying every live caller
+// receives exactly its own result. Run under -race this also proves the
+// scheduling state is data-race free.
+func TestConcurrentStress(t *testing.T) {
+	b := New(echoRun, Options{MaxBatch: 8, MaxDelay: 500 * time.Microsecond})
+	defer b.Close()
+	const workers = 16
+	const perWorker = 40
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < perWorker; i++ {
+				v := w*1000 + i
+				ctx := context.Background()
+				cancel := context.CancelFunc(func() {})
+				if rng.Intn(10) == 0 {
+					ctx, cancel = context.WithTimeout(ctx, time.Duration(rng.Intn(200))*time.Microsecond)
+				}
+				got, err := b.Submit(ctx, v, 1+rng.Intn(3))
+				cancel()
+				if err != nil {
+					if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+						continue
+					}
+					errs <- fmt.Errorf("worker %d: %v", w, err)
+					return
+				}
+				if got != v*10 {
+					errs <- fmt.Errorf("worker %d got %d, want %d — cross-caller demux broken", w, got, v*10)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	s := b.Stats()
+	if s.Batches == 0 || s.Weight < s.Batches {
+		t.Fatalf("implausible stats after stress: %+v", s)
+	}
+	t.Logf("stress stats: %+v", s)
+}
+
+// waitFor polls cond for up to 5 seconds.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("condition never became true")
+}

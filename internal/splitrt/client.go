@@ -3,6 +3,7 @@ package splitrt
 import (
 	"context"
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"net"
 	"sync"
@@ -269,9 +270,23 @@ func (c *EdgeClient) InferContext(ctx context.Context, x *tensor.Tensor) (*tenso
 			return logits, nil
 		}
 		lastErr = err
+		var rerr *RemoteError
+		if errors.As(err, &rerr) {
+			// The server answered with a typed error. Only the transient
+			// kinds (handler timeout, shutdown) are worth resending — and
+			// only when the caller opted into retries via WithReconnect;
+			// a bad-request or internal error would fail identically.
+			if !rerr.Retryable() || c.maxRedials == 0 || attempt >= c.maxRedials {
+				return nil, err
+			}
+			if err := c.sleepBackoff(ctx, attempt); err != nil {
+				return nil, err
+			}
+			continue
+		}
 		if !c.broken || c.maxRedials == 0 {
-			// Protocol-level errors (and transport errors with reconnect
-			// disabled) are returned to the caller directly.
+			// Transport errors with reconnect disabled (and the stream
+			// desync case) are returned to the caller directly.
 			return nil, err
 		}
 		if attempt >= c.maxRedials {
@@ -316,9 +331,27 @@ func (c *EdgeClient) roundTrip(ctx context.Context, req request) (*tensor.Tensor
 		return nil, fmt.Errorf("splitrt: response id %d for request %d", resp.ID, req.ID)
 	}
 	if resp.Err != "" {
-		return nil, fmt.Errorf("splitrt: remote error: %s", resp.Err)
+		return nil, &RemoteError{Kind: resp.Kind, Msg: resp.Err}
 	}
 	return resp.Logits, nil
+}
+
+// sleepBackoff waits the exponential-backoff step for the given attempt
+// (base doubling per attempt, capped at redialMax), honouring the context.
+func (c *EdgeClient) sleepBackoff(ctx context.Context, attempt int) error {
+	backoff := c.redialBase
+	for i := 0; i < attempt && backoff < c.redialMax; i++ {
+		backoff *= 2
+	}
+	if backoff > c.redialMax {
+		backoff = c.redialMax
+	}
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-time.After(backoff):
+		return nil
+	}
 }
 
 // Classify returns the predicted class per sample of a batch.

@@ -6,7 +6,11 @@
 // activation; raw inputs never leave the edge.
 package splitrt
 
-import "shredder/internal/tensor"
+import (
+	"fmt"
+
+	"shredder/internal/tensor"
+)
 
 // hello is the connection handshake: the client declares which network and
 // cut it expects the server to host so mismatched deployments fail fast.
@@ -23,6 +27,13 @@ type helloAck struct {
 
 // request carries one batch of noisy activations to the cloud, either as
 // a dense float tensor or as a quantized payload (at most one is set).
+//
+// The ID is chosen by the client and echoed back on the matching response.
+// A batching server answers each request on its own goroutine, so
+// responses on one connection may arrive out of order; the ID is what lets
+// a client pipeline several requests on a single connection and demultiplex
+// the answers (EdgeClient itself stays lockstep: one request in flight per
+// connection).
 type request struct {
 	ID         uint64
 	Activation *tensor.Tensor // [N, ...] noisy activation batch
@@ -42,9 +53,73 @@ type quantPayload struct {
 	Packed []byte
 }
 
-// response returns the remote network's logits for a request.
+// ErrKind classifies a remote failure so the client can decide whether a
+// retry has any chance of succeeding. It travels on the wire as a small
+// integer next to the human-readable message; old servers that never set
+// it produce ErrUnknown, which is treated as non-retryable.
+type ErrKind uint8
+
+const (
+	// ErrUnknown is an unclassified remote error (including errors from
+	// pre-ErrKind servers). Not retryable.
+	ErrUnknown ErrKind = iota
+	// ErrBadRequest is a malformed payload: wrong activation shape, bad
+	// quantization scheme, missing activation. The request itself is at
+	// fault, so retrying it verbatim can never succeed.
+	ErrBadRequest
+	// ErrTimeout means the inference exceeded the server's handler
+	// timeout. Transient by definition — retryable.
+	ErrTimeout
+	// ErrShutdown means the server is closing and refused the request.
+	// Retryable: a redialing client may find the server (or its
+	// replacement) accepting again.
+	ErrShutdown
+	// ErrInternal is a server-side failure (e.g. a panic mid-forward).
+	// Possibly data-dependent, so not retried.
+	ErrInternal
+)
+
+// Retryable reports whether a request that failed with this kind is worth
+// resending unchanged.
+func (k ErrKind) Retryable() bool { return k == ErrTimeout || k == ErrShutdown }
+
+// String names the kind for error messages.
+func (k ErrKind) String() string {
+	switch k {
+	case ErrBadRequest:
+		return "bad-request"
+	case ErrTimeout:
+		return "timeout"
+	case ErrShutdown:
+		return "shutdown"
+	case ErrInternal:
+		return "internal"
+	default:
+		return "unknown"
+	}
+}
+
+// response returns the remote network's logits for a request, or a typed
+// error (Kind classifies Err so clients retry only what can succeed).
 type response struct {
 	ID     uint64
 	Logits *tensor.Tensor
 	Err    string
+	Kind   ErrKind
 }
+
+// RemoteError is the client-side representation of a protocol-level
+// failure reported by the server. Transport failures (broken connections)
+// are ordinary errors; RemoteError means the wire worked and the server
+// itself declined or failed the request.
+type RemoteError struct {
+	Kind ErrKind
+	Msg  string
+}
+
+func (e *RemoteError) Error() string {
+	return fmt.Sprintf("splitrt: remote error (%s): %s", e.Kind, e.Msg)
+}
+
+// Retryable reports whether resending the identical request may succeed.
+func (e *RemoteError) Retryable() bool { return e.Kind.Retryable() }

@@ -1,7 +1,9 @@
 package splitrt
 
 import (
+	"context"
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"net"
 	"sync"
@@ -9,6 +11,7 @@ import (
 
 	"shredder/internal/core"
 	"shredder/internal/quantize"
+	"shredder/internal/sched"
 	"shredder/internal/tensor"
 )
 
@@ -22,6 +25,16 @@ import (
 // lock. The server's mutex guards only the connection registry and
 // shutdown flag and is never held across an inference or a network I/O
 // call.
+//
+// With WithBatching, concurrent requests from *different* connections are
+// coalesced by an internal sched.Batcher into one [N, ...] forward pass
+// and the per-sample logits are demultiplexed back to each caller. This
+// changes nothing about the privacy story — every sample arrives already
+// noised on the edge — and nothing about the results: batched serving is
+// bitwise identical to per-sample serving (pinned by tests). In batching
+// mode each request on a connection is answered on its own goroutine, so
+// one connection may pipeline several requests and receive the responses
+// out of order, matched by ID.
 type CloudServer struct {
 	split    *core.Split
 	cutLayer string
@@ -31,6 +44,9 @@ type CloudServer struct {
 	handlerTimeout time.Duration
 	serialized     bool
 	serialMu       sync.Mutex // used only when serialized (legacy mode)
+
+	batchOpts *sched.Options
+	batcher   *sched.Batcher[*tensor.Tensor, *tensor.Tensor]
 
 	mu       sync.Mutex // guards listener, conns, closed — never held across inference
 	listener net.Listener
@@ -57,7 +73,9 @@ func WithWriteTimeout(d time.Duration) ServerOption {
 
 // WithHandlerTimeout bounds each remote forward pass by d (0 = no bound);
 // a request exceeding it gets an error response instead of stalling the
-// connection.
+// connection. Under batching the bound applies to the whole batched
+// forward pass; every member of a timed-out batch receives the (retryable)
+// timeout error.
 func WithHandlerTimeout(d time.Duration) ServerOption {
 	return func(s *CloudServer) { s.handlerTimeout = d }
 }
@@ -69,6 +87,16 @@ func WithSerializedInference() ServerOption {
 	return func(s *CloudServer) { s.serialized = true }
 }
 
+// WithBatching coalesces concurrent requests across connections into
+// batched forward passes under the given knobs (sched.Options zero value =
+// defaults: MaxBatch 16, MaxDelay 2ms). An idle server still answers a
+// lone request immediately — the delay knob only bounds queueing behind an
+// in-flight batch — so enabling batching never costs latency when there is
+// no load to coalesce.
+func WithBatching(opts sched.Options) ServerOption {
+	return func(s *CloudServer) { s.batchOpts = &opts }
+}
+
 // NewCloudServer creates a server for the given split. cutLayer is the
 // layer name clients must declare in their handshake.
 func NewCloudServer(split *core.Split, cutLayer string, opts ...ServerOption) *CloudServer {
@@ -76,7 +104,19 @@ func NewCloudServer(split *core.Split, cutLayer string, opts ...ServerOption) *C
 	for _, o := range opts {
 		o(s)
 	}
+	if s.batchOpts != nil {
+		s.batcher = sched.New(s.runBatch, *s.batchOpts)
+	}
 	return s
+}
+
+// BatchStats returns the batching scheduler's counters; ok is false when
+// the server runs without WithBatching.
+func (s *CloudServer) BatchStats() (stats sched.Stats, ok bool) {
+	if s.batcher == nil {
+		return sched.Stats{}, false
+	}
+	return s.batcher.Stats(), true
 }
 
 // Serve starts listening on addr (e.g. "127.0.0.1:0") and returns the
@@ -149,15 +189,53 @@ func (s *CloudServer) serveConn(conn net.Conn) {
 		return
 	}
 
+	if s.batcher != nil {
+		s.serveConnPipelined(conn, dec, enc)
+		return
+	}
 	for {
 		var req request
 		if err := s.decodeWithIdleDeadline(conn, dec, &req); err != nil {
 			return
 		}
-		resp := s.handle(req)
+		resp := s.handle(context.Background(), req)
 		if err := s.encodeWithWriteDeadline(conn, enc, resp); err != nil {
 			return
 		}
+	}
+}
+
+// serveConnPipelined is the batching-mode connection loop: every request is
+// answered on its own goroutine (so several can be in the batcher at once,
+// and a single connection can pipeline), with the gob encoder guarded by a
+// write mutex and responses matched to requests by ID. The connection
+// context is cancelled when the reader exits, abandoning any of this
+// connection's slots still queued in the batcher.
+func (s *CloudServer) serveConnPipelined(conn net.Conn, dec *gob.Decoder, enc *gob.Encoder) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var writeMu sync.Mutex
+	var reqWG sync.WaitGroup
+	defer reqWG.Wait()
+	for {
+		var req request
+		if err := s.decodeWithIdleDeadline(conn, dec, &req); err != nil {
+			return
+		}
+		reqWG.Add(1)
+		go func(req request) {
+			defer reqWG.Done()
+			resp := s.handle(ctx, req)
+			writeMu.Lock()
+			err := s.encodeWithWriteDeadline(conn, enc, resp)
+			writeMu.Unlock()
+			if err != nil {
+				// The peer is unreachable; unblock the reader so the
+				// connection tears down instead of lingering until the
+				// idle deadline.
+				conn.Close()
+			}
+		}(req)
 	}
 }
 
@@ -183,83 +261,163 @@ func (s *CloudServer) encodeWithWriteDeadline(conn net.Conn, enc *gob.Encoder, v
 	return enc.Encode(v)
 }
 
-// handle computes R(a′) for one request, converting panics (bad payloads
-// from a misbehaving client) into error responses rather than crashing the
-// server.
-func (s *CloudServer) handle(req request) (resp response) {
-	resp.ID = req.ID
-	defer func() {
-		if r := recover(); r != nil {
-			resp.Logits = nil
-			resp.Err = fmt.Sprintf("remote inference failed: %v", r)
-		}
-	}()
-	act := req.Activation
+// handle computes R(a′) for one request. Validation errors are classified
+// per request (ErrBadRequest) before the batcher is involved, so a
+// malformed payload can never poison a batch it would have ridden in.
+func (s *CloudServer) handle(ctx context.Context, req request) response {
+	resp := response{ID: req.ID}
+	act, kind, msg := s.decodeActivation(req)
+	if kind != ErrUnknown {
+		resp.Err, resp.Kind = msg, kind
+		return resp
+	}
+	var logits *tensor.Tensor
+	var err error
+	if s.batcher != nil {
+		logits, err = s.batcher.Submit(ctx, act, act.Dim(0))
+	} else {
+		logits, err = s.infer(act)
+	}
+	if err != nil {
+		resp.Err, resp.Kind = err.Error(), classify(err)
+		return resp
+	}
+	resp.Logits = logits
+	return resp
+}
+
+// decodeActivation extracts and validates the request's activation batch.
+// A non-ErrUnknown kind means the request is rejected before inference.
+func (s *CloudServer) decodeActivation(req request) (act *tensor.Tensor, kind ErrKind, msg string) {
+	act = req.Activation
 	if act == nil && req.Quant != nil {
 		scheme, err := quantize.NewScheme(req.Quant.Bits, req.Quant.Lo, req.Quant.Hi)
 		if err != nil {
-			resp.Err = fmt.Sprintf("bad quantization scheme: %v", err)
-			return resp
+			return nil, ErrBadRequest, fmt.Sprintf("bad quantization scheme: %v", err)
 		}
 		act, err = scheme.DequantizePacked(req.Quant.Packed, req.Quant.Shape...)
 		if err != nil {
-			resp.Err = fmt.Sprintf("bad quantized payload: %v", err)
-			return resp
+			return nil, ErrBadRequest, fmt.Sprintf("bad quantized payload: %v", err)
 		}
 	}
 	if act == nil {
-		resp.Err = "missing activation"
-		return resp
+		return nil, ErrBadRequest, "missing activation"
 	}
 	want := s.split.ActivationShape()
 	got := act.Shape()
 	if len(got) != len(want)+1 || !tensor.ShapeEq(got[1:], want) {
-		resp.Err = fmt.Sprintf("activation shape %v does not match expected [N %v]", got, want)
-		return resp
+		return nil, ErrBadRequest, fmt.Sprintf("activation shape %v does not match expected [N %v]", got, want)
 	}
-	resp.Logits = s.infer(act)
-	return resp
+	return act, ErrUnknown, ""
+}
+
+// errHandlerTimeout marks a forward pass that exceeded the handler
+// timeout; classify maps it to the retryable ErrTimeout wire kind.
+var errHandlerTimeout = errors.New("inference exceeded handler timeout")
+
+// classify maps a server-side inference error to its wire kind.
+func classify(err error) ErrKind {
+	switch {
+	case errors.Is(err, errHandlerTimeout):
+		return ErrTimeout
+	case errors.Is(err, sched.ErrClosed):
+		return ErrShutdown
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		return ErrShutdown
+	default:
+		return ErrInternal
+	}
+}
+
+// runBatch is the sched.Batcher flush function: it stacks the coalesced
+// [nᵢ, ...] activation batches into one [Σnᵢ, ...] tensor, runs a single
+// remote forward pass, and splits the logits back per request. Stacking
+// and splitting are pure copies, and every layer treats batch members
+// independently on the inference path, so the per-request logits are
+// bitwise identical to what per-sample serving would have produced.
+func (s *CloudServer) runBatch(acts []*tensor.Tensor) ([]*tensor.Tensor, error) {
+	if len(acts) == 1 {
+		logits, err := s.infer(acts[0])
+		if err != nil {
+			return nil, err
+		}
+		return []*tensor.Tensor{logits}, nil
+	}
+	sample := s.split.ActivationShape()
+	total := 0
+	for _, a := range acts {
+		total += a.Dim(0)
+	}
+	stacked := tensor.New(append([]int{total}, sample...)...)
+	off := 0
+	for _, a := range acts {
+		copy(stacked.Data()[off:], a.Data())
+		off += a.Len()
+	}
+	logits, err := s.infer(stacked)
+	if err != nil {
+		return nil, err
+	}
+	outShape := logits.Shape()[1:]
+	outVol := tensor.Volume(outShape)
+	out := make([]*tensor.Tensor, len(acts))
+	row := 0
+	for i, a := range acts {
+		n := a.Dim(0)
+		o := tensor.New(append([]int{n}, outShape...)...)
+		copy(o.Data(), logits.Data()[row*outVol:(row+n)*outVol])
+		out[i] = o
+		row += n
+	}
+	return out, nil
 }
 
 // infer runs the reentrant remote forward pass, optionally bounded by the
-// handler timeout. On timeout the computation goroutine is left to finish
-// in the background (Go cannot cancel a compute loop), but the request
-// gets an error response and the connection moves on.
-func (s *CloudServer) infer(act *tensor.Tensor) *tensor.Tensor {
-	run := func() *tensor.Tensor {
+// handler timeout, converting panics (bad payloads from a misbehaving
+// client that slipped past validation) into errors rather than crashing
+// the server. On timeout the computation goroutine is left to finish in
+// the background (Go cannot cancel a compute loop), but the request gets
+// an error and the connection moves on.
+func (s *CloudServer) infer(act *tensor.Tensor) (*tensor.Tensor, error) {
+	run := func() (out *tensor.Tensor, err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				out, err = nil, fmt.Errorf("remote inference failed: %v", r)
+			}
+		}()
 		if s.serialized {
 			s.serialMu.Lock()
 			defer s.serialMu.Unlock()
 		}
-		return s.split.RemoteInfer(act)
+		return s.split.RemoteInfer(act), nil
 	}
 	if s.handlerTimeout <= 0 {
 		return run()
 	}
-	done := make(chan *tensor.Tensor, 1)
-	panicked := make(chan any, 1)
+	type res struct {
+		t   *tensor.Tensor
+		err error
+	}
+	done := make(chan res, 1)
 	go func() {
-		defer func() {
-			if r := recover(); r != nil {
-				panicked <- r
-			}
-		}()
-		done <- run()
+		t, err := run()
+		done <- res{t, err}
 	}()
 	timer := time.NewTimer(s.handlerTimeout)
 	defer timer.Stop()
 	select {
-	case logits := <-done:
-		return logits
-	case r := <-panicked:
-		panic(r) // re-panic on the handler goroutine; handle's recover replies with the error
+	case r := <-done:
+		return r.t, r.err
 	case <-timer.C:
-		panic(fmt.Sprintf("inference exceeded handler timeout %v", s.handlerTimeout))
+		return nil, fmt.Errorf("%w %v", errHandlerTimeout, s.handlerTimeout)
 	}
 }
 
-// Close stops the listener, closes live connections and waits for their
-// serving goroutines to finish. It is idempotent: closing an already
+// Close stops the listener, drains the batching scheduler (pending slots
+// are flushed as one final batch, so callers already in the pipeline get
+// real responses rather than errors; anything submitted afterwards fails
+// with the retryable shutdown kind), closes live connections and waits for
+// their serving goroutines to finish. It is idempotent: closing an already
 // closed server is a no-op returning nil.
 func (s *CloudServer) Close() error {
 	s.mu.Lock()
@@ -277,6 +435,11 @@ func (s *CloudServer) Close() error {
 	s.mu.Unlock()
 	if ln != nil {
 		ln.Close()
+	}
+	if s.batcher != nil {
+		// Drain before severing connections so the final batch's
+		// responses still have live sockets to be written to.
+		s.batcher.Close()
 	}
 	for _, c := range conns {
 		c.Close()

@@ -25,6 +25,7 @@ import (
 	"shredder/internal/core"
 	"shredder/internal/mi"
 	"shredder/internal/model"
+	"shredder/internal/sched"
 	"shredder/internal/splitrt"
 	"shredder/internal/tensor"
 )
@@ -337,6 +338,11 @@ type CloudHandle struct {
 
 // Close shuts the server down.
 func (h *CloudHandle) Close() error { return h.srv.Close() }
+
+// BatchStats returns the micro-batching scheduler's counters (batches,
+// mean occupancy, queue delay, flush reasons); ok is false when the server
+// was started without splitrt.WithBatching.
+func (h *CloudHandle) BatchStats() (stats sched.Stats, ok bool) { return h.srv.BatchStats() }
 
 // ServeCloud starts a TCP server for the system's remote part on addr
 // (e.g. "127.0.0.1:0") and returns its handle with the bound address.
