@@ -1,10 +1,11 @@
 GO ?= go
 
-.PHONY: ci fmt vet build test race bench
+.PHONY: ci fmt vet build test race bench bench-obs
 
-## ci: the full gate — formatting, vet, build, tests, and the race suite
-## over the concurrency-sensitive packages. Run before every push.
-ci: fmt vet build test race
+## ci: the full gate — formatting, vet, build, tests, the race suite over
+## the concurrency-sensitive packages, and the observability-overhead
+## smoke benchmark. Run before every push.
+ci: fmt vet build test race bench-obs
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -24,3 +25,8 @@ race:
 
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkCloudServerThroughput|BenchmarkServeBatched' -benchtime 200x .
+
+## bench-obs: smoke-run the observability overhead benchmark (the disabled
+## path must stay within noise of results_bench_obs.txt's baseline).
+bench-obs:
+	$(GO) test -run '^$$' -bench BenchmarkObsOverhead -benchtime 50x .

@@ -31,13 +31,21 @@ func main() {
 	nets := flag.String("nets", "", "comma-separated network filter (default: paper's set per experiment)")
 	out := flag.String("out", "", "also write the report to this file")
 	csvDir := flag.String("csv", "", "also write one CSV per experiment into this directory")
+	quiet := flag.Bool("quiet", false, "suppress progress output on stderr (results still print)")
 	flag.Parse()
+
+	// All progress chatter goes through one writer so -quiet silences it in
+	// a single place; the rendered tables still go to stdout/-out.
+	var progress io.Writer = os.Stderr
+	if *quiet {
+		progress = io.Discard
+	}
 
 	cfg := experiments.Config{
 		Workdir:  *workdir,
 		Quick:    *quick,
 		Seed:     *seed,
-		Progress: os.Stderr,
+		Progress: progress,
 	}
 	if *nets != "" {
 		cfg.Networks = strings.Split(*nets, ",")
@@ -85,7 +93,7 @@ func main() {
 			continue
 		}
 		start := time.Now()
-		fmt.Fprintf(os.Stderr, "=== running %s ===\n", r.name)
+		fmt.Fprintf(progress, "=== running %s ===\n", r.name)
 		res, err := r.fn(cfg)
 		if err != nil {
 			fatal(fmt.Errorf("%s: %w", r.name, err))
@@ -106,7 +114,7 @@ func main() {
 			}
 			f.Close()
 		}
-		fmt.Fprintf(os.Stderr, "=== %s done in %v ===\n", r.name, time.Since(start).Round(time.Second))
+		fmt.Fprintf(progress, "=== %s done in %v ===\n", r.name, time.Since(start).Round(time.Second))
 		ran++
 	}
 	if ran == 0 {

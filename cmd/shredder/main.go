@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"shredder"
+	"shredder/internal/obs"
 	"shredder/internal/sched"
 	"shredder/internal/splitrt"
 )
@@ -138,14 +139,31 @@ func cmdTrainNoise(args []string) error {
 	lambda := fs.Float64("lambda", 0, "privacy knob λ (0 = tuned default)")
 	nepochs := fs.Float64("noise-epochs", 0, "noise-training epochs, fractional ok (0 = default)")
 	selfSup := fs.Bool("self-supervised", false, "train against the model's own predictions")
+	quiet := fs.Bool("quiet", false, "suppress per-iteration progress lines")
+	csvPath := fs.String("csv", "", "append per-evaluation training events to this CSV file")
 	fs.Parse(args)
 	sys, err := c.system()
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "training %d noise tensors for %s (cut %s)...\n", *count, sys.Network(), sys.Cut())
+	var hooks []obs.Hook
+	if !*quiet {
+		hooks = append(hooks, obs.ProgressHook(os.Stderr))
+	}
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		hooks = append(hooks, obs.CSVHook(f))
+	}
+	if !*quiet {
+		fmt.Fprintf(os.Stderr, "training %d noise tensors for %s (cut %s)...\n", *count, sys.Network(), sys.Cut())
+	}
 	sys.LearnNoiseWith(*count, shredder.NoiseOptions{
 		Scale: *scale, Lambda: *lambda, Epochs: *nepochs, SelfSupervised: *selfSup,
+		Hook: obs.Hooks(hooks...),
 	})
 	if err := sys.SaveNoise(*out); err != nil {
 		return err
@@ -185,6 +203,7 @@ func cmdServe(args []string) error {
 	handler := fs.Duration("handler-timeout", time.Minute, "per-request inference bound (0 = none)")
 	batch := fs.Int("batch", 0, "coalesce concurrent requests into batches of up to this many samples (0 = off)")
 	batchDelay := fs.Duration("batch-delay", 2*time.Millisecond, "max queueing behind an in-flight batch before a partial batch flushes")
+	debugAddr := fs.String("debug-addr", "", "serve /debug/metrics, /debug/spans and pprof on this HTTP address (empty = off)")
 	fs.Parse(args)
 	sys, err := c.system()
 	if err != nil {
@@ -198,6 +217,9 @@ func cmdServe(args []string) error {
 	if *batch > 0 {
 		opts = append(opts, splitrt.WithBatching(sched.Options{MaxBatch: *batch, MaxDelay: *batchDelay}))
 	}
+	if *debugAddr != "" {
+		opts = append(opts, splitrt.WithDebugServer(*debugAddr))
+	}
 	cloud, err := sys.ServeCloud(*addr, opts...)
 	if err != nil {
 		return err
@@ -207,6 +229,9 @@ func cmdServe(args []string) error {
 			sys.Network(), sys.Cut(), cloud.Addr, *batch, *batchDelay)
 	} else {
 		fmt.Printf("cloud part of %s (cut %s) serving on %s\n", sys.Network(), sys.Cut(), cloud.Addr)
+	}
+	if d := cloud.DebugAddr(); d != "" {
+		fmt.Printf("debug endpoint on http://%s/debug/metrics\n", d)
 	}
 	select {} // serve until killed
 }

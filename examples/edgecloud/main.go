@@ -11,20 +11,28 @@
 // reports how much it managed to batch at the end. The predictions are
 // bitwise identical either way — batching is a pure throughput knob.
 //
+// The whole run shares one obs metrics registry: the server, the batching
+// scheduler, and every edge client register their counters and histograms
+// in it, and the end-of-run summary is a snapshot of that registry. Pass
+// -debug-addr to also serve it live at /debug/metrics (with request spans
+// at /debug/spans) while the example runs.
+//
 // Run with:
 //
-//	go run ./examples/edgecloud [-net lenet] [-n 24] [-clients 4]
+//	go run ./examples/edgecloud [-net lenet] [-n 24] [-clients 4] [-debug-addr 127.0.0.1:8080] [-quiet]
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"sync"
 	"time"
 
 	"shredder"
+	"shredder/internal/obs"
 	"shredder/internal/sched"
 	"shredder/internal/splitrt"
 )
@@ -34,13 +42,26 @@ func main() {
 	net := flag.String("net", "lenet", "benchmark network")
 	n := flag.Int("n", 24, "test samples to classify remotely")
 	clients := flag.Int("clients", 1, "concurrent edge connections (>1 enables server micro-batching)")
+	debugAddr := flag.String("debug-addr", "", "serve live /debug/metrics and /debug/spans on this HTTP address")
+	quiet := flag.Bool("quiet", false, "suppress progress output; print only the final summary")
 	flag.Parse()
 	if *clients < 1 {
 		*clients = 1
 	}
 
-	fmt.Printf("pre-training %s and learning noise...\n", *net)
-	sys, err := shredder.NewSystem(*net, shredder.Config{Seed: 1, Progress: os.Stderr})
+	// One registry for the whole deployment: server, scheduler, and every
+	// client fold their metrics into it, so the summary below (and the live
+	// debug endpoint) sees the full picture in one snapshot.
+	reg := obs.NewRegistry()
+	spans := obs.NewSpanRing(256)
+
+	var progress io.Writer = os.Stderr
+	if *quiet {
+		progress = io.Discard
+	}
+
+	fmt.Fprintf(progress, "pre-training %s and learning noise...\n", *net)
+	sys, err := shredder.NewSystem(*net, shredder.Config{Seed: 1, Progress: progress})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -49,18 +70,24 @@ func main() {
 	// "Cloud": hosts only the layers after the cutting point. It never
 	// sees inputs, only noisy activations. With several edge clients we
 	// also turn on the cross-connection micro-batching scheduler.
-	var opts []splitrt.ServerOption
+	opts := []splitrt.ServerOption{splitrt.WithObservability(reg, spans)}
 	if *clients > 1 {
 		opts = append(opts, splitrt.WithBatching(sched.Options{
 			MaxBatch: *clients, MaxDelay: 2 * time.Millisecond,
 		}))
+	}
+	if *debugAddr != "" {
+		opts = append(opts, splitrt.WithDebugServer(*debugAddr))
 	}
 	cloud, err := sys.ServeCloud("127.0.0.1:0", opts...)
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer cloud.Close()
-	fmt.Printf("cloud part serving on %s (%d edge client(s))\n", cloud.Addr, *clients)
+	fmt.Fprintf(progress, "cloud part serving on %s (%d edge client(s))\n", cloud.Addr, *clients)
+	if d := cloud.DebugAddr(); d != "" {
+		fmt.Fprintf(progress, "debug endpoint on http://%s/debug/metrics\n", d)
+	}
 
 	// "Edge": each client runs the local layers and the noise sampler on
 	// its own connection; the cloud coalesces whatever overlaps.
@@ -77,7 +104,7 @@ func main() {
 		wg.Add(1)
 		go func(c int) {
 			defer wg.Done()
-			edge, err := sys.ConnectEdge(cloud.Addr)
+			edge, err := sys.ConnectEdge(cloud.Addr, splitrt.WithMetrics(reg))
 			if err != nil {
 				mu.Lock()
 				fatal = err
@@ -117,11 +144,20 @@ func main() {
 				correct++
 				mark = "✓"
 			}
-			fmt.Printf("  sample %2d: cloud predicted %2d, label %2d %s\n", r.idx, r.pred, r.label, mark)
+			fmt.Fprintf(progress, "  sample %2d: cloud predicted %2d, label %2d %s\n", r.idx, r.pred, r.label, mark)
 		}
 	}
-	fmt.Printf("\nremote accuracy with noise: %d/%d (baseline %.2f%%)\n",
+	fmt.Printf("remote accuracy with noise: %d/%d (baseline %.2f%%)\n",
 		correct, len(results), 100*sys.BaselineAccuracy())
+
+	// The summary is a straight read of the shared registry — the same
+	// numbers /debug/metrics serves.
+	snap := reg.Snapshot()
+	rtt := snap.Histograms["client.rtt_seconds"]
+	fmt.Printf("wire: %d requests, %d bytes up, %d bytes down; rtt p50 %.1fms p99 %.1fms\n",
+		snap.Counters["client.requests"],
+		snap.Counters["client.bytes_sent"], snap.Counters["client.bytes_received"],
+		1e3*rtt.P50, 1e3*rtt.P99)
 	if stats, ok := cloud.BatchStats(); ok {
 		fmt.Printf("micro-batching: %d requests served in %d batches (mean occupancy %.2f, mean queue delay %s)\n",
 			stats.Submitted, stats.Batches, stats.MeanOccupancy, stats.MeanQueueDelay)

@@ -91,6 +91,12 @@ func Collect(split *Split, ds *data.Dataset, cfg NoiseConfig, count, workers int
 	train := func(i int) {
 		run := cfg
 		run.Seed = cfg.Seed + int64(i)*1_000_003
+		// Label each member's observability events so interleaved parallel
+		// runs stay attributable ("member-03", or "prefix/member-03").
+		run.Run = fmt.Sprintf("member-%02d", i)
+		if cfg.Run != "" {
+			run.Run = cfg.Run + "/" + run.Run
+		}
 		res := TrainNoise(split, ds, run)
 		results[i] = member{noise: res.Noise, inVivo: res.FinalInVivo}
 	}

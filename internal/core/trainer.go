@@ -3,9 +3,11 @@ package core
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"shredder/internal/data"
 	"shredder/internal/nn"
+	"shredder/internal/obs"
 	"shredder/internal/optim"
 	"shredder/internal/tensor"
 )
@@ -42,6 +44,14 @@ type NoiseConfig struct {
 	EvalEvery int
 	// Log, when non-nil, receives an event at every evaluation point.
 	Log func(TrainEvent)
+	// Run labels this run's observability events (e.g. "member-03"); it is
+	// carried on every obs.TrainingEvent the Hook receives.
+	Run string
+	// Hook, when non-nil, receives an obs.TrainingEvent at every evaluation
+	// point — the bridge into the observability layer (progress lines, CSV,
+	// metrics registries) shared with the serving stack. Log and Hook are
+	// independent: either, both, or neither may be set.
+	Hook obs.Hook
 }
 
 func (c NoiseConfig) withDefaults() NoiseConfig {
@@ -73,6 +83,7 @@ type TrainEvent struct {
 	Epoch     float64
 	Loss      float64 // total Shredder loss (CE − λΣ|n|)
 	CE        float64 // cross-entropy component
+	NoiseL1   float64 // Σ|n|, the noise magnitude the λ term rewards
 	InVivo    float64 // 1/SNR at this point
 	BatchAcc  float64 // accuracy on the current batch, with noise
 	Lambda    float64 // current λ (after decay)
@@ -100,6 +111,7 @@ const dropoutSeedOffset = 77_003
 // cfg.Seed, making each run reproducible independent of scheduling.
 func TrainNoise(split *Split, ds *data.Dataset, cfg NoiseConfig) *TrainResult {
 	cfg = cfg.withDefaults()
+	start := time.Now()
 	// Clear any parameter gradients a pre-training phase left behind, so
 	// the "noise training leaves weights and gradients untouched"
 	// invariant holds from here on (serialized on the Split).
@@ -174,6 +186,7 @@ func TrainNoise(split *Split, ds *data.Dataset, cfg NoiseConfig) *TrainResult {
 					Epoch:     float64(iter) / float64(len(batches)),
 					Loss:      total,
 					CE:        ce,
+					NoiseL1:   noise.Values().AbsSum(),
 					InVivo:    lastInVivo,
 					BatchAcc:  nn.Accuracy(logits, b.Labels),
 					Lambda:    lambda,
@@ -182,6 +195,12 @@ func TrainNoise(split *Split, ds *data.Dataset, cfg NoiseConfig) *TrainResult {
 				if cfg.Log != nil {
 					cfg.Log(ev)
 				}
+				cfg.Hook.Emit(obs.TrainingEvent{
+					Run: cfg.Run, Iteration: ev.Iteration, Epoch: ev.Epoch,
+					Loss: ev.Loss, CE: ev.CE, NoiseL1: ev.NoiseL1,
+					InVivo: ev.InVivo, BatchAcc: ev.BatchAcc, Lambda: ev.Lambda,
+					Elapsed: time.Since(start),
+				})
 				// λ decay knob: once the desired in vivo privacy is
 				// reached, shrink λ so privacy stabilizes and accuracy can
 				// recover (paper §3.2).

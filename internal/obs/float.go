@@ -1,0 +1,43 @@
+package obs
+
+import (
+	"encoding/json"
+	"math"
+)
+
+var floatInf = math.Inf(1)
+
+func floatBits(v float64) uint64     { return math.Float64bits(v) }
+func floatFromBits(b uint64) float64 { return math.Float64frombits(b) }
+
+// bucketWire keeps the overflow bucket JSON-encodable: encoding/json rejects
+// +Inf, so the upper edge travels as the string "+Inf" instead.
+type bucketWire struct {
+	Le    any   `json:"le"`
+	Count int64 `json:"count"`
+}
+
+// MarshalJSON encodes the bucket, writing an infinite upper edge as "+Inf".
+func (b Bucket) MarshalJSON() ([]byte, error) {
+	w := bucketWire{Le: b.Le, Count: b.Count}
+	if math.IsInf(b.Le, 1) {
+		w.Le = "+Inf"
+	}
+	return json.Marshal(w)
+}
+
+// UnmarshalJSON decodes both numeric and "+Inf" upper edges.
+func (b *Bucket) UnmarshalJSON(data []byte) error {
+	var w bucketWire
+	if err := json.Unmarshal(data, &w); err != nil {
+		return err
+	}
+	b.Count = w.Count
+	switch le := w.Le.(type) {
+	case float64:
+		b.Le = le
+	case string:
+		b.Le = floatInf
+	}
+	return nil
+}

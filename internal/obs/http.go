@@ -1,0 +1,89 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+)
+
+// Handler serves the debug surface for a registry and span ring:
+//
+//	/debug/metrics  JSON Snapshot of every registered metric
+//	/debug/spans    JSON list of recent completed spans (?n= limits, newest kept)
+//	/debug/vars     the process's expvar map (memstats, cmdline)
+//	/debug/pprof/*  the standard pprof profiles
+//
+// Either argument may be nil; the endpoints then serve empty documents.
+func Handler(reg *Registry, spans *SpanRing) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/metrics", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, reg.Snapshot())
+	})
+	mux.HandleFunc("/debug/spans", func(w http.ResponseWriter, r *http.Request) {
+		out := spans.Snapshot()
+		if q := r.URL.Query().Get("n"); q != "" {
+			if n, err := strconv.Atoi(q); err == nil && n >= 0 && n < len(out) {
+				out = out[len(out)-n:]
+			}
+		}
+		if out == nil {
+			out = []Span{}
+		}
+		writeJSON(w, out)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, "shredder debug endpoint\n\n"+
+			"/debug/metrics  metrics snapshot (JSON)\n"+
+			"/debug/spans    recent request spans (JSON, ?n=N)\n"+
+			"/debug/vars     expvar\n"+
+			"/debug/pprof/   profiles\n")
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// DebugServer is a running debug HTTP listener.
+type DebugServer struct {
+	Addr string // bound address, e.g. "127.0.0.1:43123"
+	ln   net.Listener
+	srv  *http.Server
+}
+
+// ServeDebug binds addr (e.g. "127.0.0.1:0") and serves Handler(reg, spans)
+// on background goroutines until Close.
+func ServeDebug(addr string, reg *Registry, spans *SpanRing) (*DebugServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: debug listen: %w", err)
+	}
+	d := &DebugServer{Addr: ln.Addr().String(), ln: ln, srv: &http.Server{Handler: Handler(reg, spans)}}
+	go d.srv.Serve(ln)
+	return d, nil
+}
+
+// Close stops the listener and closes open debug connections.
+func (d *DebugServer) Close() error {
+	if d == nil {
+		return nil
+	}
+	return d.srv.Close()
+}

@@ -1,0 +1,149 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// TraceID identifies one request end to end: minted on the edge, carried
+// over the wire, and stamped on every span the request produces. Zero means
+// "untraced".
+type TraceID uint64
+
+// traceSalt decorrelates the IDs of different processes (an edge and a
+// cloud minting concurrently); traceSeq makes IDs unique within one.
+var (
+	traceSalt = uint64(time.Now().UnixNano())*0x9e3779b97f4a7c15 ^ uint64(os.Getpid())<<32
+	traceSeq  atomic.Uint64
+)
+
+// NewTraceID mints a process-unique, never-zero trace ID. It is one atomic
+// increment plus a multiply — cheap enough to mint unconditionally on the
+// request hot path.
+func NewTraceID() TraceID {
+	for {
+		id := TraceID((traceSeq.Add(1) * 0x9e3779b97f4a7c15) ^ traceSalt)
+		if id != 0 {
+			return id
+		}
+	}
+}
+
+// String renders the ID as fixed-width hex, the form used in logs and JSON.
+func (t TraceID) String() string { return fmt.Sprintf("%016x", uint64(t)) }
+
+// MarshalJSON encodes the ID as its hex string.
+func (t TraceID) MarshalJSON() ([]byte, error) { return json.Marshal(t.String()) }
+
+// UnmarshalJSON decodes the hex string form.
+func (t *TraceID) UnmarshalJSON(data []byte) error {
+	var s string
+	if err := json.Unmarshal(data, &s); err != nil {
+		return err
+	}
+	var v uint64
+	if _, err := fmt.Sscanf(s, "%x", &v); err != nil {
+		return err
+	}
+	*t = TraceID(v)
+	return nil
+}
+
+// Stage is one named sub-timing of a span — e.g. the queue / batch /
+// compute phases of a served request.
+type Stage struct {
+	Name string        `json:"name"`
+	Dur  time.Duration `json:"dur_ns"`
+}
+
+// Span is the completed timeline of one operation. Stages partition (part
+// of) the duration into named phases; Attrs carry scalar annotations such
+// as the batch weight a request rode in.
+type Span struct {
+	Trace  TraceID            `json:"trace"`
+	Name   string             `json:"name"`
+	ID     uint64             `json:"id,omitempty"` // protocol request ID, when relevant
+	Start  time.Time          `json:"start"`
+	Dur    time.Duration      `json:"dur_ns"`
+	Err    string             `json:"err,omitempty"`
+	Stages []Stage            `json:"stages,omitempty"`
+	Attrs  map[string]float64 `json:"attrs,omitempty"`
+}
+
+// StageDur returns the duration of the named stage (0 when absent).
+func (s *Span) StageDur(name string) time.Duration {
+	for _, st := range s.Stages {
+		if st.Name == name {
+			return st.Dur
+		}
+	}
+	return 0
+}
+
+// SpanRing is a bounded ring buffer of completed spans: recording is O(1)
+// and keeps only the most recent N, so a long-lived server can always show
+// its recent request timelines without unbounded memory. All methods are
+// no-ops (or empty results) on a nil receiver.
+type SpanRing struct {
+	mu    sync.Mutex
+	buf   []Span
+	next  int
+	n     int
+	total uint64
+}
+
+// NewSpanRing creates a ring holding the last n completed spans (n < 1 is
+// clamped to 1).
+func NewSpanRing(n int) *SpanRing {
+	if n < 1 {
+		n = 1
+	}
+	return &SpanRing{buf: make([]Span, n)}
+}
+
+// Record adds one completed span, evicting the oldest when full.
+func (r *SpanRing) Record(s Span) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.buf[r.next] = s
+	r.next = (r.next + 1) % len(r.buf)
+	if r.n < len(r.buf) {
+		r.n++
+	}
+	r.total++
+	r.mu.Unlock()
+}
+
+// Snapshot returns the retained spans, oldest first.
+func (r *SpanRing) Snapshot() []Span {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Span, 0, r.n)
+	start := r.next - r.n
+	if start < 0 {
+		start += len(r.buf)
+	}
+	for i := 0; i < r.n; i++ {
+		out = append(out, r.buf[(start+i)%len(r.buf)])
+	}
+	return out
+}
+
+// Total returns how many spans were ever recorded (including evicted ones).
+func (r *SpanRing) Total() uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}

@@ -25,8 +25,9 @@ import (
 	"errors"
 	"fmt"
 	"sync"
-	"sync/atomic"
 	"time"
+
+	"shredder/internal/obs"
 )
 
 // ErrClosed is returned by Submit after Close has begun.
@@ -42,6 +43,11 @@ type Options struct {
 	// (default 2ms). It is a latency budget, not a mandatory delay: an
 	// idle batcher always flushes immediately.
 	MaxDelay time.Duration
+	// Metrics, when non-nil, registers the batcher's counters in this
+	// shared registry under "sched." names so they appear in a combined
+	// /debug/metrics snapshot. Nil gives the batcher a private registry —
+	// Stats always works, at identical (atomic) hot-path cost.
+	Metrics *obs.Registry
 }
 
 func (o Options) withDefaults() Options {
@@ -71,15 +77,37 @@ type Stats struct {
 	MeanQueueDelay time.Duration // mean time from Submit to dispatch
 }
 
-// counters holds the Batcher's hot-path statistics as atomics so Stats can
-// snapshot them without touching the scheduling mutex.
+// counters holds the Batcher's hot-path statistics as registered obs
+// metrics (all atomic) so Stats — now a thin compatibility wrapper — and a
+// shared /debug/metrics snapshot read the same numbers without touching the
+// scheduling mutex.
 type counters struct {
-	submitted, cancelled atomic.Int64
-	batches, weight      atomic.Int64
-	full, idle, timer    atomic.Int64
-	closeFlush           atomic.Int64
-	dispatched           atomic.Int64 // live slots handed to run
-	queueDelayNs         atomic.Int64
+	submitted, cancelled *obs.Counter
+	batches, weight      *obs.Counter
+	full, idle, timer    *obs.Counter
+	closeFlush           *obs.Counter
+	dispatched           *obs.Counter // live slots handed to run
+	queueDelayNs         *obs.Counter
+	occupancy            *obs.Gauge // weight of the most recent batch
+}
+
+func newCounters(reg *obs.Registry) counters {
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	return counters{
+		submitted:    reg.Counter("sched.submitted"),
+		cancelled:    reg.Counter("sched.cancelled"),
+		batches:      reg.Counter("sched.batches"),
+		weight:       reg.Counter("sched.weight"),
+		full:         reg.Counter("sched.flush.full"),
+		idle:         reg.Counter("sched.flush.idle"),
+		timer:        reg.Counter("sched.flush.timer"),
+		closeFlush:   reg.Counter("sched.flush.close"),
+		dispatched:   reg.Counter("sched.dispatched"),
+		queueDelayNs: reg.Counter("sched.queue_delay_ns"),
+		occupancy:    reg.Gauge("sched.occupancy"),
+	}
 }
 
 type result[R any] struct {
@@ -87,16 +115,43 @@ type result[R any] struct {
 	err error
 }
 
-// slot is one pending submission: the request, its weight, and the channel
-// its submitter is waiting on (buffered, so an abandoned slot never blocks
-// the flusher).
+// slot is one pending submission: the request, its weight, the channel its
+// submitter is waiting on (buffered, so an abandoned slot never blocks the
+// flusher), and an optional SubmitInfo to fill with dispatch timings.
 type slot[Q, R any] struct {
 	ctx    context.Context
 	req    Q
 	weight int
 	enq    time.Time
 	res    chan result[R]
+	info   *SubmitInfo
 }
+
+// SubmitInfo reports how one submission travelled through the batcher: when
+// it queued, when its batch was dispatched and ran, and what it rode in.
+// Filled by SubmitTraced before the result is delivered, so the submitter
+// may read it as soon as SubmitTraced returns nil. After a non-nil error
+// (cancellation, close) the contents are unspecified and the batcher may
+// still be writing them — do not read the struct in that case.
+type SubmitInfo struct {
+	Enqueued    time.Time // Submit entry: the request joined the pending queue
+	Dispatched  time.Time // its batch left the queue (flight launched)
+	Started     time.Time // the run function began for its batch
+	Finished    time.Time // the run function returned
+	BatchSize   int       // live submissions in the batch it rode in
+	BatchWeight int       // total live weight of that batch
+	Reason      string    // why the batch flushed: full / idle / timer / close
+}
+
+// QueueDelay is the time the submission waited before its batch launched.
+func (i *SubmitInfo) QueueDelay() time.Duration { return i.Dispatched.Sub(i.Enqueued) }
+
+// BatchDelay is the gap between flight launch and the run actually starting
+// (slot filtering and goroutine handoff).
+func (i *SubmitInfo) BatchDelay() time.Duration { return i.Started.Sub(i.Dispatched) }
+
+// RunTime is how long the batched run took.
+func (i *SubmitInfo) RunTime() time.Duration { return i.Finished.Sub(i.Started) }
 
 // flush reasons, recorded per dispatched batch.
 type flushReason int
@@ -107,6 +162,22 @@ const (
 	flushTimer
 	flushClose
 )
+
+// String names the reason for SubmitInfo and metrics.
+func (r flushReason) String() string {
+	switch r {
+	case flushFull:
+		return "full"
+	case flushIdle:
+		return "idle"
+	case flushTimer:
+		return "timer"
+	case flushClose:
+		return "close"
+	default:
+		return "unknown"
+	}
+}
 
 // Batcher coalesces concurrent submissions into batches and runs them
 // through a single user-supplied function. It is safe for any number of
@@ -134,7 +205,8 @@ type Batcher[Q, R any] struct {
 // MaxDelay or MaxBatch forces a flush while another batch is in flight, so
 // it must be reentrant.
 func New[Q, R any](run func([]Q) ([]R, error), opts Options) *Batcher[Q, R] {
-	return &Batcher[Q, R]{opts: opts.withDefaults(), run: run}
+	opts = opts.withDefaults()
+	return &Batcher[Q, R]{opts: opts, run: run, stats: newCounters(opts.Metrics)}
 }
 
 // Submit queues one request of the given weight (clamped to ≥1; weight is
@@ -143,6 +215,13 @@ func New[Q, R any](run func([]Q) ([]R, error), opts Options) *Batcher[Q, R] {
 // submitter returns ctx.Err() immediately; its slot is dropped at dispatch
 // time without affecting the rest of the batch.
 func (b *Batcher[Q, R]) Submit(ctx context.Context, req Q, weight int) (R, error) {
+	return b.SubmitTraced(ctx, req, weight, nil)
+}
+
+// SubmitTraced is Submit, additionally filling info (when non-nil) with the
+// submission's dispatch timings and batch placement — the raw material for
+// request spans. The info is only valid when the returned error is nil.
+func (b *Batcher[Q, R]) SubmitTraced(ctx context.Context, req Q, weight int, info *SubmitInfo) (R, error) {
 	var zero R
 	if weight < 1 {
 		weight = 1
@@ -151,7 +230,7 @@ func (b *Batcher[Q, R]) Submit(ctx context.Context, req Q, weight int) (R, error
 		b.stats.cancelled.Add(1)
 		return zero, err
 	}
-	s := &slot[Q, R]{ctx: ctx, req: req, weight: weight, enq: time.Now(), res: make(chan result[R], 1)}
+	s := &slot[Q, R]{ctx: ctx, req: req, weight: weight, enq: time.Now(), res: make(chan result[R], 1), info: info}
 
 	b.mu.Lock()
 	if b.closed {
@@ -214,6 +293,13 @@ func (b *Batcher[Q, R]) dispatchLocked(reason flushReason) {
 	if len(batch) == 0 {
 		return
 	}
+	now := time.Now()
+	for _, s := range batch {
+		if s.info != nil {
+			s.info.Enqueued = s.enq
+			s.info.Dispatched = now
+		}
+	}
 	b.inFlight++
 	b.flights.Add(1)
 	go b.fly(batch, reason)
@@ -250,6 +336,7 @@ func (b *Batcher[Q, R]) fly(batch []*slot[Q, R], reason flushReason) {
 	}
 	b.stats.batches.Add(1)
 	b.stats.weight.Add(int64(weight))
+	b.stats.occupancy.Set(float64(weight))
 	switch reason {
 	case flushFull:
 		b.stats.full.Add(1)
@@ -265,11 +352,22 @@ func (b *Batcher[Q, R]) fly(batch []*slot[Q, R], reason flushReason) {
 	for i, s := range live {
 		reqs[i] = s.req
 	}
+	started := time.Now()
 	out, err := b.runProtected(reqs)
+	finished := time.Now()
 	if err == nil && len(out) != len(reqs) {
 		err = fmt.Errorf("sched: run returned %d results for %d requests", len(out), len(reqs))
 	}
 	for i, s := range live {
+		if s.info != nil {
+			// Filled before the result send, whose channel receive is the
+			// happens-before edge that lets the submitter read it.
+			s.info.Started = started
+			s.info.Finished = finished
+			s.info.BatchSize = len(live)
+			s.info.BatchWeight = weight
+			s.info.Reason = reason.String()
+		}
 		if err != nil {
 			s.res <- result[R]{err: err}
 		} else {
@@ -304,24 +402,26 @@ func (b *Batcher[Q, R]) Close() {
 	b.flights.Wait()
 }
 
-// Stats returns a consistent-enough snapshot of the lifetime counters;
-// it never blocks submissions.
+// Stats returns a consistent-enough snapshot of the lifetime counters; it
+// never blocks submissions. It is a compatibility wrapper over the
+// registered obs metrics (Options.Metrics, or the batcher's private
+// registry), which hold the authoritative numbers.
 func (b *Batcher[Q, R]) Stats() Stats {
 	s := Stats{
-		Submitted:  b.stats.submitted.Load(),
-		Cancelled:  b.stats.cancelled.Load(),
-		Batches:    b.stats.batches.Load(),
-		Weight:     b.stats.weight.Load(),
-		FlushFull:  b.stats.full.Load(),
-		FlushIdle:  b.stats.idle.Load(),
-		FlushTimer: b.stats.timer.Load(),
-		FlushClose: b.stats.closeFlush.Load(),
+		Submitted:  b.stats.submitted.Value(),
+		Cancelled:  b.stats.cancelled.Value(),
+		Batches:    b.stats.batches.Value(),
+		Weight:     b.stats.weight.Value(),
+		FlushFull:  b.stats.full.Value(),
+		FlushIdle:  b.stats.idle.Value(),
+		FlushTimer: b.stats.timer.Value(),
+		FlushClose: b.stats.closeFlush.Value(),
 	}
 	if s.Batches > 0 {
 		s.MeanOccupancy = float64(s.Weight) / float64(s.Batches)
 	}
-	if dispatched := b.stats.dispatched.Load(); dispatched > 0 {
-		s.MeanQueueDelay = time.Duration(b.stats.queueDelayNs.Load() / dispatched)
+	if dispatched := b.stats.dispatched.Value(); dispatched > 0 {
+		s.MeanQueueDelay = time.Duration(b.stats.queueDelayNs.Value() / dispatched)
 	}
 	return s
 }

@@ -16,6 +16,8 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"shredder/internal/obs"
 )
 
 // echoRun returns one result per request, tagging each so tests can verify
@@ -417,4 +419,47 @@ func waitFor(t *testing.T, cond func() bool) {
 		time.Sleep(time.Millisecond)
 	}
 	t.Fatal("condition never became true")
+}
+
+// TestSubmitTracedFillsInfoAndMetrics pins the tracing/metrics contract: a
+// successful SubmitTraced leaves a coherent timeline in SubmitInfo
+// (enqueued ≤ dispatched ≤ started ≤ finished, batch membership recorded)
+// and the shared registry sees the scheduler's registered counters.
+func TestSubmitTracedFillsInfoAndMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	slow := func(reqs []int) ([]int, error) {
+		time.Sleep(2 * time.Millisecond)
+		return echoRun(reqs)
+	}
+	b := New(slow, Options{MaxBatch: 4, MaxDelay: time.Millisecond, Metrics: reg})
+	defer b.Close()
+
+	var info SubmitInfo
+	got, err := b.SubmitTraced(context.Background(), 7, 2, &info)
+	if err != nil || got != 70 {
+		t.Fatalf("SubmitTraced: %d, %v", got, err)
+	}
+	if info.Enqueued.IsZero() || info.Dispatched.Before(info.Enqueued) ||
+		info.Started.Before(info.Dispatched) || info.Finished.Before(info.Started) {
+		t.Fatalf("incoherent timeline: %+v", info)
+	}
+	if info.BatchSize != 1 || info.BatchWeight != 2 || info.Reason == "" {
+		t.Fatalf("batch membership wrong: %+v", info)
+	}
+	if info.QueueDelay() < 0 || info.RunTime() < 2*time.Millisecond {
+		t.Fatalf("derived timings wrong: queue=%v run=%v", info.QueueDelay(), info.RunTime())
+	}
+
+	snap := reg.Snapshot()
+	if snap.Counters["sched.submitted"] != 1 || snap.Counters["sched.batches"] != 1 {
+		t.Fatalf("registry missed the submission: %+v", snap.Counters)
+	}
+	if snap.Counters["sched.weight"] != 2 {
+		t.Fatalf("sched.weight = %d, want 2", snap.Counters["sched.weight"])
+	}
+
+	// A nil info pointer (the Submit path) must not record anything extra.
+	if got, err := b.Submit(context.Background(), 3, 1); err != nil || got != 30 {
+		t.Fatalf("Submit after SubmitTraced: %d, %v", got, err)
+	}
 }

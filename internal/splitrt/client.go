@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"shredder/internal/core"
+	"shredder/internal/obs"
 	"shredder/internal/quantize"
 	"shredder/internal/tensor"
 )
@@ -41,12 +42,13 @@ type EdgeClient struct {
 	enc  *gob.Encoder
 	dec  *gob.Decoder
 
-	// Counters live on the client, not the connection, so cumulative stats
-	// survive reconnects; all are accessed atomically (Stats may race with
-	// an in-flight request).
-	sent     int64
-	received int64
-	nextID   uint64
+	// Metrics live on the client, not the connection, so cumulative stats
+	// survive reconnects. Every handle is an atomic obs metric, so Stats
+	// and a shared registry's Snapshot are always coherent reads — there is
+	// no torn-read window against an in-flight request.
+	reg    *obs.Registry // nil unless WithMetrics shared one
+	m      clientMetrics
+	nextID uint64
 
 	wireBits int // 0 = dense float transport
 
@@ -55,7 +57,6 @@ type EdgeClient struct {
 	redialBase time.Duration // first backoff step, doubled per attempt
 	redialMax  time.Duration // backoff ceiling
 	broken     bool          // transport errored; redial before next use
-	redials    int64         // successful redials, for Stats
 }
 
 // ClientOption configures an EdgeClient at Dial time.
@@ -66,6 +67,14 @@ type ClientOption func(*EdgeClient)
 // the local forward pass.
 func WithTimeout(d time.Duration) ClientOption {
 	return func(c *EdgeClient) { c.timeout = d }
+}
+
+// WithMetrics registers the client's metrics (client.requests,
+// client.redials, client.bytes_sent, client.bytes_received,
+// client.rtt_seconds, client.errors.*) in the given registry instead of a
+// private one, so they show up alongside other components in one snapshot.
+func WithMetrics(reg *obs.Registry) ClientOption {
+	return func(c *EdgeClient) { c.reg = reg }
 }
 
 // WithReconnect makes the client transparently redial and re-handshake a
@@ -93,14 +102,16 @@ type Stats struct {
 	Redials       int
 }
 
-// Stats returns the client's transfer statistics. Safe to call
-// concurrently with an in-flight request.
+// Stats returns the client's transfer statistics. It is a compatibility
+// wrapper over the client's registered obs metrics: every field is an
+// atomic read, so polling Stats concurrently with in-flight requests and
+// redials is race-free.
 func (c *EdgeClient) Stats() Stats {
 	return Stats{
-		BytesSent:     atomic.LoadInt64(&c.sent),
-		BytesReceived: atomic.LoadInt64(&c.received),
+		BytesSent:     c.m.sent.Value(),
+		BytesReceived: c.m.received.Value(),
 		Requests:      atomic.LoadUint64(&c.nextID),
-		Redials:       int(atomic.LoadInt64(&c.redials)),
+		Redials:       int(c.m.redials.Value()),
 	}
 }
 
@@ -122,21 +133,21 @@ func (c *EdgeClient) SetWireQuantization(bits int) error {
 }
 
 // countingConn wraps a net.Conn, accumulating byte counts into the
-// client's cumulative counters.
+// client's cumulative wire-traffic counters.
 type countingConn struct {
 	net.Conn
-	sent, received *int64
+	sent, received *obs.Counter
 }
 
 func (c *countingConn) Write(p []byte) (int, error) {
 	n, err := c.Conn.Write(p)
-	atomic.AddInt64(c.sent, int64(n))
+	c.sent.Add(int64(n))
 	return n, err
 }
 
 func (c *countingConn) Read(p []byte) (int, error) {
 	n, err := c.Conn.Read(p)
-	atomic.AddInt64(c.received, int64(n))
+	c.received.Add(int64(n))
 	return n, err
 }
 
@@ -150,6 +161,7 @@ func Dial(addr string, split *core.Split, cutLayer string, col *core.Collection,
 	for _, o := range opts {
 		o(c)
 	}
+	c.m = newClientMetrics(c.reg)
 	if err := c.connect(); err != nil {
 		return nil, err
 	}
@@ -162,7 +174,7 @@ func (c *EdgeClient) connect() error {
 	if err != nil {
 		return fmt.Errorf("splitrt: dial: %w", err)
 	}
-	conn := &countingConn{Conn: raw, sent: &c.sent, received: &c.received}
+	conn := &countingConn{Conn: raw, sent: c.m.sent, received: c.m.received}
 	enc, dec := gob.NewEncoder(conn), gob.NewDecoder(conn)
 	if err := enc.Encode(hello{Network: c.split.Net.Name(), CutLayer: c.cutLayer}); err != nil {
 		conn.Close()
@@ -204,7 +216,7 @@ func (c *EdgeClient) reconnect(ctx context.Context) error {
 			}
 		}
 		if err = c.connect(); err == nil {
-			atomic.AddInt64(&c.redials, 1)
+			c.m.redials.Inc()
 			return nil
 		}
 	}
@@ -233,7 +245,8 @@ func (c *EdgeClient) InferContext(ctx context.Context, x *tensor.Tensor) (*tenso
 	wireBits := c.wireBits
 	c.mu.Unlock()
 	id := atomic.AddUint64(&c.nextID, 1)
-	req := request{ID: id}
+	c.m.requests.Inc()
+	req := request{ID: id, Trace: uint64(obs.NewTraceID())}
 	if wireBits > 0 {
 		scheme, err := quantize.Fit(a, wireBits)
 		if err != nil {
@@ -309,28 +322,39 @@ func (c *EdgeClient) roundTrip(ctx context.Context, req request) (*tensor.Tensor
 	if ok {
 		if err := c.conn.SetDeadline(deadline); err != nil {
 			c.broken = true
+			c.m.transportErrs.Inc()
 			return nil, fmt.Errorf("splitrt: set deadline: %w", err)
 		}
 	} else if err := c.conn.SetDeadline(time.Time{}); err != nil {
 		c.broken = true
+		c.m.transportErrs.Inc()
 		return nil, fmt.Errorf("splitrt: clear deadline: %w", err)
 	}
+	start := time.Now()
 	if err := c.enc.Encode(req); err != nil {
 		c.broken = true
+		c.m.transportErrs.Inc()
 		return nil, fmt.Errorf("splitrt: send: %w", err)
 	}
 	var resp response
 	if err := c.dec.Decode(&resp); err != nil {
 		c.broken = true
+		c.m.transportErrs.Inc()
 		return nil, fmt.Errorf("splitrt: recv: %w", err)
 	}
+	c.m.rtt.Observe(time.Since(start).Seconds())
 	if resp.ID != req.ID {
 		// The stream is desynchronized (e.g. a stale response from before a
 		// timeout); the connection cannot be trusted for further requests.
 		c.broken = true
+		c.m.transportErrs.Inc()
 		return nil, fmt.Errorf("splitrt: response id %d for request %d", resp.ID, req.ID)
 	}
 	if resp.Err != "" {
+		// Count every remote failure by kind — retries of the transient kinds
+		// show up as repeated increments, which is exactly what makes a retry
+		// storm visible on the dashboard.
+		c.m.errs[kindIndex(resp.Kind)].Inc()
 		return nil, &RemoteError{Kind: resp.Kind, Msg: resp.Err}
 	}
 	return resp.Logits, nil

@@ -1,0 +1,446 @@
+package splitrt
+
+// Suite for the observability layer at the wire: trace IDs echoed through
+// the gob protocol (and backward compatibility with pre-trace peers),
+// per-error-kind counters on both ends of a failing request, race-free
+// Stats polling during traffic and forced redials, and an end-to-end pass
+// over the live debug HTTP endpoint.
+
+import (
+	"bytes"
+	"context"
+	"encoding/gob"
+	"encoding/json"
+	"errors"
+	"net"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+
+	"shredder/internal/core"
+	"shredder/internal/nn"
+	"shredder/internal/obs"
+	"shredder/internal/sched"
+	"shredder/internal/tensor"
+)
+
+// identityRig serves a tiny identity net (logits == activation for
+// positive inputs) and returns the server so tests can reach its debug
+// endpoint and registry.
+func identityRig(t *testing.T, opts ...ServerOption) (*core.Split, *CloudServer, string) {
+	t.Helper()
+	seq := nn.NewSequential("obsnet", nn.NewReLU("cut"), nn.NewReLU("post"))
+	split, err := core.NewSplit(seq, "cut", []int{1, 2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewCloudServer(split, "cut", opts...)
+	addr, err := srv.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return split, srv, addr
+}
+
+// TestTraceIDEchoedOnWire speaks raw gob to a real server and checks the
+// request's trace ID comes back verbatim on the response.
+func TestTraceIDEchoedOnWire(t *testing.T) {
+	_, _, addr := identityRig(t)
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	enc, dec := gob.NewEncoder(conn), gob.NewDecoder(conn)
+	if err := enc.Encode(hello{Network: "obsnet", CutLayer: "cut"}); err != nil {
+		t.Fatal(err)
+	}
+	var ack helloAck
+	if err := dec.Decode(&ack); err != nil || !ack.OK {
+		t.Fatalf("handshake failed: %v %+v", err, ack)
+	}
+	const trace = 0xdeadbeefcafe
+	req := request{ID: 5, Trace: trace, Activation: tensor.New(1, 1, 2, 2).Fill(1)}
+	if err := enc.Encode(req); err != nil {
+		t.Fatal(err)
+	}
+	var resp response
+	if err := dec.Decode(&resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.ID != 5 || resp.Trace != trace {
+		t.Fatalf("trace not echoed: got id=%d trace=%#x, want id=5 trace=%#x", resp.ID, resp.Trace, uint64(trace))
+	}
+	if resp.Err != "" || resp.Logits == nil {
+		t.Fatalf("traced request failed: %+v", resp)
+	}
+}
+
+// legacyRequest/legacyResponse mirror the pre-trace wire structs (no Trace
+// field). Gob matches fields by name, so these stand in for an old peer.
+type legacyRequest struct {
+	ID         uint64
+	Activation *tensor.Tensor
+	Quant      *quantPayload
+}
+
+type legacyResponse struct {
+	ID     uint64
+	Logits *tensor.Tensor
+	Err    string
+	Kind   ErrKind
+}
+
+// TestTraceFieldGobBackwardCompatible pins both directions of wire
+// compatibility: an old-format request (no Trace field) still decodes into
+// the current struct with Trace == 0, an old-format response likewise, and
+// a new traced request decodes cleanly into an old struct (gob skips the
+// unknown field).
+func TestTraceFieldGobBackwardCompatible(t *testing.T) {
+	act := tensor.New(1, 1, 2, 2).Fill(2)
+
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(legacyRequest{ID: 7, Activation: act}); err != nil {
+		t.Fatal(err)
+	}
+	var req request
+	if err := gob.NewDecoder(&buf).Decode(&req); err != nil {
+		t.Fatalf("old-format request no longer decodes: %v", err)
+	}
+	if req.ID != 7 || req.Trace != 0 || req.Activation == nil {
+		t.Fatalf("old-format request decoded wrong: %+v", req)
+	}
+
+	buf.Reset()
+	if err := gob.NewEncoder(&buf).Encode(legacyResponse{ID: 8, Logits: act, Kind: ErrTimeout, Err: "late"}); err != nil {
+		t.Fatal(err)
+	}
+	var resp response
+	if err := gob.NewDecoder(&buf).Decode(&resp); err != nil {
+		t.Fatalf("old-format response no longer decodes: %v", err)
+	}
+	if resp.ID != 8 || resp.Trace != 0 || resp.Kind != ErrTimeout {
+		t.Fatalf("old-format response decoded wrong: %+v", resp)
+	}
+
+	buf.Reset()
+	if err := gob.NewEncoder(&buf).Encode(request{ID: 9, Trace: 42, Activation: act}); err != nil {
+		t.Fatal(err)
+	}
+	var old legacyRequest
+	if err := gob.NewDecoder(&buf).Decode(&old); err != nil {
+		t.Fatalf("traced request does not decode on an old peer: %v", err)
+	}
+	if old.ID != 9 || old.Activation == nil {
+		t.Fatalf("traced request decoded wrong on old peer: %+v", old)
+	}
+}
+
+// TestClientErrorKindCounters scripts one failure of every wire kind and
+// checks exactly the matching client.errors.<kind> counter increments.
+func TestClientErrorKindCounters(t *testing.T) {
+	seq := nn.NewSequential("obsnet", nn.NewReLU("cut"), nn.NewReLU("post"))
+	split, err := core.NewSplit(seq, "cut", []int{1, 2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := tensor.New(1, 1, 2, 2).Fill(1)
+	kinds := []ErrKind{ErrUnknown, ErrBadRequest, ErrTimeout, ErrShutdown, ErrInternal}
+	for _, kind := range kinds {
+		kind := kind
+		t.Run(kind.String(), func(t *testing.T) {
+			addr, _, stop := fakeKindServer(t, func(n int, req request) response {
+				return response{ID: req.ID, Err: "scripted failure", Kind: kind}
+			})
+			defer stop()
+			reg := obs.NewRegistry()
+			// No WithReconnect: even retryable kinds surface after one try,
+			// so each counter sees exactly one increment.
+			client, err := Dial(addr, split, "cut", nil, 1, WithMetrics(reg))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer client.Close()
+			var rerr *RemoteError
+			if _, err := client.Infer(x); !errors.As(err, &rerr) || rerr.Kind != kind {
+				t.Fatalf("want RemoteError kind %s, got %v", kind, err)
+			}
+			snap := reg.Snapshot()
+			for _, k := range kinds {
+				want := int64(0)
+				if k == kind {
+					want = 1
+				}
+				if got := snap.Counters["client.errors."+k.String()]; got != want {
+					t.Fatalf("client.errors.%s = %d, want %d (snapshot %+v)", k, got, want, snap.Counters)
+				}
+			}
+			if snap.Counters["client.requests"] != 1 || snap.Counters["client.errors.transport"] != 0 {
+				t.Fatalf("unexpected request/transport counters: %+v", snap.Counters)
+			}
+		})
+	}
+}
+
+// TestServerErrorKindCounters drives one failure of each kind through a
+// real server with observability attached and checks the server-side
+// counters: bad-request and internal via a trap server, timeout via a
+// gated server, shutdown via a closed batcher.
+func TestServerErrorKindCounters(t *testing.T) {
+	reg := obs.NewRegistry()
+	split, cutLayer, addr := trapRig(t, WithObservability(reg, nil))
+	client, err := Dial(addr, split, cutLayer, nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	if _, err := client.Infer(tensor.New(1, 1, 2, 2).Fill(1)); err != nil {
+		t.Fatalf("benign request failed: %v", err)
+	}
+	if _, err := client.Infer(tensor.New(1, 1, 3, 3).Fill(1)); err == nil {
+		t.Fatal("bad shape accepted")
+	}
+	if _, err := client.Infer(tensor.New(1, 1, 2, 2).Fill(trapValue)); err == nil {
+		t.Fatal("trap value did not fail")
+	}
+	snap := reg.Snapshot()
+	if snap.Counters["server.requests"] != 3 || snap.Counters["server.responses.ok"] != 1 {
+		t.Fatalf("request/ok counters: %+v", snap.Counters)
+	}
+	if snap.Counters["server.errors.bad-request"] != 1 || snap.Counters["server.errors.internal"] != 1 {
+		t.Fatalf("error-kind counters: %+v", snap.Counters)
+	}
+	if h := snap.Histograms["server.latency_seconds"]; h.Count != 3 {
+		t.Fatalf("latency histogram saw %d requests, want 3", h.Count)
+	}
+
+	regT := obs.NewRegistry()
+	gSplit, gAddr, openGate := gateRig(t, WithHandlerTimeout(30*time.Millisecond), WithObservability(regT, nil))
+	gClient, err := Dial(gAddr, gSplit, "cut", nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer gClient.Close()
+	var rerr *RemoteError
+	if _, err := gClient.Infer(tensor.New(1, 1, 2, 2).Fill(1)); !errors.As(err, &rerr) || rerr.Kind != ErrTimeout {
+		t.Fatalf("want timeout, got %v", err)
+	}
+	openGate()
+	if got := regT.Snapshot().Counters["server.errors.timeout"]; got != 1 {
+		t.Fatalf("server.errors.timeout = %d, want 1", got)
+	}
+
+	regS := obs.NewRegistry()
+	seq := nn.NewSequential("obsnet", nn.NewReLU("cut"), nn.NewReLU("post"))
+	sSplit, err := core.NewSplit(seq, "cut", []int{1, 2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewCloudServer(sSplit, "cut",
+		WithBatching(sched.Options{MaxBatch: 2, MaxDelay: time.Millisecond}),
+		WithObservability(regS, nil))
+	srv.Close() // batcher now refuses submissions with the shutdown kind
+	resp := srv.handle(context.Background(), request{ID: 1, Activation: tensor.New(1, 1, 2, 2).Fill(1)})
+	if resp.Kind != ErrShutdown {
+		t.Fatalf("closed batcher answered kind %s: %+v", resp.Kind, resp)
+	}
+	if got := regS.Snapshot().Counters["server.errors.shutdown"]; got != 1 {
+		t.Fatalf("server.errors.shutdown = %d, want 1", got)
+	}
+}
+
+// TestStatsPollingDuringTrafficAndRedials is the regression test for the
+// documented Stats read race: a poller hammers Stats while several
+// goroutines run InferContext and the transport is severed repeatedly to
+// force redials. Run under -race this fails loudly if any Stats field ever
+// shares a non-atomic word with the hot path.
+func TestStatsPollingDuringTrafficAndRedials(t *testing.T) {
+	split, _, addr := identityRig(t)
+	client, err := Dial(addr, split, "cut", nil, 1, WithReconnect(5, time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	x := tensor.New(1, 1, 2, 2).Fill(1)
+
+	done := make(chan struct{})
+	var pollWG sync.WaitGroup
+	pollWG.Add(1)
+	go func() {
+		defer pollWG.Done()
+		for {
+			select {
+			case <-done:
+				return
+			default:
+				_ = client.Stats()
+			}
+		}
+	}()
+
+	severConn := func() {
+		client.mu.Lock()
+		if client.conn != nil {
+			client.conn.Conn.Close()
+		}
+		client.mu.Unlock()
+	}
+	var severWG sync.WaitGroup
+	severWG.Add(1)
+	go func() {
+		defer severWG.Done()
+		for i := 0; i < 10; i++ {
+			select {
+			case <-done:
+				return
+			case <-time.After(500 * time.Microsecond):
+				severConn()
+			}
+		}
+	}()
+
+	const workers, per = 3, 20
+	errs := make(chan error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				if _, err := client.Infer(x); err != nil {
+					errs <- err
+					return
+				}
+			}
+			errs <- nil
+		}()
+	}
+	wg.Wait()
+	close(done)
+	pollWG.Wait()
+	severWG.Wait()
+	for w := 0; w < workers; w++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Deterministic redial: sever between calls, then one more request must
+	// transparently reconnect and count it.
+	severConn()
+	if _, err := client.Infer(x); err != nil {
+		t.Fatalf("post-sever request failed: %v", err)
+	}
+	s := client.Stats()
+	if s.Requests != workers*per+1 {
+		t.Fatalf("Stats.Requests = %d, want %d", s.Requests, workers*per+1)
+	}
+	if s.Redials < 1 || s.BytesSent == 0 || s.BytesReceived == 0 {
+		t.Fatalf("stats missed traffic: %+v", s)
+	}
+}
+
+// TestDebugEndpointEndToEnd serves a batching server with a live debug
+// endpoint, pushes traced traffic (and one failure) through a real client,
+// and checks /debug/metrics carries latency quantiles, batch occupancy and
+// per-error-kind counters, and /debug/spans a traced request with
+// queue/batch/compute sub-timings.
+func TestDebugEndpointEndToEnd(t *testing.T) {
+	split, srv, addr := identityRig(t,
+		WithBatching(sched.Options{MaxBatch: 4, MaxDelay: time.Millisecond}),
+		WithDebugServer("127.0.0.1:0"))
+	dbg := srv.DebugAddr()
+	if dbg == "" {
+		t.Fatal("debug endpoint not started by Serve")
+	}
+	if srv.Metrics() == nil || srv.Spans() == nil {
+		t.Fatal("WithDebugServer should imply observability")
+	}
+
+	client, err := Dial(addr, split, "cut", nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	x := tensor.New(1, 1, 2, 2).Fill(1)
+	for i := 0; i < 5; i++ {
+		if _, err := client.Infer(x); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := client.Infer(tensor.New(1, 1, 3, 3).Fill(1)); err == nil {
+		t.Fatal("bad shape accepted")
+	}
+
+	get := func(path string, v any) {
+		t.Helper()
+		resp, err := http.Get("http://" + dbg + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: %s", path, resp.Status)
+		}
+		if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+	}
+
+	var snap obs.Snapshot
+	get("/debug/metrics", &snap)
+	if snap.Counters["server.requests"] != 6 || snap.Counters["server.responses.ok"] != 5 {
+		t.Fatalf("request counters: %+v", snap.Counters)
+	}
+	if snap.Counters["server.errors.bad-request"] != 1 {
+		t.Fatalf("bad-request counter: %+v", snap.Counters)
+	}
+	lat := snap.Histograms["server.latency_seconds"]
+	if lat.Count != 6 || !(lat.P50 > 0) || !(lat.P99 >= lat.P50) {
+		t.Fatalf("latency quantiles: %+v", lat)
+	}
+	if occ := snap.Gauges["server.batch.occupancy"]; occ < 1 {
+		t.Fatalf("batch occupancy gauge %v, want >= 1", occ)
+	}
+	if snap.Counters["sched.batches"] < 1 {
+		t.Fatalf("scheduler metrics missing from shared registry: %+v", snap.Counters)
+	}
+
+	var spans []obs.Span
+	get("/debug/spans", &spans)
+	if len(spans) != 6 {
+		t.Fatalf("span ring holds %d spans, want 6", len(spans))
+	}
+	var traced *obs.Span
+	for i := range spans {
+		if spans[i].Err == "" {
+			traced = &spans[i]
+			break
+		}
+	}
+	if traced == nil {
+		t.Fatal("no successful span recorded")
+	}
+	if traced.Trace == 0 {
+		t.Fatal("span lost its wire-propagated trace ID")
+	}
+	if len(traced.Stages) != 3 || traced.StageDur("compute") <= 0 {
+		t.Fatalf("span stages do not reconstruct the timeline: %+v", traced.Stages)
+	}
+	for _, name := range []string{"queue", "batch", "compute"} {
+		found := false
+		for _, st := range traced.Stages {
+			if st.Name == name {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("span missing %q stage: %+v", name, traced.Stages)
+		}
+	}
+	if traced.Attrs["batch_size"] < 1 {
+		t.Fatalf("span attrs: %+v", traced.Attrs)
+	}
+}

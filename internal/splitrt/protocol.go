@@ -34,8 +34,14 @@ type helloAck struct {
 // a client pipeline several requests on a single connection and demultiplex
 // the answers (EdgeClient itself stays lockstep: one request in flight per
 // connection).
+// Trace is minted by the client (obs.NewTraceID) and echoed verbatim on
+// the response, so a request's client-side and server-side telemetry can
+// be joined into one timeline. Zero means "untraced". The field is gob
+// backward compatible in both directions: an old peer that never sets it
+// decodes to zero here, and an old decoder skips the unknown field.
 type request struct {
 	ID         uint64
+	Trace      uint64         // trace ID, echoed in the response (0 = untraced)
 	Activation *tensor.Tensor // [N, ...] noisy activation batch
 	Quant      *quantPayload  // quantized wire format, when enabled
 }
@@ -103,6 +109,7 @@ func (k ErrKind) String() string {
 // error (Kind classifies Err so clients retry only what can succeed).
 type response struct {
 	ID     uint64
+	Trace  uint64 // echo of the request's trace ID (0 from pre-trace servers)
 	Logits *tensor.Tensor
 	Err    string
 	Kind   ErrKind

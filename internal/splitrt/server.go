@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"shredder/internal/core"
+	"shredder/internal/obs"
 	"shredder/internal/quantize"
 	"shredder/internal/sched"
 	"shredder/internal/tensor"
@@ -48,10 +49,14 @@ type CloudServer struct {
 	batchOpts *sched.Options
 	batcher   *sched.Batcher[*tensor.Tensor, *tensor.Tensor]
 
-	mu       sync.Mutex // guards listener, conns, closed — never held across inference
+	obs       *serverObs // nil = observability disabled (hot path pays nil checks only)
+	debugAddr string     // "" = no debug HTTP endpoint
+
+	mu       sync.Mutex // guards listener, conns, closed, debug — never held across inference
 	listener net.Listener
 	conns    map[net.Conn]struct{}
 	closed   bool
+	debug    *obs.DebugServer
 	wg       sync.WaitGroup
 }
 
@@ -97,6 +102,32 @@ func WithBatching(opts sched.Options) ServerOption {
 	return func(s *CloudServer) { s.batchOpts = &opts }
 }
 
+// WithObservability attaches a metrics registry and span ring to the
+// server: request/response/error-kind counters, latency/queue/compute
+// histograms, batch occupancy, and per-request spans with
+// queue/batch/compute sub-timings. Pass a shared registry to fold the
+// server's metrics (and, under WithBatching, the scheduler's sched.*
+// metrics) into one snapshot; nil arguments are replaced with fresh
+// instances. Without this option (or WithDebugServer) the serving hot path
+// records nothing and pays only nil checks.
+func WithObservability(reg *obs.Registry, spans *obs.SpanRing) ServerOption {
+	return func(s *CloudServer) {
+		if spans == nil {
+			spans = obs.NewSpanRing(defaultSpanRing)
+		}
+		s.obs = newServerObs(reg, spans)
+	}
+}
+
+// WithDebugServer serves the obs debug endpoint (/debug/metrics,
+// /debug/spans, /debug/pprof) on its own HTTP listener at addr, started by
+// Serve and stopped by Close. It implies WithObservability when no registry
+// was attached yet. Use DebugAddr to learn the bound address (handy with
+// ":0").
+func WithDebugServer(addr string) ServerOption {
+	return func(s *CloudServer) { s.debugAddr = addr }
+}
+
 // NewCloudServer creates a server for the given split. cutLayer is the
 // layer name clients must declare in their handshake.
 func NewCloudServer(split *core.Split, cutLayer string, opts ...ServerOption) *CloudServer {
@@ -104,10 +135,47 @@ func NewCloudServer(split *core.Split, cutLayer string, opts ...ServerOption) *C
 	for _, o := range opts {
 		o(s)
 	}
+	if s.debugAddr != "" && s.obs == nil {
+		s.obs = newServerObs(obs.NewRegistry(), obs.NewSpanRing(defaultSpanRing))
+	}
 	if s.batchOpts != nil {
+		if s.obs != nil {
+			// The scheduler registers its own sched.* metrics in the same
+			// registry so one snapshot covers the whole serving path.
+			s.batchOpts.Metrics = s.obs.reg
+		}
 		s.batcher = sched.New(s.runBatch, *s.batchOpts)
 	}
 	return s
+}
+
+// Metrics returns the server's metrics registry, or nil when observability
+// is disabled.
+func (s *CloudServer) Metrics() *obs.Registry {
+	if s.obs == nil {
+		return nil
+	}
+	return s.obs.reg
+}
+
+// Spans returns the server's span ring, or nil when observability is
+// disabled.
+func (s *CloudServer) Spans() *obs.SpanRing {
+	if s.obs == nil {
+		return nil
+	}
+	return s.obs.spans
+}
+
+// DebugAddr returns the bound address of the debug HTTP endpoint, or ""
+// when WithDebugServer was not configured or Serve has not started it yet.
+func (s *CloudServer) DebugAddr() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.debug == nil {
+		return ""
+	}
+	return s.debug.Addr
 }
 
 // BatchStats returns the batching scheduler's counters; ok is false when
@@ -134,7 +202,21 @@ func (s *CloudServer) Serve(addr string) (string, error) {
 		return "", fmt.Errorf("splitrt: server is closed")
 	}
 	s.listener = ln
+	startDebug := s.debugAddr != "" && s.debug == nil
 	s.mu.Unlock()
+	if startDebug {
+		d, err := obs.ServeDebug(s.debugAddr, s.obs.reg, s.obs.spans)
+		if err != nil {
+			s.mu.Lock()
+			s.listener = nil
+			s.mu.Unlock()
+			ln.Close()
+			return "", fmt.Errorf("splitrt: debug listen: %w", err)
+		}
+		s.mu.Lock()
+		s.debug = d
+		s.mu.Unlock()
+	}
 	s.wg.Add(1)
 	go s.acceptLoop(ln)
 	return ln.Addr().String(), nil
@@ -264,25 +346,46 @@ func (s *CloudServer) encodeWithWriteDeadline(conn net.Conn, enc *gob.Encoder, v
 // handle computes R(a′) for one request. Validation errors are classified
 // per request (ErrBadRequest) before the batcher is involved, so a
 // malformed payload can never poison a batch it would have ridden in.
+// The request's trace ID is echoed on the response, and with observability
+// enabled the whole exchange is recorded as a span whose stages split the
+// latency into queue / batch / compute time.
 func (s *CloudServer) handle(ctx context.Context, req request) response {
-	resp := response{ID: req.ID}
+	o := s.obs
+	var t0, computeStart time.Time
+	if o != nil {
+		o.requests.Inc()
+		t0 = time.Now()
+	}
+	resp := response{ID: req.ID, Trace: req.Trace}
 	act, kind, msg := s.decodeActivation(req)
 	if kind != ErrUnknown {
 		resp.Err, resp.Kind = msg, kind
+		o.finish(req, &resp, t0, nil, computeStart)
 		return resp
 	}
 	var logits *tensor.Tensor
 	var err error
+	var si *sched.SubmitInfo
 	if s.batcher != nil {
-		logits, err = s.batcher.Submit(ctx, act, act.Dim(0))
+		if o != nil {
+			si = new(sched.SubmitInfo)
+		}
+		logits, err = s.batcher.SubmitTraced(ctx, act, act.Dim(0), si)
 	} else {
+		if o != nil {
+			computeStart = time.Now()
+		}
 		logits, err = s.infer(act)
 	}
 	if err != nil {
 		resp.Err, resp.Kind = err.Error(), classify(err)
+		// SubmitInfo contents are unspecified after an error; don't report
+		// its timings.
+		o.finish(req, &resp, t0, nil, computeStart)
 		return resp
 	}
 	resp.Logits = logits
+	o.finish(req, &resp, t0, si, computeStart)
 	return resp
 }
 
@@ -428,6 +531,8 @@ func (s *CloudServer) Close() error {
 	s.closed = true
 	ln := s.listener
 	s.listener = nil
+	debug := s.debug
+	s.debug = nil
 	conns := make([]net.Conn, 0, len(s.conns))
 	for c := range s.conns {
 		conns = append(conns, c)
@@ -435,6 +540,9 @@ func (s *CloudServer) Close() error {
 	s.mu.Unlock()
 	if ln != nil {
 		ln.Close()
+	}
+	if debug != nil {
+		debug.Close()
 	}
 	if s.batcher != nil {
 		// Drain before severing connections so the final batch's

@@ -25,6 +25,7 @@ import (
 	"shredder/internal/core"
 	"shredder/internal/mi"
 	"shredder/internal/model"
+	"shredder/internal/obs"
 	"shredder/internal/sched"
 	"shredder/internal/splitrt"
 	"shredder/internal/tensor"
@@ -58,6 +59,11 @@ type NoiseOptions struct {
 	// sequential training, 0 (the default) uses all available cores. The
 	// learned collection is byte-identical either way.
 	Workers int
+	// Hook, when non-nil, receives an obs.TrainingEvent at every
+	// evaluation point of every member's training run (events carry a
+	// "member-NN" run label). Compose hooks with obs.Hooks, e.g.
+	// obs.Hooks(obs.ProgressHook(os.Stderr), obs.CSVHook(f)).
+	Hook obs.Hook
 }
 
 // Report carries the headline metrics of an evaluation — the quantities of
@@ -202,6 +208,7 @@ func (s *System) noiseConfig(opt NoiseOptions) core.NoiseConfig {
 		nc.Epochs = opt.Epochs
 	}
 	nc.SelfSupervised = opt.SelfSupervised
+	nc.Hook = opt.Hook
 	return nc
 }
 
@@ -341,8 +348,18 @@ func (h *CloudHandle) Close() error { return h.srv.Close() }
 
 // BatchStats returns the micro-batching scheduler's counters (batches,
 // mean occupancy, queue delay, flush reasons); ok is false when the server
-// was started without splitrt.WithBatching.
+// was started without splitrt.WithBatching. It is a compatibility wrapper
+// over the scheduler's registered obs metrics; prefer Metrics for the full
+// picture.
 func (h *CloudHandle) BatchStats() (stats sched.Stats, ok bool) { return h.srv.BatchStats() }
+
+// Metrics returns the server's metrics registry, or nil when the server
+// was started without splitrt.WithObservability / splitrt.WithDebugServer.
+func (h *CloudHandle) Metrics() *obs.Registry { return h.srv.Metrics() }
+
+// DebugAddr returns the bound address of the server's debug HTTP endpoint
+// (splitrt.WithDebugServer), or "" when none is configured.
+func (h *CloudHandle) DebugAddr() string { return h.srv.DebugAddr() }
 
 // ServeCloud starts a TCP server for the system's remote part on addr
 // (e.g. "127.0.0.1:0") and returns its handle with the bound address.
