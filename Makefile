@@ -1,11 +1,11 @@
 GO ?= go
 
-.PHONY: ci fmt vet build test race bench bench-obs
+.PHONY: ci fmt vet build test race bench bench-obs bench-profile
 
 ## ci: the full gate — formatting, vet, build, tests, the race suite over
-## the concurrency-sensitive packages, and the observability-overhead
-## smoke benchmark. Run before every push.
-ci: fmt vet build test race bench-obs
+## the concurrency-sensitive packages, and the observability- and
+## profiler-overhead smoke benchmarks. Run before every push.
+ci: fmt vet build test race bench-obs bench-profile
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -21,7 +21,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/sched/... ./internal/splitrt/... ./internal/tensor/... ./internal/nn/... ./internal/core/... ./internal/experiments/...
+	$(GO) test -race ./internal/sched/... ./internal/splitrt/... ./internal/tensor/... ./internal/nn/... ./internal/core/... ./internal/experiments/... ./internal/obs/...
 
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkCloudServerThroughput|BenchmarkServeBatched' -benchtime 200x .
@@ -30,3 +30,9 @@ bench:
 ## path must stay within noise of results_bench_obs.txt's baseline).
 bench-obs:
 	$(GO) test -run '^$$' -bench BenchmarkObsOverhead -benchtime 50x .
+
+## bench-profile: smoke-run the per-layer profiler overhead benchmark (the
+## disabled path must stay within noise of results_bench_profile.txt's
+## baseline — detached hooks cost one atomic load per range pass).
+bench-profile:
+	$(GO) test -run '^$$' -bench BenchmarkProfileOverhead -benchtime 50x .

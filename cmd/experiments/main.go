@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"shredder/internal/experiments"
+	"shredder/internal/obs"
 )
 
 func main() {
@@ -87,12 +88,17 @@ func main() {
 		{"fig6", func(c experiments.Config) (renderer, error) { return experiments.Fig6(c) }},
 	}
 
+	// Per-experiment wall time rides the obs profiler (each experiment is a
+	// tracked stage) instead of bespoke timing code; the stage table renders
+	// at the end and lands in timings.csv under -csv.
+	prof := obs.NewProfiler(nil)
+
 	ran := 0
 	for _, r := range runners {
 		if !want[r.name] {
 			continue
 		}
-		start := time.Now()
+		stop := prof.Track(r.name)
 		fmt.Fprintf(progress, "=== running %s ===\n", r.name)
 		res, err := r.fn(cfg)
 		if err != nil {
@@ -114,11 +120,26 @@ func main() {
 			}
 			f.Close()
 		}
-		fmt.Fprintf(progress, "=== %s done in %v ===\n", r.name, time.Since(start).Round(time.Second))
+		fmt.Fprintf(progress, "=== %s done in %v ===\n", r.name, stop().Round(time.Second))
 		ran++
 	}
 	if ran == 0 {
 		fatal(fmt.Errorf("nothing to run: -run=%q (want table1, fig3, fig4, fig5, fig6, or all)", *run))
+	}
+	if ran > 1 {
+		fmt.Fprintln(progress, "per-experiment timings:")
+		prof.WriteTable(progress)
+	}
+	if *csvDir != "" {
+		f, err := os.Create(filepath.Join(*csvDir, "timings.csv"))
+		if err != nil {
+			fatal(err)
+		}
+		if err := prof.WriteCSV(f); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		f.Close()
 	}
 }
 

@@ -17,6 +17,7 @@
 //	shredder attack      -net lenet -cut conv0 [-noise noise.gob]
 //	shredder serve       -net lenet -addr 127.0.0.1:7777
 //	shredder infer       -net lenet -addr 127.0.0.1:7777 [-noise noise.gob] [-n 16]
+//	shredder profile     -net lenet [-n 50] [-csv profile.csv]
 package main
 
 import (
@@ -50,6 +51,8 @@ func main() {
 		err = cmdInfer(os.Args[2:])
 	case "cuts":
 		err = cmdCuts(os.Args[2:])
+	case "profile":
+		err = cmdProfile(os.Args[2:])
 	case "attack":
 		err = cmdAttack(os.Args[2:])
 	case "help", "-h", "--help":
@@ -75,6 +78,7 @@ commands:
   serve        host the remote (cloud) part of a split network over TCP
   infer        run split inference against a serve process
   cuts         print the cost model of every cutting point of a network
+  profile      time every layer over N warm inferences, per cutting point
   attack       measure inversion/gallery attack resistance of learned noise
 
 networks: lenet, cifar, svhn, alexnet`)
@@ -204,6 +208,7 @@ func cmdServe(args []string) error {
 	batch := fs.Int("batch", 0, "coalesce concurrent requests into batches of up to this many samples (0 = off)")
 	batchDelay := fs.Duration("batch-delay", 2*time.Millisecond, "max queueing behind an in-flight batch before a partial batch flushes")
 	debugAddr := fs.String("debug-addr", "", "serve /debug/metrics, /debug/spans and pprof on this HTTP address (empty = off)")
+	profile := fs.Bool("profile", false, "attach the per-layer profiler (table at /debug/profile; see -debug-addr)")
 	fs.Parse(args)
 	sys, err := c.system()
 	if err != nil {
@@ -219,6 +224,9 @@ func cmdServe(args []string) error {
 	}
 	if *debugAddr != "" {
 		opts = append(opts, splitrt.WithDebugServer(*debugAddr))
+	}
+	if *profile {
+		opts = append(opts, splitrt.WithProfiling())
 	}
 	cloud, err := sys.ServeCloud(*addr, opts...)
 	if err != nil {
@@ -244,6 +252,7 @@ func cmdInfer(args []string) error {
 	n := fs.Int("n", 16, "number of test samples to classify")
 	timeout := fs.Duration("timeout", 30*time.Second, "per-request round-trip deadline (0 = none)")
 	retries := fs.Int("retries", 3, "reconnect attempts on a broken connection")
+	privacySample := fs.Int("privacy-sample", 0, "record live privacy telemetry, computing 1/SNR every N queries (0 = off; needs -noise)")
 	fs.Parse(args)
 	sys, err := c.system()
 	if err != nil {
@@ -251,6 +260,11 @@ func cmdInfer(args []string) error {
 	}
 	if *noise != "" {
 		if err := sys.LoadNoise(*noise); err != nil {
+			return err
+		}
+	}
+	if *privacySample > 0 {
+		if err := sys.EnablePrivacyTelemetry(obs.NewRegistry(), *privacySample); err != nil {
 			return err
 		}
 	}
@@ -276,6 +290,9 @@ func cmdInfer(args []string) error {
 		fmt.Printf("sample %3d: predicted %2d, label %2d %s\n", i, got, y, mark)
 	}
 	fmt.Printf("accuracy: %d/%d\n", correct, *n)
+	if m := sys.PrivacyMonitor(); m != nil {
+		m.WriteSummary(os.Stdout)
+	}
 	return nil
 }
 
@@ -296,6 +313,108 @@ func cmdCuts(args []string) error {
 		fmt.Printf("%-8s %14d %14d %16.4f%s\n", c.Cut, c.EdgeMACs, c.CommBytes, c.CostKMACMB, mark)
 	}
 	fmt.Println("(* = default cut: the deepest convolution layer)")
+	return nil
+}
+
+// cmdProfile runs N warm inferences per cutting point of a network with
+// the per-layer profiler attached and prints the breakdown, annotating
+// which side of the cut each layer runs on. The layer times themselves do
+// not depend on the cut (the full forward pass is identical); what changes
+// per cut is the edge/cloud attribution, i.e. where the wire would sit.
+func cmdProfile(args []string) error {
+	fs := flag.NewFlagSet("profile", flag.ExitOnError)
+	c := registerCommon(fs)
+	n := fs.Int("n", 50, "timed inferences per cutting point")
+	warm := fs.Int("warmup", 5, "warm-up inferences before timing starts")
+	csvPath := fs.String("csv", "", "also append per-layer rows to this CSV file")
+	fs.Parse(args)
+	if c.cache == "" {
+		// Each cut builds its own System; a shared cache directory keeps
+		// that to one pre-training run instead of one per cut.
+		tmp, err := os.MkdirTemp("", "shredder-profile-")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(tmp)
+		c.cache = tmp
+	}
+	cuts := []string{c.cut}
+	if c.cut == "" {
+		reports, err := shredder.CutPoints(c.net)
+		if err != nil {
+			return err
+		}
+		cuts = cuts[:0]
+		for _, r := range reports {
+			cuts = append(cuts, r.Cut)
+		}
+	}
+	var csvW *os.File
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		fmt.Fprintln(f, "network,cut,layer,side,fwd_calls,fwd_total_s,fwd_mean_s,scratch_bytes")
+		csvW = f
+	}
+	for _, cut := range cuts {
+		c.cut = cut
+		sys, err := c.system()
+		if err != nil {
+			return err
+		}
+		prof := obs.NewProfiler(nil)
+		sys.AttachProfiler(prof)
+		run := func(k int) error {
+			for i := 0; i < k; i++ {
+				px, _ := sys.TestSample(i % sys.TestSize())
+				if _, err := sys.ClassifyBaseline(px); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		if err := run(*warm); err != nil {
+			return err
+		}
+		prof.Reset()
+		err = run(*n)
+		sys.DetachProfiler()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\n%s cut %s — %d inferences (edge: layers ≤ %s)\n",
+			sys.Network(), sys.Cut(), *n, sys.CutLayerName())
+		table := prof.Table()
+		var total time.Duration
+		for _, lp := range table {
+			total += lp.ForwardTotal
+		}
+		fmt.Printf("%-6s %-16s %9s %12s %12s %6s %10s\n",
+			"side", "layer", "calls", "total", "mean", "share", "scratch")
+		side := "edge"
+		for _, lp := range table {
+			share := 0.0
+			if total > 0 {
+				share = 100 * float64(lp.ForwardTotal) / float64(total)
+			}
+			fmt.Printf("%-6s %-16s %9d %12s %12s %5.1f%% %10d\n",
+				side, lp.Layer, lp.ForwardCalls, lp.ForwardTotal.Round(time.Microsecond),
+				lp.ForwardMean().Round(100*time.Nanosecond), share, lp.ScratchBytes)
+			if csvW != nil {
+				fmt.Fprintf(csvW, "%s,%s,%s,%s,%d,%g,%g,%d\n",
+					sys.Network(), sys.Cut(), lp.Layer, side, lp.ForwardCalls,
+					lp.ForwardTotal.Seconds(), lp.ForwardMean().Seconds(), lp.ScratchBytes)
+			}
+			if lp.Layer == sys.CutLayerName() {
+				side = "cloud" // the wire sits after the cut layer
+			}
+		}
+		fmt.Printf("total forward: %s (%.1f ms/inference)\n",
+			total.Round(time.Microsecond), total.Seconds()*1000/float64(*n))
+	}
 	return nil
 }
 

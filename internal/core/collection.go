@@ -43,10 +43,18 @@ func (c *Collection) Len() int { return len(c.Members) }
 // Sample draws one noise tensor uniformly at random — the inference-time
 // sampling step of paper §2.5.
 func (c *Collection) Sample(rng *tensor.RNG) *tensor.Tensor {
+	_, n := c.SampleIndexed(rng)
+	return n
+}
+
+// SampleIndexed is Sample exposing which member was drawn, so telemetry can
+// attribute per-query measurements to collection members.
+func (c *Collection) SampleIndexed(rng *tensor.RNG) (int, *tensor.Tensor) {
 	if len(c.Members) == 0 {
 		panic("core: sampling from an empty collection")
 	}
-	return c.Members[rng.Intn(len(c.Members))]
+	i := rng.Intn(len(c.Members))
+	return i, c.Members[i]
 }
 
 // MeanInVivo returns the average recorded in vivo privacy of the members.

@@ -1,0 +1,196 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sync/atomic"
+
+	"shredder/internal/obs"
+	"shredder/internal/tensor"
+)
+
+// floatBits/floatFromBits pack a float64 into the atomic word used for the
+// per-member last-observation field.
+func floatBits(f float64) uint64     { return math.Float64bits(f) }
+func floatFromBits(b uint64) float64 { return math.Float64frombits(b) }
+
+// DefPrivacyBuckets are the histogram bounds for in-vivo 1/SNR: the paper's
+// operating points run from ~1 (weak noise) to ~10+ (strong noise), so the
+// buckets cover two decades around that range.
+var DefPrivacyBuckets = []float64{
+	0.01, 0.02, 0.05, 0.1, 0.2, 0.5, 1, 2, 4, 8, 16, 32, 64,
+}
+
+// PrivacyMonitor measures the privacy a deployment is actually delivering,
+// query by query: every noise application is counted per collection member
+// (sampling balance), and every sampleEvery-th query computes the realized
+// in-vivo 1/SNR = Var(noise)/E[a²] against the *clean* activation — the
+// same quantity TrainNoise maximizes, now observed in production. The
+// member's noise variance and L1 are precomputed at construction (members
+// are immutable after training), so a sampled observation costs one pass
+// over the activation and a few atomic stores.
+//
+// Registered metrics:
+//
+//	privacy.queries              counter, every observed noise application
+//	privacy.sampled              counter, observations that computed 1/SNR
+//	privacy.alerts               counter, sampled 1/SNR below the target
+//	privacy.invivo               histogram of sampled 1/SNR
+//	privacy.invivo.last          gauge, most recent 1/SNR
+//	privacy.snr.last             gauge, most recent activation SNR
+//	privacy.member.NN.samples    counter per member, sampling balance
+//	privacy.member.NN.invivo     gauge per member, last sampled 1/SNR
+//	privacy.member.NN.noise_l1   gauge per member, ‖noise‖₁ (static)
+//
+// All methods are safe for concurrent use and no-ops on a nil receiver, so
+// callers write m.Observe(...) unconditionally.
+type PrivacyMonitor struct {
+	target float64
+	every  uint64
+	tick   atomic.Uint64
+
+	queries *obs.Counter
+	sampled *obs.Counter
+	alerts  *obs.Counter
+	invivo  *obs.Histogram
+	lastInv *obs.Gauge
+	lastSNR *obs.Gauge
+
+	members []memberTelemetry
+}
+
+// memberTelemetry is the per-collection-member slice of the monitor.
+type memberTelemetry struct {
+	noiseVar float64
+	noiseL1  float64
+	samples  *obs.Counter
+	invivo   *obs.Gauge
+	lastInv  atomic.Uint64 // float64 bits of the last sampled 1/SNR
+}
+
+// NewPrivacyMonitor builds a monitor over a trained collection. target is
+// the 1/SNR floor below which alert counters fire (≤ 0 disables alerting,
+// e.g. for baselines without a PrivacyTarget); sampleEvery computes the
+// activation statistics on every N-th query (values < 1 are clamped to 1 —
+// sample every query). Returns nil (a valid, disabled monitor) when reg or
+// col is nil or the collection is empty.
+func NewPrivacyMonitor(reg *obs.Registry, col *Collection, target float64, sampleEvery int) *PrivacyMonitor {
+	if reg == nil || col == nil || col.Len() == 0 {
+		return nil
+	}
+	if sampleEvery < 1 {
+		sampleEvery = 1
+	}
+	m := &PrivacyMonitor{
+		target:  target,
+		every:   uint64(sampleEvery),
+		queries: reg.Counter("privacy.queries"),
+		sampled: reg.Counter("privacy.sampled"),
+		alerts:  reg.Counter("privacy.alerts"),
+		invivo:  reg.Histogram("privacy.invivo", DefPrivacyBuckets...),
+		lastInv: reg.Gauge("privacy.invivo.last"),
+		lastSNR: reg.Gauge("privacy.snr.last"),
+	}
+	m.members = make([]memberTelemetry, col.Len())
+	for i, v := range col.Members {
+		name := fmt.Sprintf("privacy.member.%02d", i)
+		mt := &m.members[i]
+		mt.noiseVar = v.Variance()
+		mt.noiseL1 = v.AbsSum()
+		mt.samples = reg.Counter(name + ".samples")
+		mt.invivo = reg.Gauge(name + ".invivo")
+		reg.Gauge(name + ".noise_l1").Set(mt.noiseL1)
+	}
+	return m
+}
+
+// Observe records one noise application: member is the index returned by
+// Collection.SampleIndexed and act the *clean* (pre-noise) activation the
+// noise is about to be added to. Call it before AddInPlace — the realized
+// SNR is defined against the signal, not the noisy sum. Only every N-th
+// call computes activation statistics; the rest cost two counter bumps.
+func (m *PrivacyMonitor) Observe(member int, act *tensor.Tensor) {
+	if m == nil {
+		return
+	}
+	m.queries.Inc()
+	if member < 0 || member >= len(m.members) {
+		return
+	}
+	mt := &m.members[member]
+	mt.samples.Inc()
+	if m.tick.Add(1)%m.every != 0 {
+		return
+	}
+	n := act.Len()
+	if n == 0 {
+		return
+	}
+	ea2 := act.SqSum() / float64(n)
+	if !(ea2 > 0) {
+		return // all-zero activation: SNR undefined, skip the sample
+	}
+	inv := mt.noiseVar / ea2
+	m.sampled.Inc()
+	m.invivo.Observe(inv)
+	m.lastInv.Set(inv)
+	mt.invivo.Set(inv)
+	mt.lastInv.Store(floatBits(inv))
+	if mt.noiseVar > 0 {
+		m.lastSNR.Set(ea2 / mt.noiseVar)
+	}
+	if m.target > 0 && inv < m.target {
+		m.alerts.Inc()
+	}
+}
+
+// Target returns the alert threshold (0 when alerting is disabled).
+func (m *PrivacyMonitor) Target() float64 {
+	if m == nil {
+		return 0
+	}
+	return m.target
+}
+
+// Queries returns how many noise applications were observed.
+func (m *PrivacyMonitor) Queries() int64 {
+	if m == nil {
+		return 0
+	}
+	return m.queries.Value()
+}
+
+// Alerts returns how many sampled observations fell below the target.
+func (m *PrivacyMonitor) Alerts() int64 {
+	if m == nil {
+		return 0
+	}
+	return m.alerts.Value()
+}
+
+// WriteSummary renders a per-member table (samples, share, noise L1, last
+// sampled 1/SNR) plus the query/alert totals — the `shredder infer
+// -privacy-sample` report. Nil-safe: a nil monitor writes nothing.
+func (m *PrivacyMonitor) WriteSummary(w io.Writer) {
+	if m == nil {
+		return
+	}
+	total := m.queries.Value()
+	fmt.Fprintf(w, "privacy telemetry: %d queries, %d sampled, %d alerts (target 1/SNR >= %g)\n",
+		total, m.sampled.Value(), m.alerts.Value(), m.target)
+	fmt.Fprintf(w, "%-8s %10s %7s %12s %12s\n", "member", "samples", "share", "noise_l1", "last 1/SNR")
+	for i := range m.members {
+		mt := &m.members[i]
+		n := mt.samples.Value()
+		share := 0.0
+		if total > 0 {
+			share = 100 * float64(n) / float64(total)
+		}
+		last := "-"
+		if bits := mt.lastInv.Load(); bits != 0 {
+			last = fmt.Sprintf("%.3f", floatFromBits(bits))
+		}
+		fmt.Fprintf(w, "%-8d %10d %6.1f%% %12.3f %12s\n", i, n, share, mt.noiseL1, last)
+	}
+}

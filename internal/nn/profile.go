@@ -1,0 +1,17 @@
+package nn
+
+import "time"
+
+// Profiler observes per-layer execution cost. The nn package defines the
+// interface but no implementation: internal/obs provides the concrete
+// profiler that feeds registry histograms, and nn stays free of any
+// observability dependency (the coupling is structural, like io.Writer).
+//
+// ObserveLayer is called once per layer per ForwardRangeT/BackwardRangeT
+// step with the layer's name, direction, wall time, and the size in bytes
+// of the scratch tensor the step produced (the layer's output for forward,
+// the propagated gradient for backward). Implementations must be safe for
+// concurrent use: a shared network may run many passes in flight.
+type Profiler interface {
+	ObserveLayer(layer string, backward bool, d time.Duration, scratchBytes int64)
+}

@@ -2,6 +2,8 @@ package nn
 
 import (
 	"fmt"
+	"sync/atomic"
+	"time"
 
 	"shredder/internal/tensor"
 )
@@ -12,7 +14,16 @@ import (
 type Sequential struct {
 	name   string
 	layers []Layer
+
+	// prof holds the network-level profiler behind an atomic pointer so it
+	// can be attached and detached while inference traffic is in flight.
+	// nil means disabled; the per-range check is a single load + branch.
+	prof atomic.Pointer[profilerBox]
 }
+
+// profilerBox wraps the Profiler interface value so the atomic pointer has
+// a concrete type to point at.
+type profilerBox struct{ p Profiler }
 
 // NewSequential constructs a named sequential network from layers.
 func NewSequential(name string, layers ...Layer) *Sequential {
@@ -46,6 +57,32 @@ func (s *Sequential) Index(name string) int {
 		}
 	}
 	return -1
+}
+
+// SetProfiler installs (or, with nil, removes) a network-level profiler.
+// Every subsequent ForwardRangeT/BackwardRangeT pass — including the
+// nil-tape inference path — reports per-layer wall time and scratch bytes
+// to it. Attaching is safe while other goroutines are mid-pass: they see
+// the old value until their next range call. A tape-level profiler
+// (Tape.Profiler) overrides the network-level one for that tape's passes.
+func (s *Sequential) SetProfiler(p Profiler) {
+	if p == nil {
+		s.prof.Store(nil)
+		return
+	}
+	s.prof.Store(&profilerBox{p: p})
+}
+
+// activeProfiler resolves the profiler for one range call: the tape's, or
+// the network's, or nil. Exactly one atomic load on the disabled path.
+func (s *Sequential) activeProfiler(tape *Tape) Profiler {
+	if p := tape.profiler(); p != nil {
+		return p
+	}
+	if b := s.prof.Load(); b != nil {
+		return b.p
+	}
+	return nil
 }
 
 // Params returns all trainable parameters in layer order.
@@ -83,6 +120,14 @@ func (s *Sequential) ForwardRangeT(tape *Tape, x *tensor.Tensor, from, to int, t
 	if from < 0 || to > len(s.layers) || from > to {
 		panic(fmt.Sprintf("nn: ForwardRangeT [%d,%d) out of bounds for %d layers", from, to, len(s.layers)))
 	}
+	if p := s.activeProfiler(tape); p != nil {
+		for _, l := range s.layers[from:to] {
+			t0 := time.Now()
+			x = l.ForwardT(tape, x, train)
+			p.ObserveLayer(l.Name(), false, time.Since(t0), int64(x.Len())*8)
+		}
+		return x
+	}
 	for _, l := range s.layers[from:to] {
 		x = l.ForwardT(tape, x, train)
 	}
@@ -103,6 +148,14 @@ func (s *Sequential) BackwardT(tape *Tape, grad *tensor.Tensor) *tensor.Tensor {
 func (s *Sequential) BackwardRangeT(tape *Tape, grad *tensor.Tensor, from, to int) *tensor.Tensor {
 	if from < 0 || to > len(s.layers) || from > to {
 		panic(fmt.Sprintf("nn: BackwardRangeT [%d,%d) out of bounds for %d layers", from, to, len(s.layers)))
+	}
+	if p := s.activeProfiler(tape); p != nil {
+		for i := to - 1; i >= from; i-- {
+			t0 := time.Now()
+			grad = s.layers[i].BackwardT(tape, grad)
+			p.ObserveLayer(s.layers[i].Name(), true, time.Since(t0), int64(grad.Len())*8)
+		}
+		return grad
 	}
 	for i := to - 1; i >= from; i-- {
 		grad = s.layers[i].BackwardT(tape, grad)

@@ -33,6 +33,12 @@ type Tape struct {
 	// behaviour, which is not reentrant).
 	RNG *tensor.RNG
 
+	// Profiler, when non-nil, receives per-layer timing for every pass run
+	// through this tape. It takes precedence over any network-level profiler
+	// installed with Sequential.SetProfiler, so one training run can be
+	// profiled in isolation while a shared network serves other traffic.
+	Profiler Profiler
+
 	entries []tapeEntry
 }
 
@@ -99,6 +105,14 @@ func (t *Tape) pop(l Layer) any {
 
 // frozen reports whether parameter gradients should be skipped.
 func (t *Tape) frozen() bool { return t != nil && t.FrozenParams }
+
+// profiler returns the tape's profiler, nil-tape safe.
+func (t *Tape) profiler() Profiler {
+	if t == nil {
+		return nil
+	}
+	return t.Profiler
+}
 
 // rng returns the tape's RNG, or fallback when the tape carries none.
 func (t *Tape) rng(fallback *tensor.RNG) *tensor.RNG {

@@ -10,21 +10,38 @@ import (
 	"strconv"
 )
 
-// Handler serves the debug surface for a registry and span ring:
+// Debug bundles the data sources behind the debug HTTP surface. Any field
+// may be nil; the corresponding endpoint then serves an empty document.
+type Debug struct {
+	Metrics *Registry
+	Spans   *SpanRing
+	Profile *Profiler   // /debug/profile per-layer table
+	Join    *SpanJoiner // /debug/spans?join=1 joined timelines
+}
+
+// Handler serves the debug surface:
 //
-//	/debug/metrics  JSON Snapshot of every registered metric
-//	/debug/spans    JSON list of recent completed spans (?n= limits, newest kept)
-//	/debug/vars     the process's expvar map (memstats, cmdline)
-//	/debug/pprof/*  the standard pprof profiles
-//
-// Either argument may be nil; the endpoints then serve empty documents.
-func Handler(reg *Registry, spans *SpanRing) http.Handler {
+//	/debug/metrics        JSON Snapshot of every registered metric
+//	/debug/spans          JSON list of recent completed spans (?n= limits, newest kept)
+//	/debug/spans?join=1   client and server spans joined per trace ID
+//	/debug/profile        cumulative per-layer compute profile (?format=csv|text)
+//	/debug/vars           the process's expvar map (memstats, cmdline)
+//	/debug/pprof/*        the standard pprof profiles
+func (d Debug) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/debug/metrics", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, reg.Snapshot())
+		writeJSON(w, d.Metrics.Snapshot())
 	})
 	mux.HandleFunc("/debug/spans", func(w http.ResponseWriter, r *http.Request) {
-		out := spans.Snapshot()
+		if r.URL.Query().Get("join") == "1" {
+			out := d.Join.Joined()
+			if out == nil {
+				out = []JoinedSpan{}
+			}
+			writeJSON(w, out)
+			return
+		}
+		out := d.Spans.Snapshot()
 		if q := r.URL.Query().Get("n"); q != "" {
 			if n, err := strconv.Atoi(q); err == nil && n >= 0 && n < len(out) {
 				out = out[len(out)-n:]
@@ -35,6 +52,24 @@ func Handler(reg *Registry, spans *SpanRing) http.Handler {
 		}
 		writeJSON(w, out)
 	})
+	mux.HandleFunc("/debug/profile", func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Query().Get("format") {
+		case "csv":
+			w.Header().Set("Content-Type", "text/csv; charset=utf-8")
+			if err := d.Profile.WriteCSV(w); err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+			}
+		case "text":
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			d.Profile.WriteTable(w)
+		default:
+			out := d.Profile.Table()
+			if out == nil {
+				out = []LayerProfile{}
+			}
+			writeJSON(w, out)
+		}
+	})
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -44,12 +79,21 @@ func Handler(reg *Registry, spans *SpanRing) http.Handler {
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprint(w, "shredder debug endpoint\n\n"+
-			"/debug/metrics  metrics snapshot (JSON)\n"+
-			"/debug/spans    recent request spans (JSON, ?n=N)\n"+
-			"/debug/vars     expvar\n"+
-			"/debug/pprof/   profiles\n")
+			"/debug/metrics        metrics snapshot (JSON)\n"+
+			"/debug/spans          recent request spans (JSON, ?n=N)\n"+
+			"/debug/spans?join=1   joined client+server timelines (JSON)\n"+
+			"/debug/profile        per-layer compute profile (JSON, ?format=csv|text)\n"+
+			"/debug/vars           expvar\n"+
+			"/debug/pprof/         profiles\n")
 	})
 	return mux
+}
+
+// Handler serves the debug surface for a registry and span ring — the
+// original two-source form, kept for callers that need neither profiling
+// nor span joining.
+func Handler(reg *Registry, spans *SpanRing) http.Handler {
+	return Debug{Metrics: reg, Spans: spans}.Handler()
 }
 
 func writeJSON(w http.ResponseWriter, v any) {
@@ -68,16 +112,21 @@ type DebugServer struct {
 	srv  *http.Server
 }
 
-// ServeDebug binds addr (e.g. "127.0.0.1:0") and serves Handler(reg, spans)
-// on background goroutines until Close.
-func ServeDebug(addr string, reg *Registry, spans *SpanRing) (*DebugServer, error) {
+// Serve binds addr (e.g. "127.0.0.1:0") and serves d.Handler() on
+// background goroutines until Close.
+func (d Debug) Serve(addr string) (*DebugServer, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("obs: debug listen: %w", err)
 	}
-	d := &DebugServer{Addr: ln.Addr().String(), ln: ln, srv: &http.Server{Handler: Handler(reg, spans)}}
-	go d.srv.Serve(ln)
-	return d, nil
+	ds := &DebugServer{Addr: ln.Addr().String(), ln: ln, srv: &http.Server{Handler: d.Handler()}}
+	go ds.srv.Serve(ln)
+	return ds, nil
+}
+
+// ServeDebug binds addr and serves Handler(reg, spans) until Close.
+func ServeDebug(addr string, reg *Registry, spans *SpanRing) (*DebugServer, error) {
+	return Debug{Metrics: reg, Spans: spans}.Serve(addr)
 }
 
 // Close stops the listener and closes open debug connections.

@@ -1,0 +1,138 @@
+package obs
+
+import "time"
+
+// JoinedStages lists the seven canonical stages of a joined edge↔cloud
+// request timeline, in wire order: the client-side quantize/serialize/send,
+// the server-side queue/batch/compute, and the client-side decode.
+var JoinedStages = []string{
+	"quantize", "serialize", "send", "queue", "batch", "compute", "decode",
+}
+
+// JoinedSpan is one request seen from both ends: the client span's timeline
+// (Start/Dur are in the client's clock) with the matching server span's
+// stages spliced into the middle, and an estimate of the server-minus-client
+// clock offset. Stage durations are wall times measured on whichever side
+// owns the stage, so they are immune to clock skew; only ClockOffset (and
+// any absolute server timestamp derived from it) carries the RTT-midpoint
+// estimation error, which can be as large as half the asymmetry between the
+// two network directions.
+type JoinedSpan struct {
+	Trace       TraceID            `json:"trace"`
+	ID          uint64             `json:"id,omitempty"`
+	Start       time.Time          `json:"start"`
+	Dur         time.Duration      `json:"dur_ns"`
+	ClockOffset time.Duration      `json:"clock_offset_ns"`
+	Err         string             `json:"err,omitempty"`
+	Stages      []Stage            `json:"stages"`
+	Attrs       map[string]float64 `json:"attrs,omitempty"`
+}
+
+// StageDur returns the duration of the named stage (0 when absent).
+func (j *JoinedSpan) StageDur(name string) time.Duration {
+	for _, st := range j.Stages {
+		if st.Name == name {
+			return st.Dur
+		}
+	}
+	return 0
+}
+
+// JoinSpans matches client spans to server spans by TraceID and merges each
+// pair into a seven-stage JoinedSpan. Client spans without a matching server
+// span (still in flight on the other ring, evicted, or failed before the
+// wire) are skipped, as are untraced spans. Inputs are the Snapshot() of
+// each side's ring; the result preserves the client ring's (oldest-first)
+// order.
+func JoinSpans(client, server []Span) []JoinedSpan {
+	if len(client) == 0 || len(server) == 0 {
+		return nil
+	}
+	byTrace := make(map[TraceID]*Span, len(server))
+	for i := range server {
+		if server[i].Trace != 0 {
+			byTrace[server[i].Trace] = &server[i]
+		}
+	}
+	var out []JoinedSpan
+	for i := range client {
+		cs := &client[i]
+		if cs.Trace == 0 {
+			continue
+		}
+		ss := byTrace[cs.Trace]
+		if ss == nil {
+			continue
+		}
+		out = append(out, joinOne(cs, ss))
+	}
+	return out
+}
+
+// joinOne merges one client/server span pair.
+func joinOne(cs, ss *Span) JoinedSpan {
+	j := JoinedSpan{
+		Trace: cs.Trace,
+		ID:    cs.ID,
+		Start: cs.Start,
+		Dur:   cs.Dur,
+		Err:   cs.Err,
+	}
+	if j.Err == "" {
+		j.Err = ss.Err
+	}
+	queue := ss.StageDur("queue")
+	batch := ss.StageDur("batch")
+	compute := ss.StageDur("compute")
+	if queue == 0 && batch == 0 && compute == 0 {
+		// Server recorded no stage breakdown (e.g. a pre-stage build):
+		// attribute its whole duration to compute.
+		compute = ss.Dur
+	}
+	j.Stages = []Stage{
+		{Name: "quantize", Dur: cs.StageDur("quantize")},
+		{Name: "serialize", Dur: cs.StageDur("serialize")},
+		{Name: "send", Dur: cs.StageDur("send")},
+		{Name: "queue", Dur: queue},
+		{Name: "batch", Dur: batch},
+		{Name: "compute", Dur: compute},
+		{Name: "decode", Dur: cs.StageDur("decode")},
+	}
+	if len(cs.Attrs)+len(ss.Attrs) > 0 {
+		j.Attrs = make(map[string]float64, len(cs.Attrs)+len(ss.Attrs))
+		for k, v := range ss.Attrs {
+			j.Attrs[k] = v
+		}
+		for k, v := range cs.Attrs {
+			j.Attrs[k] = v
+		}
+	}
+	// RTT-midpoint clock-offset estimate: the client's wait stage brackets
+	// the server span plus the two network legs. Assuming symmetric legs,
+	// the server span's midpoint (server clock) coincides with the wait
+	// interval's midpoint (client clock); the difference of the two
+	// timestamps estimates server_clock − client_clock.
+	sendEnd := cs.Start.
+		Add(cs.StageDur("quantize")).
+		Add(cs.StageDur("serialize")).
+		Add(cs.StageDur("send"))
+	clientMid := sendEnd.Add(cs.StageDur("wait") / 2)
+	serverMid := ss.Start.Add(ss.Dur / 2)
+	j.ClockOffset = serverMid.Sub(clientMid)
+	return j
+}
+
+// SpanJoiner pairs a client-side and a server-side span ring for on-demand
+// joining — the /debug/spans?join=1 data source. Nil-safe.
+type SpanJoiner struct {
+	Client *SpanRing
+	Server *SpanRing
+}
+
+// Joined snapshots both rings and returns the joined timelines.
+func (j *SpanJoiner) Joined() []JoinedSpan {
+	if j == nil {
+		return nil
+	}
+	return JoinSpans(j.Client.Snapshot(), j.Server.Snapshot())
+}

@@ -1,0 +1,158 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// joinFixture builds a matched client/server span pair with a known clock
+// offset: the server span's midpoint is placed exactly offset away from the
+// midpoint of the client's wait stage, so JoinSpans must recover offset.
+func joinFixture(trace TraceID, offset time.Duration) (client, server Span) {
+	base := time.Unix(1_700_000_000, 0)
+	client = Span{
+		Trace: trace, Name: "infer", ID: 3, Start: base,
+		Dur: 10 * time.Millisecond,
+		Stages: []Stage{
+			{Name: "quantize", Dur: 1 * time.Millisecond},
+			{Name: "serialize", Dur: 2 * time.Millisecond},
+			{Name: "send", Dur: 1 * time.Millisecond},
+			{Name: "wait", Dur: 5 * time.Millisecond},
+			{Name: "decode", Dur: 1 * time.Millisecond},
+		},
+		Attrs: map[string]float64{"bits": 8, "shared": 1},
+	}
+	// sendEnd = base+4ms, wait midpoint = base+6.5ms (client clock).
+	const srvDur = 3 * time.Millisecond
+	server = Span{
+		Trace: trace, Name: "request",
+		Start: base.Add(6500*time.Microsecond + offset - srvDur/2),
+		Dur:   srvDur,
+		Stages: []Stage{
+			{Name: "queue", Dur: 500 * time.Microsecond},
+			{Name: "batch", Dur: 500 * time.Microsecond},
+			{Name: "compute", Dur: 2 * time.Millisecond},
+		},
+		Attrs: map[string]float64{"batch_size": 2, "shared": 99},
+	}
+	return client, server
+}
+
+// TestJoinSpansSevenStages joins one matched pair and checks the canonical
+// seven-stage timeline comes out in order with both sides' durations, the
+// client identity fields, and attrs merged with the client winning ties.
+func TestJoinSpansSevenStages(t *testing.T) {
+	cs, ss := joinFixture(7, 0)
+	joined := JoinSpans([]Span{cs}, []Span{ss})
+	if len(joined) != 1 {
+		t.Fatalf("joined %d spans, want 1", len(joined))
+	}
+	j := joined[0]
+	if j.Trace != 7 || j.ID != 3 || !j.Start.Equal(cs.Start) || j.Dur != cs.Dur {
+		t.Fatalf("client identity not preserved: %+v", j)
+	}
+	if len(j.Stages) != len(JoinedStages) {
+		t.Fatalf("%d stages, want %d", len(j.Stages), len(JoinedStages))
+	}
+	for i, name := range JoinedStages {
+		if j.Stages[i].Name != name {
+			t.Fatalf("stage %d is %q, want %q", i, j.Stages[i].Name, name)
+		}
+	}
+	want := map[string]time.Duration{
+		"quantize": time.Millisecond, "serialize": 2 * time.Millisecond,
+		"send": time.Millisecond, "queue": 500 * time.Microsecond,
+		"batch": 500 * time.Microsecond, "compute": 2 * time.Millisecond,
+		"decode": time.Millisecond,
+	}
+	var sum time.Duration
+	for name, d := range want {
+		if got := j.StageDur(name); got != d {
+			t.Fatalf("stage %q = %v, want %v", name, got, d)
+		}
+		sum += d
+	}
+	if sum > j.Dur {
+		t.Fatalf("stage sum %v exceeds span duration %v", sum, j.Dur)
+	}
+	if j.Attrs["bits"] != 8 || j.Attrs["batch_size"] != 2 {
+		t.Fatalf("attrs not merged: %+v", j.Attrs)
+	}
+	if j.Attrs["shared"] != 1 {
+		t.Fatalf("client attr must win a key collision, got %v", j.Attrs["shared"])
+	}
+}
+
+// TestJoinClockOffset plants known server-minus-client offsets and checks
+// the RTT-midpoint estimate recovers them exactly (the fixture's legs are
+// symmetric by construction).
+func TestJoinClockOffset(t *testing.T) {
+	for _, offset := range []time.Duration{0, time.Second, -250 * time.Millisecond} {
+		cs, ss := joinFixture(9, offset)
+		joined := JoinSpans([]Span{cs}, []Span{ss})
+		if len(joined) != 1 {
+			t.Fatalf("offset %v: joined %d spans", offset, len(joined))
+		}
+		if got := joined[0].ClockOffset; got != offset {
+			t.Fatalf("clock offset %v, want %v", got, offset)
+		}
+	}
+}
+
+// TestJoinSpansSkipsUnjoinable checks untraced and unmatched spans are
+// dropped rather than mis-paired, and empty inputs join to nothing.
+func TestJoinSpansSkipsUnjoinable(t *testing.T) {
+	cs, ss := joinFixture(11, 0)
+	untraced := cs
+	untraced.Trace = 0
+	orphan := cs
+	orphan.Trace = 12 // no matching server span
+	joined := JoinSpans([]Span{untraced, orphan, cs}, []Span{ss})
+	if len(joined) != 1 || joined[0].Trace != 11 {
+		t.Fatalf("join kept the wrong spans: %+v", joined)
+	}
+	if got := JoinSpans(nil, []Span{ss}); got != nil {
+		t.Fatalf("empty client side joined: %+v", got)
+	}
+	if got := JoinSpans([]Span{cs}, nil); got != nil {
+		t.Fatalf("empty server side joined: %+v", got)
+	}
+}
+
+// TestJoinComputeFallbackAndErr checks a server span without a stage
+// breakdown attributes its whole duration to compute, and a server-side
+// error surfaces on the joined span when the client recorded none.
+func TestJoinComputeFallbackAndErr(t *testing.T) {
+	cs, ss := joinFixture(13, 0)
+	ss.Stages = nil
+	ss.Err = "scripted"
+	j := JoinSpans([]Span{cs}, []Span{ss})[0]
+	if got := j.StageDur("compute"); got != ss.Dur {
+		t.Fatalf("compute fallback %v, want server duration %v", got, ss.Dur)
+	}
+	if j.StageDur("queue") != 0 || j.StageDur("batch") != 0 {
+		t.Fatalf("fallback invented queue/batch time: %+v", j.Stages)
+	}
+	if j.Err != "scripted" {
+		t.Fatalf("server error lost: %+v", j)
+	}
+}
+
+// TestSpanJoiner covers the ring-pairing wrapper, including the nil form.
+func TestSpanJoiner(t *testing.T) {
+	var nilJoiner *SpanJoiner
+	if got := nilJoiner.Joined(); got != nil {
+		t.Fatalf("nil joiner joined: %+v", got)
+	}
+	cs, ss := joinFixture(17, 0)
+	j := &SpanJoiner{Client: NewSpanRing(4), Server: NewSpanRing(4)}
+	j.Client.Record(cs)
+	j.Server.Record(ss)
+	joined := j.Joined()
+	if len(joined) != 1 || joined[0].Trace != 17 {
+		t.Fatalf("joiner result: %+v", joined)
+	}
+	if (&SpanJoiner{}).Joined() != nil {
+		t.Fatal("joiner over nil rings must join to nothing")
+	}
+}

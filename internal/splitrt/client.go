@@ -1,10 +1,12 @@
 package splitrt
 
 import (
+	"bytes"
 	"context"
 	"encoding/gob"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -39,8 +41,12 @@ type EdgeClient struct {
 	cutLayer string
 
 	conn *countingConn
+	sw   *stageWriter // between enc and conn; buffers only while a staged send is timed
 	enc  *gob.Encoder
 	dec  *gob.Decoder
+
+	spans   *obs.SpanRing        // nil = client span recording disabled
+	monitor *core.PrivacyMonitor // nil = privacy telemetry disabled
 
 	// Metrics live on the client, not the connection, so cumulative stats
 	// survive reconnects. Every handle is an atomic obs metric, so Stats
@@ -75,6 +81,26 @@ func WithTimeout(d time.Duration) ClientOption {
 // private one, so they show up alongside other components in one snapshot.
 func WithMetrics(reg *obs.Registry) ClientOption {
 	return func(c *EdgeClient) { c.reg = reg }
+}
+
+// WithSpans records one client-side span per Infer call into ring, with
+// the request's trace ID and the stages quantize / serialize / send / wait
+// / decode. Join the ring against a server's span ring (obs.JoinSpans or
+// splitrt.WithSpanJoin) to get the full seven-stage edge↔cloud timeline.
+// Recording costs a handful of time.Now calls plus one in-memory copy of
+// the encoded request (the serialize/send split buffers the gob bytes);
+// without this option the wire path is untouched.
+func WithSpans(ring *obs.SpanRing) ClientOption {
+	return func(c *EdgeClient) { c.spans = ring }
+}
+
+// WithPrivacyTelemetry feeds every noise application to a
+// core.PrivacyMonitor: per-member sampling balance on each query and, at
+// the monitor's sampling rate, the realized in-vivo 1/SNR of the clean
+// activation the noise lands on. A nil monitor is valid and disables the
+// telemetry.
+func WithPrivacyTelemetry(m *core.PrivacyMonitor) ClientOption {
+	return func(c *EdgeClient) { c.monitor = m }
 }
 
 // WithReconnect makes the client transparently redial and re-handshake a
@@ -115,6 +141,10 @@ func (c *EdgeClient) Stats() Stats {
 	}
 }
 
+// Spans returns the client's span ring, or nil when WithSpans is not
+// configured.
+func (c *EdgeClient) Spans() *obs.SpanRing { return c.spans }
+
 // SetWireQuantization switches the activation transport to linear
 // quantization with the given bit width (0 restores dense float transport).
 // Levels are bit-packed on the wire, so the payload shrinks by roughly
@@ -133,10 +163,17 @@ func (c *EdgeClient) SetWireQuantization(bits int) error {
 }
 
 // countingConn wraps a net.Conn, accumulating byte counts into the
-// client's cumulative wire-traffic counters.
+// client's cumulative wire-traffic counters. For staged round trips it can
+// additionally stamp the arrival time of the first response byte: arm sets
+// the trigger and the next successful Read records firstByte. The trigger
+// fields are only touched by the goroutine holding the client's mutex (the
+// protocol is lockstep), so they need no synchronization of their own.
 type countingConn struct {
 	net.Conn
 	sent, received *obs.Counter
+
+	armed     bool
+	firstByte time.Time
 }
 
 func (c *countingConn) Write(p []byte) (int, error) {
@@ -148,7 +185,51 @@ func (c *countingConn) Write(p []byte) (int, error) {
 func (c *countingConn) Read(p []byte) (int, error) {
 	n, err := c.Conn.Read(p)
 	c.received.Add(int64(n))
+	if c.armed && n > 0 {
+		c.firstByte = time.Now()
+		c.armed = false
+	}
 	return n, err
+}
+
+// stageWriter sits between the gob encoder and the connection so a staged
+// round trip can time serialization and transmission separately: with
+// buffering on, Encode's writes collect in memory (serialize), and flush
+// pushes the whole message to the connection in one call (send). With
+// buffering off — the default, and always the case when span recording is
+// disabled — writes pass straight through at the cost of one branch. The
+// same persistent writer must stay in front of the connection either way,
+// because a gob encoder's type-definition stream cannot be restarted
+// per-request.
+type stageWriter struct {
+	w         io.Writer
+	buffering bool
+	buf       bytes.Buffer
+}
+
+func (s *stageWriter) Write(p []byte) (int, error) {
+	if s.buffering {
+		return s.buf.Write(p)
+	}
+	return s.w.Write(p)
+}
+
+// flush turns buffering off and writes any buffered message out.
+func (s *stageWriter) flush() error {
+	s.buffering = false
+	if s.buf.Len() == 0 {
+		return nil
+	}
+	_, err := s.w.Write(s.buf.Bytes())
+	s.buf.Reset()
+	return err
+}
+
+// discard turns buffering off and drops any buffered bytes (encode failed;
+// nothing must reach the wire).
+func (s *stageWriter) discard() {
+	s.buffering = false
+	s.buf.Reset()
 }
 
 // Dial connects to a CloudServer and performs the handshake.
@@ -175,7 +256,8 @@ func (c *EdgeClient) connect() error {
 		return fmt.Errorf("splitrt: dial: %w", err)
 	}
 	conn := &countingConn{Conn: raw, sent: c.m.sent, received: c.m.received}
-	enc, dec := gob.NewEncoder(conn), gob.NewDecoder(conn)
+	sw := &stageWriter{w: conn}
+	enc, dec := gob.NewEncoder(sw), gob.NewDecoder(conn)
 	if err := enc.Encode(hello{Network: c.split.Net.Name(), CutLayer: c.cutLayer}); err != nil {
 		conn.Close()
 		return fmt.Errorf("splitrt: handshake send: %w", err)
@@ -189,7 +271,7 @@ func (c *EdgeClient) connect() error {
 		conn.Close()
 		return fmt.Errorf("splitrt: handshake rejected: %s", ack.Err)
 	}
-	c.conn, c.enc, c.dec = conn, enc, dec
+	c.conn, c.sw, c.enc, c.dec = conn, sw, enc, dec
 	c.broken = false
 	return nil
 }
@@ -239,13 +321,28 @@ func (c *EdgeClient) InferContext(ctx context.Context, x *tensor.Tensor) (*tenso
 	c.mu.Lock()
 	if c.collection != nil {
 		for i := 0; i < a.Dim(0); i++ {
-			a.Slice(i).AddInPlace(c.collection.Sample(c.rng))
+			member, noise := c.collection.SampleIndexed(c.rng)
+			// Telemetry sees the clean activation: realized SNR is defined
+			// against the signal the noise is about to cover.
+			c.monitor.Observe(member, a.Slice(i))
+			a.Slice(i).AddInPlace(noise)
 		}
 	}
 	wireBits := c.wireBits
 	c.mu.Unlock()
 	id := atomic.AddUint64(&c.nextID, 1)
 	c.m.requests.Inc()
+
+	// st non-nil turns on per-stage timing for this call; the span covers
+	// quantize through decode (the wire-side work, i.e. the RTT portion —
+	// the local forward above is not part of it).
+	var st *stageTimes
+	var spanStart time.Time
+	if c.spans != nil {
+		st = new(stageTimes)
+		spanStart = time.Now()
+	}
+
 	req := request{ID: id, Trace: uint64(obs.NewTraceID())}
 	if wireBits > 0 {
 		scheme, err := quantize.Fit(a, wireBits)
@@ -256,10 +353,55 @@ func (c *EdgeClient) InferContext(ctx context.Context, x *tensor.Tensor) (*tenso
 			Bits: scheme.Bits, Lo: scheme.Lo, Hi: scheme.Hi,
 			Shape: append([]int(nil), a.Shape()...), Packed: scheme.QuantizePacked(a),
 		}
+		if st != nil {
+			st.quantize = time.Since(spanStart)
+		}
 	} else {
 		req.Activation = a
 	}
 
+	logits, err := c.exchange(ctx, req, st)
+	if st != nil {
+		span := obs.Span{
+			Trace: obs.TraceID(req.Trace),
+			Name:  "infer",
+			ID:    req.ID,
+			Start: spanStart,
+			Dur:   time.Since(spanStart),
+			Stages: []obs.Stage{
+				{Name: "quantize", Dur: st.quantize},
+				{Name: "serialize", Dur: st.serialize},
+				{Name: "send", Dur: st.send},
+				{Name: "wait", Dur: st.wait},
+				{Name: "decode", Dur: st.decode},
+			},
+		}
+		if err != nil {
+			span.Err = err.Error()
+		}
+		if st.srvElapsed > 0 {
+			span.Attrs = map[string]float64{"server_elapsed_ns": float64(st.srvElapsed)}
+		}
+		c.spans.Record(span)
+	}
+	return logits, err
+}
+
+// stageTimes collects the per-stage wall times of one traced Infer call.
+// Retried calls keep the stages of the final attempt.
+type stageTimes struct {
+	quantize   time.Duration
+	serialize  time.Duration
+	send       time.Duration
+	wait       time.Duration
+	decode     time.Duration
+	sendEnd    time.Time
+	srvElapsed time.Duration
+}
+
+// exchange runs the request/response loop (with retries and redials) under
+// the connection lock: one request in flight at a time.
+func (c *EdgeClient) exchange(ctx context.Context, req request, st *stageTimes) (*tensor.Tensor, error) {
 	// The wire exchange (and any redialing) owns the connection state for
 	// the duration of the call: one request/response in flight at a time.
 	c.mu.Lock()
@@ -278,7 +420,7 @@ func (c *EdgeClient) InferContext(ctx context.Context, x *tensor.Tensor) (*tenso
 				return nil, err
 			}
 		}
-		logits, err := c.roundTrip(ctx, req)
+		logits, err := c.roundTrip(ctx, req, st)
 		if err == nil {
 			return logits, nil
 		}
@@ -312,8 +454,10 @@ func (c *EdgeClient) InferContext(ctx context.Context, x *tensor.Tensor) (*tenso
 // roundTrip sends one request and decodes its response on the current
 // connection, applying the call deadline. Transport failures mark the
 // connection broken; protocol failures (remote error string, ID mismatch)
-// do not.
-func (c *EdgeClient) roundTrip(ctx context.Context, req request) (*tensor.Tensor, error) {
+// do not. A non-nil st times the attempt's serialize / send / wait /
+// decode stages: the encoded message is buffered in memory, flushed in one
+// write, and the first response byte is stamped by the counting conn.
+func (c *EdgeClient) roundTrip(ctx context.Context, req request, st *stageTimes) (*tensor.Tensor, error) {
 	deadline, ok := ctx.Deadline()
 	if !ok && c.timeout > 0 {
 		deadline = time.Now().Add(c.timeout)
@@ -331,16 +475,51 @@ func (c *EdgeClient) roundTrip(ctx context.Context, req request) (*tensor.Tensor
 		return nil, fmt.Errorf("splitrt: clear deadline: %w", err)
 	}
 	start := time.Now()
-	if err := c.enc.Encode(req); err != nil {
+	if st != nil {
+		c.sw.buffering = true
+		if err := c.enc.Encode(req); err != nil {
+			c.sw.discard()
+			c.broken = true
+			c.m.transportErrs.Inc()
+			return nil, fmt.Errorf("splitrt: send: %w", err)
+		}
+		st.serialize = time.Since(start)
+		sendStart := time.Now()
+		if err := c.sw.flush(); err != nil {
+			c.broken = true
+			c.m.transportErrs.Inc()
+			return nil, fmt.Errorf("splitrt: send: %w", err)
+		}
+		st.sendEnd = time.Now()
+		st.send = st.sendEnd.Sub(sendStart)
+		c.conn.armed = true
+	} else if err := c.enc.Encode(req); err != nil {
 		c.broken = true
 		c.m.transportErrs.Inc()
 		return nil, fmt.Errorf("splitrt: send: %w", err)
 	}
 	var resp response
 	if err := c.dec.Decode(&resp); err != nil {
+		if st != nil {
+			c.conn.armed = false
+		}
 		c.broken = true
 		c.m.transportErrs.Inc()
 		return nil, fmt.Errorf("splitrt: recv: %w", err)
+	}
+	if st != nil {
+		now := time.Now()
+		fb := c.conn.firstByte
+		if c.conn.armed || fb.Before(st.sendEnd) {
+			// No response byte was stamped for this attempt (the whole
+			// message was already buffered, which a lockstep protocol does
+			// not produce); fall back to attributing everything to wait.
+			fb = now
+		}
+		c.conn.armed = false
+		st.wait = fb.Sub(st.sendEnd)
+		st.decode = now.Sub(fb)
+		st.srvElapsed = time.Duration(resp.SrvElapsedNs)
 	}
 	c.m.rtt.Observe(time.Since(start).Seconds())
 	if resp.ID != req.ID {

@@ -1,0 +1,249 @@
+package splitrt
+
+// Tests for the client↔server span join: gob wire compatibility of the new
+// server-timing response fields (both directions, including a live
+// old-format peer), the end-to-end seven-stage joined timeline over a real
+// batching server, server-side per-layer profiling behind WithProfiling,
+// and the /debug/spans?join=1 surface.
+
+import (
+	"bytes"
+	"encoding/gob"
+	"encoding/json"
+	"net"
+	"net/http"
+	"testing"
+	"time"
+
+	"shredder/internal/obs"
+	"shredder/internal/sched"
+	"shredder/internal/tensor"
+)
+
+// TestSrvFieldsGobBackwardCompatible pins both directions of wire
+// compatibility for the server-timing response fields: an old-format
+// response (no Srv* fields) decodes into the current struct as zeros, and a
+// new response decodes cleanly on an old peer (gob skips unknown fields).
+func TestSrvFieldsGobBackwardCompatible(t *testing.T) {
+	act := tensor.New(1, 1, 2, 2).Fill(2)
+
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(legacyResponse{ID: 4, Logits: act}); err != nil {
+		t.Fatal(err)
+	}
+	var resp response
+	if err := gob.NewDecoder(&buf).Decode(&resp); err != nil {
+		t.Fatalf("old-format response no longer decodes: %v", err)
+	}
+	if resp.ID != 4 || resp.SrvRecvUnixNanos != 0 || resp.SrvElapsedNs != 0 {
+		t.Fatalf("old-format response decoded wrong: %+v", resp)
+	}
+
+	buf.Reset()
+	now := time.Now()
+	timed := response{ID: 5, Logits: act, SrvRecvUnixNanos: now.UnixNano(), SrvElapsedNs: 1234}
+	if err := gob.NewEncoder(&buf).Encode(timed); err != nil {
+		t.Fatal(err)
+	}
+	var old legacyResponse
+	if err := gob.NewDecoder(&buf).Decode(&old); err != nil {
+		t.Fatalf("timed response does not decode on an old peer: %v", err)
+	}
+	if old.ID != 5 || old.Logits == nil {
+		t.Fatalf("timed response decoded wrong on old peer: %+v", old)
+	}
+}
+
+// TestOldClientAgainstTimedServer speaks the legacy wire format to a live
+// observability-enabled server (which now stamps Srv* fields on every
+// response) and checks an old peer still completes the exchange.
+func TestOldClientAgainstTimedServer(t *testing.T) {
+	_, _, addr := identityRig(t, WithObservability(obs.NewRegistry(), obs.NewSpanRing(16)))
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	enc, dec := gob.NewEncoder(conn), gob.NewDecoder(conn)
+	if err := enc.Encode(hello{Network: "obsnet", CutLayer: "cut"}); err != nil {
+		t.Fatal(err)
+	}
+	var ack helloAck
+	if err := dec.Decode(&ack); err != nil || !ack.OK {
+		t.Fatalf("handshake failed: %v %+v", err, ack)
+	}
+	if err := enc.Encode(legacyRequest{ID: 6, Activation: tensor.New(1, 1, 2, 2).Fill(1)}); err != nil {
+		t.Fatal(err)
+	}
+	var old legacyResponse
+	if err := dec.Decode(&old); err != nil {
+		t.Fatalf("old peer cannot decode a timed response: %v", err)
+	}
+	if old.ID != 6 || old.Err != "" || old.Logits == nil {
+		t.Fatalf("old peer exchange failed: %+v", old)
+	}
+}
+
+// TestJoinedSpanEndToEnd is the acceptance test for the span join: a live
+// edge client (quantized wire, span recording) against a live batching
+// cloud server (observability + span join), then the joined timeline must
+// carry all seven canonical stages with non-negative durations summing to
+// at most the client-observed span, and a plausible clock offset (same
+// host, so bounded by the RTT midpoint error).
+func TestJoinedSpanEndToEnd(t *testing.T) {
+	clientRing := obs.NewSpanRing(64)
+	split, srv, addr := identityRig(t,
+		WithBatching(sched.Options{MaxBatch: 4, MaxDelay: time.Millisecond}),
+		WithSpanJoin(clientRing),
+		WithDebugServer("127.0.0.1:0"))
+
+	client, err := Dial(addr, split, "cut", nil, 1, WithSpans(clientRing))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	if client.Spans() != clientRing {
+		t.Fatal("client did not adopt the span ring")
+	}
+	if err := client.SetWireQuantization(8); err != nil {
+		t.Fatal(err)
+	}
+	x := tensor.New(1, 1, 2, 2).Fill(1)
+	const n = 5
+	for i := 0; i < n; i++ {
+		if _, err := client.Infer(x); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	joined := srv.JoinedSpans()
+	if len(joined) != n {
+		t.Fatalf("joined %d spans, want %d", len(joined), n)
+	}
+	for _, j := range joined {
+		if j.Trace == 0 || j.Err != "" || j.Dur <= 0 {
+			t.Fatalf("joined span malformed: %+v", j)
+		}
+		if len(j.Stages) != len(obs.JoinedStages) {
+			t.Fatalf("joined span has %d stages, want %d: %+v", len(j.Stages), len(obs.JoinedStages), j.Stages)
+		}
+		var sum time.Duration
+		for i, name := range obs.JoinedStages {
+			st := j.Stages[i]
+			if st.Name != name {
+				t.Fatalf("stage %d is %q, want %q", i, st.Name, name)
+			}
+			if st.Dur < 0 {
+				t.Fatalf("stage %q has negative duration %v", name, st.Dur)
+			}
+			sum += st.Dur
+		}
+		if sum > j.Dur {
+			t.Fatalf("stages sum to %v, more than the %v round trip", sum, j.Dur)
+		}
+		// Serializing the request and running the batch both do real work;
+		// the loopback clock resolves them.
+		if j.StageDur("serialize") <= 0 {
+			t.Fatalf("serialize stage empty: %+v", j.Stages)
+		}
+		if j.StageDur("queue")+j.StageDur("batch")+j.StageDur("compute") <= 0 {
+			t.Fatalf("server-side stages all empty: %+v", j.Stages)
+		}
+		// Client and server share one clock here, so the estimated offset is
+		// pure RTT-midpoint error — far below a second on loopback.
+		if off := j.ClockOffset; off > time.Second || off < -time.Second {
+			t.Fatalf("clock offset %v implausible on one host", off)
+		}
+		if j.Attrs["server_elapsed_ns"] <= 0 {
+			t.Fatalf("server elapsed attr missing: %+v", j.Attrs)
+		}
+	}
+
+	// The same join must be served over HTTP at /debug/spans?join=1.
+	resp, err := http.Get("http://" + srv.DebugAddr() + "/debug/spans?join=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /debug/spans?join=1: %s", resp.Status)
+	}
+	var overHTTP []obs.JoinedSpan
+	if err := json.NewDecoder(resp.Body).Decode(&overHTTP); err != nil {
+		t.Fatal(err)
+	}
+	if len(overHTTP) != n || len(overHTTP[0].Stages) != len(obs.JoinedStages) {
+		t.Fatalf("debug join payload: %d spans, %+v", len(overHTTP), overHTTP)
+	}
+}
+
+// TestServerProfiling serves with WithProfiling and checks the remote
+// part's layers accumulate per-layer timings (and registry histograms), the
+// profile shows at /debug/profile, and Close detaches the hook.
+func TestServerProfiling(t *testing.T) {
+	split, srv, addr := identityRig(t, WithProfiling(), WithDebugServer("127.0.0.1:0"))
+	prof := srv.Profiler()
+	if prof == nil {
+		t.Fatal("WithProfiling did not build a profiler")
+	}
+	client, err := Dial(addr, split, "cut", nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	x := tensor.New(1, 1, 2, 2).Fill(1)
+	const n = 3
+	for i := 0; i < n; i++ {
+		if _, err := client.Infer(x); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// The profiler hooks the whole shared network, so in this in-process
+	// test it sees both the client's local pass ("cut") and the server's
+	// remote pass ("post").
+	var post obs.LayerProfile
+	for _, lp := range prof.Table() {
+		if lp.Layer == "post" {
+			post = lp
+		}
+	}
+	if post.Layer == "" {
+		t.Fatalf("remote layer missing from profile: %+v", prof.Table())
+	}
+	if post.ForwardCalls != n || post.ScratchBytes != n*4*8 {
+		t.Fatalf("post layer accumulation: %+v", post)
+	}
+	if h := srv.Metrics().Snapshot().Histograms["profile.forward_seconds.post"]; h.Count != n {
+		t.Fatalf("per-layer histogram count %d, want %d", h.Count, n)
+	}
+
+	resp, err := http.Get("http://" + srv.DebugAddr() + "/debug/profile")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var overHTTP []obs.LayerProfile
+	if err := json.NewDecoder(resp.Body).Decode(&overHTTP); err != nil {
+		t.Fatal(err)
+	}
+	served := false
+	for _, lp := range overHTTP {
+		if lp.Layer == "post" && lp.ForwardCalls == n {
+			served = true
+		}
+	}
+	if !served {
+		t.Fatalf("/debug/profile payload: %+v", overHTTP)
+	}
+
+	// Close must detach the profiler from the shared network: later passes
+	// (e.g. another server over the same split) record nothing here.
+	srv.Close()
+	split.Net.Infer(tensor.New(1, 1, 2, 2).Fill(1))
+	for _, lp := range prof.Table() {
+		if lp.Layer == "post" && lp.ForwardCalls != n {
+			t.Fatalf("profiler still attached after Close: %d calls", lp.ForwardCalls)
+		}
+	}
+}

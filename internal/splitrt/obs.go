@@ -66,6 +66,9 @@ type serverObs struct {
 	queue     *obs.Histogram
 	compute   *obs.Histogram
 	occupancy *obs.Gauge
+
+	prof   *obs.Profiler   // per-layer profiler (WithProfiling), nil otherwise
+	joiner *obs.SpanJoiner // client↔server span joining (WithSpanJoin), nil otherwise
 }
 
 func newServerObs(reg *obs.Registry, spans *obs.SpanRing) *serverObs {
@@ -98,6 +101,10 @@ func (o *serverObs) finish(req request, resp *response, t0 time.Time, si *sched.
 		return
 	}
 	now := time.Now()
+	// Server-side timing metadata travels back on the response so the edge
+	// can annotate its spans without a second exchange.
+	resp.SrvRecvUnixNanos = t0.UnixNano()
+	resp.SrvElapsedNs = int64(now.Sub(t0))
 	o.latency.Observe(now.Sub(t0).Seconds())
 	span := obs.Span{
 		Trace: obs.TraceID(req.Trace),

@@ -107,12 +107,22 @@ func (k ErrKind) String() string {
 
 // response returns the remote network's logits for a request, or a typed
 // error (Kind classifies Err so clients retry only what can succeed).
+//
+// SrvRecvUnixNanos and SrvElapsedNs are server-side timing metadata for
+// end-to-end span joining: the server's receive timestamp (its own clock,
+// Unix nanoseconds) and how long it held the request. They are set only
+// when the server runs with observability and are 0 otherwise. Like Trace,
+// the fields are gob backward compatible in both directions: an old server
+// never sets them (they decode to 0 here) and an old client skips them as
+// unknown fields.
 type response struct {
-	ID     uint64
-	Trace  uint64 // echo of the request's trace ID (0 from pre-trace servers)
-	Logits *tensor.Tensor
-	Err    string
-	Kind   ErrKind
+	ID               uint64
+	Trace            uint64 // echo of the request's trace ID (0 from pre-trace servers)
+	Logits           *tensor.Tensor
+	Err              string
+	Kind             ErrKind
+	SrvRecvUnixNanos int64 // server receive time, server clock (0 = not reported)
+	SrvElapsedNs     int64 // server-side handling duration (0 = not reported)
 }
 
 // RemoteError is the client-side representation of a protocol-level

@@ -49,8 +49,10 @@ type CloudServer struct {
 	batchOpts *sched.Options
 	batcher   *sched.Batcher[*tensor.Tensor, *tensor.Tensor]
 
-	obs       *serverObs // nil = observability disabled (hot path pays nil checks only)
-	debugAddr string     // "" = no debug HTTP endpoint
+	obs       *serverObs    // nil = observability disabled (hot path pays nil checks only)
+	debugAddr string        // "" = no debug HTTP endpoint
+	profiling bool          // WithProfiling: attach a per-layer profiler to the remote net
+	joinRing  *obs.SpanRing // WithSpanJoin: client-side ring to join against
 
 	mu       sync.Mutex // guards listener, conns, closed, debug — never held across inference
 	listener net.Listener
@@ -120,12 +122,33 @@ func WithObservability(reg *obs.Registry, spans *obs.SpanRing) ServerOption {
 }
 
 // WithDebugServer serves the obs debug endpoint (/debug/metrics,
-// /debug/spans, /debug/pprof) on its own HTTP listener at addr, started by
-// Serve and stopped by Close. It implies WithObservability when no registry
-// was attached yet. Use DebugAddr to learn the bound address (handy with
-// ":0").
+// /debug/spans, /debug/profile, /debug/pprof) on its own HTTP listener at
+// addr, started by Serve and stopped by Close. It implies WithObservability
+// when no registry was attached yet. Use DebugAddr to learn the bound
+// address (handy with ":0").
 func WithDebugServer(addr string) ServerOption {
 	return func(s *CloudServer) { s.debugAddr = addr }
+}
+
+// WithProfiling attaches an obs.Profiler to the split network for the
+// server's lifetime: every remote forward pass reports per-layer wall time
+// and scratch bytes, feeding profile.* histograms in the server's registry
+// and the cumulative table at /debug/profile. It implies WithObservability
+// when none was configured. The profiler is detached on Close. Note the
+// profiler observes the *network*, so a process sharing one nn.Sequential
+// between a server and other traffic profiles both.
+func WithProfiling() ServerOption {
+	return func(s *CloudServer) { s.profiling = true }
+}
+
+// WithSpanJoin gives the server the client-side span ring to join against:
+// /debug/spans?join=1 then serves merged seven-stage client↔server
+// timelines for requests present in both rings. Pair it with an EdgeClient
+// created with WithSpans(ring) in the same process, or feed a ring
+// populated from client telemetry shipped by other means. It implies
+// WithObservability when none was configured.
+func WithSpanJoin(clientSpans *obs.SpanRing) ServerOption {
+	return func(s *CloudServer) { s.joinRing = clientSpans }
 }
 
 // NewCloudServer creates a server for the given split. cutLayer is the
@@ -135,8 +158,15 @@ func NewCloudServer(split *core.Split, cutLayer string, opts ...ServerOption) *C
 	for _, o := range opts {
 		o(s)
 	}
-	if s.debugAddr != "" && s.obs == nil {
+	if (s.debugAddr != "" || s.profiling || s.joinRing != nil) && s.obs == nil {
 		s.obs = newServerObs(obs.NewRegistry(), obs.NewSpanRing(defaultSpanRing))
+	}
+	if s.profiling {
+		s.obs.prof = obs.NewProfiler(s.obs.reg)
+		s.split.Net.SetProfiler(s.obs.prof)
+	}
+	if s.joinRing != nil {
+		s.obs.joiner = &obs.SpanJoiner{Client: s.joinRing, Server: s.obs.spans}
 	}
 	if s.batchOpts != nil {
 		if s.obs != nil {
@@ -165,6 +195,24 @@ func (s *CloudServer) Spans() *obs.SpanRing {
 		return nil
 	}
 	return s.obs.spans
+}
+
+// Profiler returns the per-layer profiler, or nil when WithProfiling is
+// not configured.
+func (s *CloudServer) Profiler() *obs.Profiler {
+	if s.obs == nil {
+		return nil
+	}
+	return s.obs.prof
+}
+
+// JoinedSpans returns the merged client↔server timelines (the
+// /debug/spans?join=1 payload), or nil when WithSpanJoin is not configured.
+func (s *CloudServer) JoinedSpans() []obs.JoinedSpan {
+	if s.obs == nil {
+		return nil
+	}
+	return s.obs.joiner.Joined()
 }
 
 // DebugAddr returns the bound address of the debug HTTP endpoint, or ""
@@ -205,7 +253,10 @@ func (s *CloudServer) Serve(addr string) (string, error) {
 	startDebug := s.debugAddr != "" && s.debug == nil
 	s.mu.Unlock()
 	if startDebug {
-		d, err := obs.ServeDebug(s.debugAddr, s.obs.reg, s.obs.spans)
+		d, err := obs.Debug{
+			Metrics: s.obs.reg, Spans: s.obs.spans,
+			Profile: s.obs.prof, Join: s.obs.joiner,
+		}.Serve(s.debugAddr)
 		if err != nil {
 			s.mu.Lock()
 			s.listener = nil
@@ -553,5 +604,10 @@ func (s *CloudServer) Close() error {
 		c.Close()
 	}
 	s.wg.Wait()
+	if s.profiling {
+		// Detach the profiler this server attached so a shared network does
+		// not keep paying the instrumented path after the server is gone.
+		s.split.Net.SetProfiler(nil)
+	}
 	return nil
 }

@@ -101,7 +101,8 @@ type System struct {
 	cutName    string
 	cutLayer   string
 	collection *core.Collection
-	rngMu      sync.Mutex // guards rng: tensor.RNG is not goroutine-safe
+	monitor    *core.PrivacyMonitor // nil = privacy telemetry disabled
+	rngMu      sync.Mutex           // guards rng: tensor.RNG is not goroutine-safe
 	rng        *tensor.RNG
 	seed       int64
 }
@@ -162,6 +163,51 @@ func (s *System) Network() string { return s.bench.Spec.Name }
 
 // Cut returns the active cutting point name.
 func (s *System) Cut() string { return s.cutName }
+
+// CutLayerName returns the name of the last layer that runs on the edge —
+// layers up to and including it are local, the rest are remote.
+func (s *System) CutLayerName() string { return s.cutLayer }
+
+// PrivacyTarget returns the benchmark's tuned in-vivo (1/SNR) target.
+func (s *System) PrivacyTarget() float64 { return s.bench.PrivacyTarget }
+
+// AttachProfiler installs p as the network's per-layer profiler: every
+// forward/backward pass — local, remote, serving, or training — reports
+// per-layer wall time and scratch bytes until DetachProfiler. Attaching is
+// safe while inference traffic is in flight.
+func (s *System) AttachProfiler(p *obs.Profiler) {
+	if p == nil {
+		s.pre.Net.SetProfiler(nil) // avoid storing a typed-nil interface
+		return
+	}
+	s.pre.Net.SetProfiler(p)
+}
+
+// DetachProfiler removes the network-level profiler; subsequent passes run
+// the branch-only disabled path again.
+func (s *System) DetachProfiler() { s.pre.Net.SetProfiler(nil) }
+
+// EnablePrivacyTelemetry builds a core.PrivacyMonitor over the learned
+// collection and registers its privacy.* metrics in reg: per-member
+// sampling balance on every Classify, and the realized in-vivo 1/SNR
+// (against the benchmark's PrivacyTarget) on every sampleEvery-th query.
+// ConnectEdge clients created afterwards inherit the monitor unless their
+// options override it. Call after LearnNoise/LoadNoise and before serving
+// traffic.
+func (s *System) EnablePrivacyTelemetry(reg *obs.Registry, sampleEvery int) error {
+	if reg == nil {
+		return fmt.Errorf("shredder: EnablePrivacyTelemetry needs a registry")
+	}
+	if !s.HasNoise() {
+		return fmt.Errorf("shredder: EnablePrivacyTelemetry before LearnNoise/LoadNoise")
+	}
+	s.monitor = core.NewPrivacyMonitor(reg, s.collection, s.bench.PrivacyTarget, sampleEvery)
+	return nil
+}
+
+// PrivacyMonitor returns the live privacy monitor, or nil when
+// EnablePrivacyTelemetry has not been called.
+func (s *System) PrivacyMonitor() *core.PrivacyMonitor { return s.monitor }
 
 // BaselineAccuracy returns the pre-trained network's test accuracy.
 func (s *System) BaselineAccuracy() float64 { return s.pre.TestAcc }
@@ -283,8 +329,11 @@ func (s *System) Classify(pixels []float64) (int, error) {
 	}
 	a := s.split.Local(x)
 	s.rngMu.Lock()
-	noise := s.collection.Sample(s.rng)
+	member, noise := s.collection.SampleIndexed(s.rng)
 	s.rngMu.Unlock()
+	// Telemetry observes the clean activation — realized SNR is defined
+	// against the signal the noise is about to cover.
+	s.monitor.Observe(member, a.Slice(0))
 	a.Slice(0).AddInPlace(noise)
 	logits := s.split.RemoteInfer(a)
 	return logits.Slice(0).Argmax(), nil
@@ -384,6 +433,11 @@ type EdgeHandle struct {
 // only noisy activations (raw activations when no noise is learned).
 // opts configure request timeouts and reconnect-with-backoff behaviour.
 func (s *System) ConnectEdge(addr string, opts ...splitrt.ClientOption) (*EdgeHandle, error) {
+	if s.monitor != nil {
+		// Inherit the system's privacy monitor; explicit options later in
+		// the slice still win.
+		opts = append([]splitrt.ClientOption{splitrt.WithPrivacyTelemetry(s.monitor)}, opts...)
+	}
 	client, err := splitrt.Dial(addr, s.split, s.cutLayer, s.collection, s.seed+99, opts...)
 	if err != nil {
 		return nil, err
@@ -400,6 +454,10 @@ func (h *EdgeHandle) SetWireQuantization(bits int) error {
 
 // BytesSent returns the cumulative bytes the edge has sent to the cloud.
 func (h *EdgeHandle) BytesSent() int64 { return h.client.Stats().BytesSent }
+
+// Spans returns the client-side span ring (splitrt.WithSpans), or nil when
+// span recording is not configured.
+func (h *EdgeHandle) Spans() *obs.SpanRing { return h.client.Spans() }
 
 // Classify runs one image through the remote pipeline.
 func (h *EdgeHandle) Classify(pixels []float64) (int, error) {
