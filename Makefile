@@ -1,11 +1,11 @@
 GO ?= go
 
-.PHONY: ci fmt vet build test race bench bench-obs bench-profile
+.PHONY: ci fmt vet build test race bench bench-obs bench-profile bench-pool
 
 ## ci: the full gate — formatting, vet, build, tests, the race suite over
-## the concurrency-sensitive packages, and the observability- and
-## profiler-overhead smoke benchmarks. Run before every push.
-ci: fmt vet build test race bench-obs bench-profile
+## the concurrency-sensitive packages, and the observability-, profiler-,
+## and fleet-serving smoke benchmarks. Run before every push.
+ci: fmt vet build test race bench-obs bench-profile bench-pool
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -36,3 +36,9 @@ bench-obs:
 ## baseline — detached hooks cost one atomic load per range pass).
 bench-profile:
 	$(GO) test -run '^$$' -bench BenchmarkProfileOverhead -benchtime 50x .
+
+## bench-pool: smoke-run the fleet-serving benchmark (hedged p99 under a
+## slowed backend must stay below the injected latency — see
+## results_bench_pool.txt for the reference run).
+bench-pool:
+	$(GO) test -run '^$$' -bench BenchmarkPoolServe -benchtime 50x .

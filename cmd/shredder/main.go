@@ -16,6 +16,7 @@
 //	shredder cuts        -net svhn
 //	shredder attack      -net lenet -cut conv0 [-noise noise.gob]
 //	shredder serve       -net lenet -addr 127.0.0.1:7777
+//	shredder gateway     -net lenet -backends host1:7777,host2:7777 -addr :9000
 //	shredder infer       -net lenet -addr 127.0.0.1:7777 [-noise noise.gob] [-n 16]
 //	shredder profile     -net lenet [-n 50] [-csv profile.csv]
 package main
@@ -24,6 +25,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"shredder"
@@ -47,6 +49,8 @@ func main() {
 		err = cmdEval(os.Args[2:])
 	case "serve":
 		err = cmdServe(os.Args[2:])
+	case "gateway":
+		err = cmdGateway(os.Args[2:])
 	case "infer":
 		err = cmdInfer(os.Args[2:])
 	case "cuts":
@@ -76,7 +80,8 @@ commands:
   train-noise  learn a collection of noise tensors and save it
   eval         evaluate accuracy and mutual-information loss
   serve        host the remote (cloud) part of a split network over TCP
-  infer        run split inference against a serve process
+  gateway      front a fleet of serve processes: balancing, hedging, drain
+  infer        run split inference against a serve or gateway process
   cuts         print the cost model of every cutting point of a network
   profile      time every layer over N warm inferences, per cutting point
   attack       measure inversion/gallery attack resistance of learned noise
@@ -240,6 +245,88 @@ func cmdServe(args []string) error {
 	}
 	if d := cloud.DebugAddr(); d != "" {
 		fmt.Printf("debug endpoint on http://%s/debug/metrics\n", d)
+	}
+	select {} // serve until killed
+}
+
+// cmdGateway fronts a fleet of serve processes with one protocol endpoint:
+// edge clients dial the gateway exactly as they would a single server, and
+// every request is balanced, rerouted on failure, and (optionally) hedged
+// across the backends. The gateway carries no noise collection — the
+// activations it relays were noised on the edge devices — so its pool is a
+// pure router.
+func cmdGateway(args []string) error {
+	fs := flag.NewFlagSet("gateway", flag.ExitOnError)
+	c := registerCommon(fs)
+	addr := fs.String("addr", "127.0.0.1:9000", "gateway listen address")
+	backends := fs.String("backends", "", "comma-separated backend addresses (required)")
+	balance := fs.String("balance", "roundrobin", "balancing policy: roundrobin, least-inflight, consistent")
+	hedgeQ := fs.Float64("hedge-quantile", 0, "hedge a call once it exceeds this quantile of the fastest backend's live latency (0 = hedging off, try 0.95)")
+	hedgeMin := fs.Duration("hedge-min", 5*time.Millisecond, "floor for the hedge budget, so cold or fast fleets do not hedge everything")
+	healthIvl := fs.Duration("health-interval", time.Second, "how often ejected backends are redialed for readmission")
+	ejectAfter := fs.Int("eject-after", 3, "consecutive failures before a backend leaves rotation")
+	timeout := fs.Duration("timeout", 30*time.Second, "per-request relay deadline (0 = none)")
+	idle := fs.Duration("idle-timeout", 5*time.Minute, "drop client connections idle longer than this (0 = never)")
+	debugAddr := fs.String("debug-addr", "", "serve the merged fleet /debug/metrics on this HTTP address (empty = off)")
+	backendDebug := fs.String("backend-debug", "", "comma-separated backend /debug/metrics URLs to fold into the merged snapshot, ordered like -backends")
+	fs.Parse(args)
+	if *backends == "" {
+		return fmt.Errorf("gateway: -backends is required")
+	}
+	addrs := strings.Split(*backends, ",")
+	bal, err := splitrt.BalancerByName(*balance)
+	if err != nil {
+		return err
+	}
+	sys, err := c.system()
+	if err != nil {
+		return err
+	}
+	poolOpts := []splitrt.PoolOption{
+		splitrt.WithBalancer(bal),
+		splitrt.WithHealthInterval(*healthIvl),
+		splitrt.WithEjectAfter(*ejectAfter),
+		splitrt.WithPoolClientOptions(splitrt.WithTimeout(*timeout)),
+	}
+	if *hedgeQ > 0 {
+		poolOpts = append(poolOpts, splitrt.WithHedging(*hedgeQ, *hedgeMin))
+	}
+	pool, err := sys.ConnectPool(addrs, poolOpts...)
+	if err != nil {
+		return err
+	}
+	defer pool.Close()
+
+	gwOpts := []splitrt.GatewayOption{
+		splitrt.WithGatewayIdleTimeout(*idle),
+		splitrt.WithGatewayCallTimeout(*timeout),
+	}
+	if *debugAddr != "" {
+		gwOpts = append(gwOpts, splitrt.WithGatewayDebugServer(*debugAddr))
+		if *backendDebug != "" {
+			var sources []obs.SnapshotSource
+			for i, u := range strings.Split(*backendDebug, ",") {
+				label := fmt.Sprintf("backend.%d", i)
+				if i < len(addrs) {
+					label = "backend." + addrs[i]
+				}
+				sources = append(sources, obs.HTTPSnapshotSource(label, u))
+			}
+			gwOpts = append(gwOpts, splitrt.WithBackendSources(sources...))
+		}
+	}
+	gw := splitrt.NewGateway(pool.Pool(), gwOpts...)
+	bound, err := gw.Serve(*addr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("gateway for %s (cut %s) serving on %s, fronting %d backends (%s balancing)\n",
+		sys.Network(), sys.Cut(), bound, len(addrs), *balance)
+	if *hedgeQ > 0 {
+		fmt.Printf("hedging at the p%.0f budget (floor %v)\n", *hedgeQ*100, *hedgeMin)
+	}
+	if d := gw.DebugAddr(); d != "" {
+		fmt.Printf("merged fleet metrics on http://%s/debug/metrics\n", d)
 	}
 	select {} // serve until killed
 }

@@ -17,6 +17,12 @@ type Debug struct {
 	Spans   *SpanRing
 	Profile *Profiler   // /debug/profile per-layer table
 	Join    *SpanJoiner // /debug/spans?join=1 joined timelines
+
+	// Sources are extra labelled metric feeds merged into /debug/metrics
+	// under "<label>." prefixes — how a gateway re-exports its whole
+	// backend fleet's metrics from one endpoint. Fetch failures surface as
+	// merge.failed.<label> counters instead of failing the request.
+	Sources []SnapshotSource
 }
 
 // Handler serves the debug surface:
@@ -30,6 +36,10 @@ type Debug struct {
 func (d Debug) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/debug/metrics", func(w http.ResponseWriter, r *http.Request) {
+		if len(d.Sources) > 0 {
+			writeJSON(w, MergedSnapshot(d.Metrics, d.Sources))
+			return
+		}
 		writeJSON(w, d.Metrics.Snapshot())
 	})
 	mux.HandleFunc("/debug/spans", func(w http.ResponseWriter, r *http.Request) {

@@ -13,16 +13,22 @@ var JoinedStages = []string{
 // (Start/Dur are in the client's clock) with the matching server span's
 // stages spliced into the middle, and an estimate of the server-minus-client
 // clock offset. Stage durations are wall times measured on whichever side
-// owns the stage, so they are immune to clock skew; only ClockOffset (and
-// any absolute server timestamp derived from it) carries the RTT-midpoint
+// owns the stage, so they are immune to clock skew — except the network
+// transit itself, which neither side can time alone: the join reconstructs
+// it as the residual of the client's wait around the server span, splits it
+// evenly between the send and decode stages, and carries the RTT-midpoint
 // estimation error, which can be as large as half the asymmetry between the
-// two network directions.
+// two network directions. When that reconstruction would drive a stage
+// negative (asymmetric links, coarse clocks, a server span wider than the
+// wait that brackets it), the stage is clamped at zero and the timeline is
+// flagged Skewed instead of reporting an impossible negative duration.
 type JoinedSpan struct {
 	Trace       TraceID            `json:"trace"`
 	ID          uint64             `json:"id,omitempty"`
 	Start       time.Time          `json:"start"`
 	Dur         time.Duration      `json:"dur_ns"`
 	ClockOffset time.Duration      `json:"clock_offset_ns"`
+	Skewed      bool               `json:"skewed,omitempty"`
 	Err         string             `json:"err,omitempty"`
 	Stages      []Stage            `json:"stages"`
 	Attrs       map[string]float64 `json:"attrs,omitempty"`
@@ -89,14 +95,36 @@ func joinOne(cs, ss *Span) JoinedSpan {
 		// attribute its whole duration to compute.
 		compute = ss.Dur
 	}
+	// Network transit reconstruction: the client's wait stage brackets the
+	// server span plus the two wire legs, so wait − serverDur is the total
+	// transit, split evenly between the directions (the same symmetry
+	// assumption the clock-offset estimate below rests on) and folded into
+	// the send and decode stages. On asymmetric links or when the server
+	// span overlaps the wait bracket (skewed stamps, coarse clocks) the
+	// residual can come out negative — clamp it at zero and flag the
+	// timeline rather than emit a negative stage.
+	leg := (cs.StageDur("wait") - ss.Dur) / 2
+	if leg < 0 {
+		leg = 0
+		j.Skewed = true
+	}
 	j.Stages = []Stage{
 		{Name: "quantize", Dur: cs.StageDur("quantize")},
 		{Name: "serialize", Dur: cs.StageDur("serialize")},
-		{Name: "send", Dur: cs.StageDur("send")},
+		{Name: "send", Dur: cs.StageDur("send") + leg},
 		{Name: "queue", Dur: queue},
 		{Name: "batch", Dur: batch},
 		{Name: "compute", Dur: compute},
-		{Name: "decode", Dur: cs.StageDur("decode")},
+		{Name: "decode", Dur: cs.StageDur("decode") + leg},
+	}
+	for i := range j.Stages {
+		// Stage durations are wall times and should never be negative, but a
+		// peer shipping spans from another process (or another build) is not
+		// under our control: clamp defensively and mark the timeline.
+		if j.Stages[i].Dur < 0 {
+			j.Stages[i].Dur = 0
+			j.Skewed = true
+		}
 	}
 	if len(cs.Attrs)+len(ss.Attrs) > 0 {
 		j.Attrs = make(map[string]float64, len(cs.Attrs)+len(ss.Attrs))

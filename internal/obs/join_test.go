@@ -59,11 +59,13 @@ func TestJoinSpansSevenStages(t *testing.T) {
 			t.Fatalf("stage %d is %q, want %q", i, j.Stages[i].Name, name)
 		}
 	}
+	// wait (5ms) brackets the server span (3ms), so each reconstructed
+	// network leg is 1ms, folded into send and decode.
 	want := map[string]time.Duration{
 		"quantize": time.Millisecond, "serialize": 2 * time.Millisecond,
-		"send": time.Millisecond, "queue": 500 * time.Microsecond,
+		"send": 2 * time.Millisecond, "queue": 500 * time.Microsecond,
 		"batch": 500 * time.Microsecond, "compute": 2 * time.Millisecond,
-		"decode": time.Millisecond,
+		"decode": 2 * time.Millisecond,
 	}
 	var sum time.Duration
 	for name, d := range want {
@@ -80,6 +82,46 @@ func TestJoinSpansSevenStages(t *testing.T) {
 	}
 	if j.Attrs["shared"] != 1 {
 		t.Fatalf("client attr must win a key collision, got %v", j.Attrs["shared"])
+	}
+	if j.Skewed {
+		t.Fatal("symmetric fixture flagged Skewed")
+	}
+}
+
+// TestJoinClampsSkewedStages pins the clock-skew fix: when the server span
+// is *wider* than the client wait that brackets it (asymmetric links or
+// skewed timestamps make the reconstructed network legs negative), the join
+// must clamp the legs at zero — never emit a negative send/decode stage —
+// and flag the timeline Skewed.
+func TestJoinClampsSkewedStages(t *testing.T) {
+	cs, ss := joinFixture(21, 0)
+	ss.Dur = 8 * time.Millisecond // wait is 5ms: legs would be -1.5ms each
+	joined := JoinSpans([]Span{cs}, []Span{ss})
+	if len(joined) != 1 {
+		t.Fatalf("joined %d spans, want 1", len(joined))
+	}
+	j := joined[0]
+	if !j.Skewed {
+		t.Fatal("negative reconstructed legs not flagged Skewed")
+	}
+	for _, st := range j.Stages {
+		if st.Dur < 0 {
+			t.Fatalf("stage %q negative after clamp: %v", st.Name, st.Dur)
+		}
+	}
+	// With the legs clamped, send and decode fall back to their locally
+	// measured wall times.
+	if j.StageDur("send") != time.Millisecond || j.StageDur("decode") != time.Millisecond {
+		t.Fatalf("clamped legs altered measured stages: %+v", j.Stages)
+	}
+
+	// A hostile/buggy peer shipping a negative stage duration is clamped
+	// too rather than poisoning the timeline.
+	cs2, ss2 := joinFixture(22, 0)
+	ss2.Stages[0].Dur = -time.Millisecond // queue
+	j2 := JoinSpans([]Span{cs2}, []Span{ss2})[0]
+	if j2.StageDur("queue") != 0 || !j2.Skewed {
+		t.Fatalf("negative peer stage survived: %+v", j2)
 	}
 }
 

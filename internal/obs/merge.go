@@ -1,0 +1,86 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// Snapshot merging: one debug endpoint re-exporting the metrics of a whole
+// fleet. A gateway (or any aggregator) collects Snapshot values from N
+// backends — its own registry, in-process registries, or remote
+// /debug/metrics endpoints — and MergeSnapshot folds each one into a single
+// Snapshot under a per-source label prefix, so `backend.a.server.requests`
+// and `backend.b.server.requests` sit side by side in one payload and
+// nothing is summed away.
+
+// SnapshotSource is one labelled metrics feed for a merged debug endpoint:
+// Fetch produces the source's current Snapshot (typically a registry read
+// or an HTTP pull from a backend's /debug/metrics). A failing Fetch is
+// reported in the merged payload as a `merge.failed.<label>` counter rather
+// than failing the whole merge — a dead backend must not blind the fleet
+// view.
+type SnapshotSource struct {
+	Label string
+	Fetch func() (Snapshot, error)
+}
+
+// MergeSnapshot copies every metric of src into dst under the name prefix
+// "<label>." — counters, gauges, and histograms keep their values and
+// bucket layout. Metrics are never aggregated across sources: the label
+// keeps each backend's numbers distinguishable, which is what a fleet
+// operator needs to spot the one slow or failing backend.
+func MergeSnapshot(dst *Snapshot, label string, src Snapshot) {
+	prefix := label + "."
+	for name, v := range src.Counters {
+		dst.Counters[prefix+name] = v
+	}
+	for name, v := range src.Gauges {
+		dst.Gauges[prefix+name] = v
+	}
+	for name, h := range src.Histograms {
+		dst.Histograms[prefix+name] = h
+	}
+}
+
+// HTTPSnapshotSource builds a SnapshotSource that pulls a remote
+// /debug/metrics endpoint (any URL serving a JSON Snapshot) with a short
+// timeout, so one slow backend cannot stall the merged view for long.
+func HTTPSnapshotSource(label, url string) SnapshotSource {
+	client := &http.Client{Timeout: 2 * time.Second}
+	return SnapshotSource{Label: label, Fetch: func() (Snapshot, error) {
+		resp, err := client.Get(url)
+		if err != nil {
+			return Snapshot{}, err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return Snapshot{}, fmt.Errorf("obs: %s: status %s", url, resp.Status)
+		}
+		var s Snapshot
+		if err := json.NewDecoder(resp.Body).Decode(&s); err != nil {
+			return Snapshot{}, err
+		}
+		return s, nil
+	}}
+}
+
+// MergedSnapshot takes the base registry's snapshot and folds every
+// source's snapshot into it under the source's label. Fetch errors become
+// `merge.failed.<label>` counters in the result.
+func MergedSnapshot(base *Registry, sources []SnapshotSource) Snapshot {
+	snap := base.Snapshot()
+	for _, src := range sources {
+		if src.Fetch == nil {
+			continue
+		}
+		s, err := src.Fetch()
+		if err != nil {
+			snap.Counters["merge.failed."+src.Label] = 1
+			continue
+		}
+		MergeSnapshot(&snap, src.Label, s)
+	}
+	return snap
+}

@@ -1,0 +1,91 @@
+package obs
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"testing"
+)
+
+// TestMergeSnapshotPrefixesEverything merges two source snapshots into a
+// base and checks every metric class survives under its label, values
+// intact and unsummed.
+func TestMergeSnapshotPrefixesEverything(t *testing.T) {
+	base := NewRegistry()
+	base.Counter("gateway.requests").Add(7)
+
+	a := NewRegistry()
+	a.Counter("server.requests").Add(3)
+	a.Gauge("server.batch.occupancy").Set(2.5)
+	a.Histogram("server.latency_seconds").Observe(0.001)
+	b := NewRegistry()
+	b.Counter("server.requests").Add(11)
+
+	snap := MergedSnapshot(base, []SnapshotSource{
+		{Label: "backend.a", Fetch: func() (Snapshot, error) { return a.Snapshot(), nil }},
+		{Label: "backend.b", Fetch: func() (Snapshot, error) { return b.Snapshot(), nil }},
+	})
+	if snap.Counters["gateway.requests"] != 7 {
+		t.Fatalf("base metric lost: %+v", snap.Counters)
+	}
+	if snap.Counters["backend.a.server.requests"] != 3 || snap.Counters["backend.b.server.requests"] != 11 {
+		t.Fatalf("per-backend counters wrong: %+v", snap.Counters)
+	}
+	if snap.Gauges["backend.a.server.batch.occupancy"] != 2.5 {
+		t.Fatalf("gauge not merged: %+v", snap.Gauges)
+	}
+	if h := snap.Histograms["backend.a.server.latency_seconds"]; h.Count != 1 {
+		t.Fatalf("histogram not merged: %+v", snap.Histograms)
+	}
+}
+
+// TestMergedSnapshotSurvivesFailedSource checks a dead backend turns into a
+// merge.failed counter instead of failing the merge.
+func TestMergedSnapshotSurvivesFailedSource(t *testing.T) {
+	live := NewRegistry()
+	live.Counter("server.requests").Add(1)
+	snap := MergedSnapshot(NewRegistry(), []SnapshotSource{
+		{Label: "dead", Fetch: func() (Snapshot, error) { return Snapshot{}, errors.New("down") }},
+		{Label: "live", Fetch: func() (Snapshot, error) { return live.Snapshot(), nil }},
+		{Label: "nilfetch"},
+	})
+	if snap.Counters["merge.failed.dead"] != 1 {
+		t.Fatalf("failed source not reported: %+v", snap.Counters)
+	}
+	if snap.Counters["live.server.requests"] != 1 {
+		t.Fatalf("live source lost behind the dead one: %+v", snap.Counters)
+	}
+}
+
+// TestDebugEndpointMergesSources serves a Debug with Sources and checks
+// /debug/metrics carries the merged, labelled payload over HTTP.
+func TestDebugEndpointMergesSources(t *testing.T) {
+	own := NewRegistry()
+	own.Counter("pool.requests").Add(2)
+	backend := NewRegistry()
+	backend.Counter("server.requests").Add(9)
+
+	d, err := Debug{
+		Metrics: own,
+		Sources: []SnapshotSource{
+			{Label: "backend.0", Fetch: func() (Snapshot, error) { return backend.Snapshot(), nil }},
+		},
+	}.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+
+	resp, err := http.Get("http://" + d.Addr + "/debug/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var snap Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Counters["pool.requests"] != 2 || snap.Counters["backend.0.server.requests"] != 9 {
+		t.Fatalf("merged endpoint payload: %+v", snap.Counters)
+	}
+}

@@ -1,0 +1,77 @@
+package sched
+
+import "sync"
+
+// Gate is the admission/drain half of the Batcher's Close contract, made
+// reusable: callers Enter before starting a unit of work and Leave when it
+// finishes; Drain stops admitting new work and blocks until every admitted
+// unit has left. It is the generic shape of "in-flight calls finish, new
+// calls are refused" that CloudServer.Close and Batcher.Close both
+// implement ad hoc — fleet components (splitrt.Pool's per-backend drain and
+// pool-wide shutdown) build on this instead of re-deriving it.
+//
+// The zero value is a ready-to-use open gate. All methods are safe for
+// concurrent use. Unlike sync.WaitGroup, Enter after Drain is a clean
+// refusal rather than a race.
+type Gate struct {
+	mu      sync.Mutex
+	done    *sync.Cond // lazily created, signalled when active hits 0
+	active  int
+	closing bool
+}
+
+// Enter admits one unit of work. It returns false when the gate is draining
+// or drained, in which case the caller must not start the work (and must
+// not call Leave).
+func (g *Gate) Enter() bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.closing {
+		return false
+	}
+	g.active++
+	return true
+}
+
+// Leave marks one admitted unit of work finished. Every successful Enter
+// must be paired with exactly one Leave.
+func (g *Gate) Leave() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.active <= 0 {
+		panic("sched: Gate.Leave without matching Enter")
+	}
+	g.active--
+	if g.active == 0 && g.done != nil {
+		g.done.Broadcast()
+	}
+}
+
+// Drain closes the gate to new entries and waits for the active count to
+// reach zero. It is idempotent and safe to call from several goroutines;
+// every call blocks until the drain completes.
+func (g *Gate) Drain() {
+	g.mu.Lock()
+	g.closing = true
+	if g.done == nil {
+		g.done = sync.NewCond(&g.mu)
+	}
+	for g.active > 0 {
+		g.done.Wait()
+	}
+	g.mu.Unlock()
+}
+
+// Draining reports whether Drain has begun (new Enter calls are refused).
+func (g *Gate) Draining() bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.closing
+}
+
+// Active returns the number of currently admitted units of work.
+func (g *Gate) Active() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.active
+}

@@ -105,8 +105,11 @@ func WithPrivacyTelemetry(m *core.PrivacyMonitor) ClientOption {
 
 // WithReconnect makes the client transparently redial and re-handshake a
 // broken connection up to max times per call, sleeping base, 2·base,
-// 4·base, ... (capped at 2s) between attempts. Without this option a
-// transport error is returned to the caller and the client stays broken.
+// 4·base, ... (capped at 2s, jittered ±20%) between attempts. The backoff
+// schedule restarts from base on every reconnect episode: an outage that
+// was redialed away leaves no state behind, so a later transient failure
+// does not start at the ceiling. Without this option a transport error is
+// returned to the caller after a single redial attempt on the next use.
 func WithReconnect(max int, base time.Duration) ClientOption {
 	return func(c *EdgeClient) {
 		if max < 0 {
@@ -232,6 +235,12 @@ func (s *stageWriter) discard() {
 	s.buf.Reset()
 }
 
+// errHandshakeRejected marks a dial that reached the server but was turned
+// away at the hello exchange (wrong network or cut layer). Redialing cannot
+// help — the server will keep refusing — so reconnect treats it as terminal
+// instead of burning the backoff budget.
+var errHandshakeRejected = errors.New("handshake rejected")
+
 // Dial connects to a CloudServer and performs the handshake.
 func Dial(addr string, split *core.Split, cutLayer string, col *core.Collection, seed int64, opts ...ClientOption) (*EdgeClient, error) {
 	c := &EdgeClient{
@@ -269,41 +278,74 @@ func (c *EdgeClient) connect() error {
 	}
 	if !ack.OK {
 		conn.Close()
-		return fmt.Errorf("splitrt: handshake rejected: %s", ack.Err)
+		return fmt.Errorf("splitrt: %w: %s", errHandshakeRejected, ack.Err)
 	}
 	c.conn, c.sw, c.enc, c.dec = conn, sw, enc, dec
 	c.broken = false
 	return nil
 }
 
-// reconnect redials with exponential backoff, honouring the context. The
-// handshake-rejected error is terminal: the server will keep refusing, so
-// backing off cannot help.
+// reconnect runs one redial episode: up to max(1, maxRedials) dial
+// attempts, the first immediate (the break was only just detected and the
+// server may already be back), each later one preceded by an exponential
+// backoff step that restarts from redialBase for every episode. The caller
+// must hold c.mu. A context cancellation aborts the wait; a rejected
+// handshake aborts the episode early because retrying it cannot succeed.
 func (c *EdgeClient) reconnect(ctx context.Context) error {
 	if c.conn != nil {
 		c.conn.Close()
+		c.conn = nil
 	}
-	backoff := c.redialBase
+	dials := c.maxRedials
+	if dials < 1 {
+		// Even a client without WithReconnect gets one fresh dial per call
+		// on a broken connection — otherwise a single transport error would
+		// wedge the client forever.
+		dials = 1
+	}
 	var err error
-	for attempt := 0; attempt <= c.maxRedials; attempt++ {
-		if attempt > 0 {
+	for attempt := 1; attempt <= dials; attempt++ {
+		if attempt > 1 {
 			select {
 			case <-ctx.Done():
 				return ctx.Err()
-			case <-time.After(backoff):
-			}
-			backoff *= 2
-			if backoff > c.redialMax {
-				backoff = c.redialMax
+			case <-time.After(redialDelay(c.redialBase, c.redialMax, attempt-1, c.jitter())):
 			}
 		}
 		if err = c.connect(); err == nil {
 			c.m.redials.Inc()
 			return nil
 		}
+		if errors.Is(err, errHandshakeRejected) {
+			return err
+		}
 	}
-	return fmt.Errorf("splitrt: reconnect failed after %d attempts: %w", c.maxRedials+1, err)
+	return fmt.Errorf("splitrt: reconnect failed after %d attempts: %w", dials, err)
 }
+
+// redialDelay is the pure backoff schedule: the wait before the n-th retry
+// (n ≥ 1) within one episode is base·2^(n-1) capped at max, stretched or
+// shrunk by up to 20% according to jitter j in [-1, 1]. The jitter is what
+// keeps a fleet of clients that lost the same server from redialing it in
+// lockstep when it comes back.
+func redialDelay(base, max time.Duration, n int, j float64) time.Duration {
+	d := base
+	for i := 1; i < n && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	d += time.Duration(0.2 * j * float64(d))
+	if d < 0 {
+		d = 0
+	}
+	return d
+}
+
+// jitter draws a uniform value in [-1, 1] from the client RNG. The caller
+// must hold c.mu (the RNG is not goroutine-safe).
+func (c *EdgeClient) jitter() float64 { return 2*c.rng.Float64() - 1 }
 
 // Infer runs split inference on a batch [N, C, H, W] and returns the
 // logits computed by the cloud. Each sample gets an independently sampled
@@ -328,6 +370,20 @@ func (c *EdgeClient) InferContext(ctx context.Context, x *tensor.Tensor) (*tenso
 			a.Slice(i).AddInPlace(noise)
 		}
 	}
+	c.mu.Unlock()
+	return c.InferActivation(ctx, a)
+}
+
+// InferActivation ships an already-prepared cut-layer activation batch to
+// the cloud and returns the logits, skipping the local forward pass and
+// noise injection. It is the relay building block for components that
+// forward activations noised elsewhere — a fleet pool rerouting a request
+// to another backend, or a gateway proxying for remote edge devices. The
+// caller is responsible for the activation already carrying whatever
+// protection it needs; a client's own noise collection is applied only by
+// Infer/InferContext.
+func (c *EdgeClient) InferActivation(ctx context.Context, a *tensor.Tensor) (*tensor.Tensor, error) {
+	c.mu.Lock()
 	wireBits := c.wireBits
 	c.mu.Unlock()
 	id := atomic.AddUint64(&c.nextID, 1)
@@ -408,6 +464,7 @@ func (c *EdgeClient) exchange(ctx context.Context, req request, st *stageTimes) 
 	defer c.mu.Unlock()
 
 	var lastErr error
+	retries := 0 // remote-error resends; counted apart from redial episodes
 	for attempt := 0; ; attempt++ {
 		if err := ctx.Err(); err != nil {
 			return nil, err
@@ -434,7 +491,11 @@ func (c *EdgeClient) exchange(ctx context.Context, req request, st *stageTimes) 
 			if !rerr.Retryable() || c.maxRedials == 0 || attempt >= c.maxRedials {
 				return nil, err
 			}
-			if err := c.sleepBackoff(ctx, attempt); err != nil {
+			// Back off by the resend count, not the loop's attempt counter:
+			// redial episodes that happened earlier in this call must not
+			// escalate the pacing of an unrelated server-side transient.
+			retries++
+			if err := c.sleepBackoff(ctx, retries); err != nil {
 				return nil, err
 			}
 			continue
@@ -473,6 +534,25 @@ func (c *EdgeClient) roundTrip(ctx context.Context, req request, st *stageTimes)
 		c.broken = true
 		c.m.transportErrs.Inc()
 		return nil, fmt.Errorf("splitrt: clear deadline: %w", err)
+	}
+	if done := ctx.Done(); done != nil {
+		// An explicit cancellation (not just a deadline) must be able to
+		// interrupt a blocked gob read: poke the connection's deadline into
+		// the past so the transport call fails immediately and the loop above
+		// surfaces ctx.Err(). This is what lets a hedged duplicate request be
+		// abandoned the instant the other attempt wins.
+		stop := make(chan struct{})
+		watcherDone := make(chan struct{})
+		conn := c.conn
+		go func() {
+			defer close(watcherDone)
+			select {
+			case <-done:
+				conn.SetDeadline(time.Unix(1, 0))
+			case <-stop:
+			}
+		}()
+		defer func() { close(stop); <-watcherDone }()
 	}
 	start := time.Now()
 	if st != nil {
@@ -539,20 +619,14 @@ func (c *EdgeClient) roundTrip(ctx context.Context, req request, st *stageTimes)
 	return resp.Logits, nil
 }
 
-// sleepBackoff waits the exponential-backoff step for the given attempt
-// (base doubling per attempt, capped at redialMax), honouring the context.
-func (c *EdgeClient) sleepBackoff(ctx context.Context, attempt int) error {
-	backoff := c.redialBase
-	for i := 0; i < attempt && backoff < c.redialMax; i++ {
-		backoff *= 2
-	}
-	if backoff > c.redialMax {
-		backoff = c.redialMax
-	}
+// sleepBackoff waits the jittered exponential-backoff step for the n-th
+// retry (n ≥ 1) of the current call, honouring the context. The caller
+// must hold c.mu (for the jitter RNG).
+func (c *EdgeClient) sleepBackoff(ctx context.Context, n int) error {
 	select {
 	case <-ctx.Done():
 		return ctx.Err()
-	case <-time.After(backoff):
+	case <-time.After(redialDelay(c.redialBase, c.redialMax, n, c.jitter())):
 		return nil
 	}
 }

@@ -1,0 +1,311 @@
+package splitrt
+
+import (
+	"context"
+	"io"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"shredder/internal/core"
+	"shredder/internal/nn"
+	"shredder/internal/tensor"
+)
+
+// flakyProxy fronts a real CloudServer with a listener the test controls:
+// in splice mode accepted connections are forwarded to the target, in
+// reject mode they are closed on sight. Every accept is counted per mode,
+// which is what lets a test assert the client's exact dial count.
+type flakyProxy struct {
+	ln     net.Listener
+	target string
+
+	mu       sync.Mutex
+	reject   bool
+	accepts  int // accepts while splicing
+	rejects  int // accepts while rejecting
+	upstream []net.Conn
+	client   []net.Conn
+}
+
+func newFlakyProxy(t *testing.T, target string) *flakyProxy {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &flakyProxy{ln: ln, target: target}
+	go p.loop()
+	t.Cleanup(func() { ln.Close(); p.dropConns() })
+	return p
+}
+
+func (p *flakyProxy) loop() {
+	for {
+		conn, err := p.ln.Accept()
+		if err != nil {
+			return
+		}
+		p.mu.Lock()
+		if p.reject {
+			p.rejects++
+			p.mu.Unlock()
+			conn.Close()
+			continue
+		}
+		p.accepts++
+		up, err := net.Dial("tcp", p.target)
+		if err != nil {
+			p.mu.Unlock()
+			conn.Close()
+			continue
+		}
+		p.client = append(p.client, conn)
+		p.upstream = append(p.upstream, up)
+		p.mu.Unlock()
+		go func() { io.Copy(up, conn); up.Close() }()
+		go func() { io.Copy(conn, up); conn.Close() }()
+	}
+}
+
+func (p *flakyProxy) setReject(on bool) {
+	p.mu.Lock()
+	p.reject = on
+	p.mu.Unlock()
+}
+
+// dropConns severs every spliced connection, breaking the client's
+// transport without touching the backing server.
+func (p *flakyProxy) dropConns() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, c := range p.client {
+		c.Close()
+	}
+	for _, c := range p.upstream {
+		c.Close()
+	}
+	p.client, p.upstream = nil, nil
+}
+
+func (p *flakyProxy) rejectCount() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.rejects
+}
+
+// TestReconnectDialCountExact pins the retry-accounting contract: a client
+// configured with WithReconnect(3, ...) whose connection breaks against a
+// refusing server performs exactly 3 dials in the episode, and the error
+// message reports that same number — no off-by-one between the loop bound
+// and the report. It then proves the episode leaves no state behind: once
+// the server is reachable again the very next call succeeds.
+func TestReconnectDialCountExact(t *testing.T) {
+	split, _, addr := identityRig(t)
+	proxy := newFlakyProxy(t, addr)
+
+	const maxRedials = 3
+	client, err := Dial(proxy.ln.Addr().String(), split, "cut", nil, 7,
+		WithReconnect(maxRedials, time.Millisecond), WithTimeout(2*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	x := tensor.New(1, 1, 2, 2)
+	if _, err := client.Infer(x); err != nil {
+		t.Fatalf("infer through proxy: %v", err)
+	}
+
+	proxy.setReject(true)
+	proxy.dropConns()
+	_, err = client.Infer(x)
+	if err == nil {
+		t.Fatal("infer succeeded with every dial rejected")
+	}
+	if !strings.Contains(err.Error(), "after 3 attempts") {
+		t.Fatalf("error message inconsistent with dial budget: %v", err)
+	}
+	if got := proxy.rejectCount(); got != maxRedials {
+		t.Fatalf("reconnect made %d dials, want exactly %d", got, maxRedials)
+	}
+
+	// Recovery: the failed episode must not poison the next one.
+	proxy.setReject(false)
+	if _, err := client.Infer(x); err != nil {
+		t.Fatalf("infer after server recovery: %v", err)
+	}
+}
+
+// TestBrokenClientWithoutReconnectRecovers pins the default (no
+// WithReconnect) contract: the call that hits the transport error fails,
+// and the next call gets exactly one fresh dial — the client must not be
+// wedged forever by a single broken connection.
+func TestBrokenClientWithoutReconnectRecovers(t *testing.T) {
+	split, _, addr := identityRig(t)
+	proxy := newFlakyProxy(t, addr)
+
+	client, err := Dial(proxy.ln.Addr().String(), split, "cut", nil, 7, WithTimeout(2*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	x := tensor.New(1, 1, 2, 2)
+	if _, err := client.Infer(x); err != nil {
+		t.Fatalf("infer through proxy: %v", err)
+	}
+	proxy.dropConns()
+	if _, err := client.Infer(x); err == nil {
+		t.Fatal("infer on a severed connection succeeded")
+	}
+	if _, err := client.Infer(x); err != nil {
+		t.Fatalf("next call after the transport error must redial once and succeed: %v", err)
+	}
+}
+
+// TestRedialDelaySchedule is the white-box view of the backoff math: the
+// schedule restarts at base for n=1 (per-episode reset), doubles per step,
+// caps at max, and the jitter parameter stretches or shrinks a step by at
+// most 20% without ever going negative.
+func TestRedialDelaySchedule(t *testing.T) {
+	base, max := 50*time.Millisecond, 2*time.Second
+	cases := []struct {
+		n    int
+		j    float64
+		want time.Duration
+	}{
+		{1, 0, 50 * time.Millisecond},
+		{2, 0, 100 * time.Millisecond},
+		{3, 0, 200 * time.Millisecond},
+		{20, 0, 2 * time.Second},                      // capped
+		{1, 1, 60 * time.Millisecond},                 // +20%
+		{1, -1, 40 * time.Millisecond},                // -20%
+		{20, 1, 2*time.Second + 400*time.Millisecond}, // jitter applies after cap
+	}
+	for _, c := range cases {
+		if got := redialDelay(base, max, c.n, c.j); got != c.want {
+			t.Errorf("redialDelay(n=%d, j=%v) = %v, want %v", c.n, c.j, got, c.want)
+		}
+	}
+	if got := redialDelay(time.Nanosecond, time.Nanosecond, 1, -1); got < 0 {
+		t.Errorf("jittered delay went negative: %v", got)
+	}
+}
+
+// TestHandshakeRejectionIsTerminal checks a reconnect episode against a
+// server that actively refuses the hello gives up immediately instead of
+// burning the whole backoff budget on an error that cannot clear.
+func TestHandshakeRejectionIsTerminal(t *testing.T) {
+	split, _, addr := identityRig(t)
+
+	// A second server speaking a different network name: dials succeed,
+	// handshakes are rejected.
+	wrongAddr := rejectingRig(t)
+
+	proxy := newFlakyProxy(t, addr)
+	client, err := Dial(proxy.ln.Addr().String(), split, "cut", nil, 7,
+		WithReconnect(5, 50*time.Millisecond), WithTimeout(2*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	x := tensor.New(1, 1, 2, 2)
+	if _, err := client.Infer(x); err != nil {
+		t.Fatal(err)
+	}
+
+	// Re-point the proxy at the refusing server and sever the link: the
+	// next call redials, reaches the wrong server, and must fail fast.
+	proxy.mu.Lock()
+	proxy.target = wrongAddr
+	proxy.mu.Unlock()
+	proxy.dropConns()
+
+	start := time.Now()
+	_, err = client.Infer(x)
+	elapsed := time.Since(start)
+	if err == nil || !strings.Contains(err.Error(), "rejected") {
+		t.Fatalf("want handshake rejection, got %v", err)
+	}
+	// Five backoff steps at 50ms base would take ≥750ms even unjittered;
+	// a terminal rejection must return well before that.
+	if elapsed > 500*time.Millisecond {
+		t.Fatalf("rejection took %v; episode did not stop early", elapsed)
+	}
+}
+
+// rejectingRig serves a split under a network name no test client uses, so
+// every handshake against it is refused.
+func rejectingRig(t *testing.T) string {
+	t.Helper()
+	seq := nn.NewSequential("othernet", nn.NewReLU("cut"), nn.NewReLU("post"))
+	split, err := core.NewSplit(seq, "cut", []int{1, 2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewCloudServer(split, "cut")
+	addr, err := srv.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return addr
+}
+
+// TestInferContextCancelInterruptsBlockedRead checks an explicit context
+// cancellation unblocks a round trip stuck waiting on a slow server: the
+// call must return promptly, not after the server finishes.
+func TestInferContextCancelInterruptsBlockedRead(t *testing.T) {
+	split, _, addr := identityRig(t, WithLatencyInjection(time.Second))
+	client, err := Dial(addr, split, "cut", nil, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err = client.InferContext(ctx, tensor.New(1, 1, 2, 2))
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("cancelled call succeeded")
+	}
+	if elapsed > 700*time.Millisecond {
+		t.Fatalf("cancellation took %v; the blocked read was not interrupted", elapsed)
+	}
+}
+
+// TestInferActivationMatchesInferContext checks the relay entry point is
+// byte-identical to the full path when the activation is prepared the same
+// way: InferActivation(Local(x)) ≡ InferContext(x) for a noiseless client.
+func TestInferActivationMatchesInferContext(t *testing.T) {
+	split, _, addr := identityRig(t)
+	client, err := Dial(addr, split, "cut", nil, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	x := tensor.New(1, 1, 2, 2)
+	for i, v := range []float64{0.5, -1, 2, 0.25} {
+		x.Data()[i] = v
+	}
+	want, err := client.InferContext(context.Background(), x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := client.InferActivation(context.Background(), split.Local(x))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tensor.Equal(want, got) {
+		t.Fatalf("InferActivation diverged from InferContext:\n%v\nvs\n%v", want.Data(), got.Data())
+	}
+}

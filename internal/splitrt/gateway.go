@@ -1,0 +1,303 @@
+package splitrt
+
+import (
+	"context"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"shredder/internal/obs"
+)
+
+// Gateway fronts a Pool with the splitrt wire protocol: edge devices speak
+// to it exactly as they would to a single CloudServer, and the gateway
+// relays each activation through the pool — balancing, rerouting, hedging,
+// and health handling included. The activations it forwards were noised on
+// the original edge device (the gateway's pool carries no collection of its
+// own when used this way), so the privacy boundary stays at the device.
+//
+// With WithGatewayDebugServer the gateway's debug endpoint re-exports a
+// merged /debug/metrics: its own registry (gateway.* plus the pool's
+// pool.* series when they share a registry) with every configured backend
+// source folded in under "<label>." prefixes.
+type Gateway struct {
+	pool *Pool
+
+	reg         *obs.Registry
+	debugAddr   string
+	sources     []obs.SnapshotSource
+	idleTimeout time.Duration
+	callTimeout time.Duration
+
+	mu       sync.Mutex // guards listener, conns, closed, debug
+	listener net.Listener
+	conns    map[net.Conn]struct{}
+	closed   bool
+	debug    *obs.DebugServer
+	wg       sync.WaitGroup
+
+	requests *obs.Counter
+	failures *obs.Counter
+}
+
+// GatewayOption configures a Gateway.
+type GatewayOption func(*Gateway)
+
+// WithGatewayMetrics registers gateway.requests and gateway.errors in the
+// given registry. Pass the pool's registry to get one snapshot covering
+// the gateway and the whole fleet.
+func WithGatewayMetrics(reg *obs.Registry) GatewayOption {
+	return func(g *Gateway) { g.reg = reg }
+}
+
+// WithGatewayDebugServer serves the obs debug endpoint on addr for the
+// gateway's registry, with every source from WithBackendSources merged in.
+func WithGatewayDebugServer(addr string) GatewayOption {
+	return func(g *Gateway) { g.debugAddr = addr }
+}
+
+// WithBackendSources adds labelled metric feeds (typically
+// obs.HTTPSnapshotSource pulls of each backend's /debug/metrics) to the
+// gateway's merged debug snapshot.
+func WithBackendSources(sources ...obs.SnapshotSource) GatewayOption {
+	return func(g *Gateway) { g.sources = append(g.sources, sources...) }
+}
+
+// WithGatewayIdleTimeout closes a client connection when no request
+// arrives within d (0 = wait forever).
+func WithGatewayIdleTimeout(d time.Duration) GatewayOption {
+	return func(g *Gateway) { g.idleTimeout = d }
+}
+
+// WithGatewayCallTimeout bounds each relayed pool call by d (0 = no bound
+// beyond what the edge client's own context carries).
+func WithGatewayCallTimeout(d time.Duration) GatewayOption {
+	return func(g *Gateway) { g.callTimeout = d }
+}
+
+// NewGateway wraps a pool in a protocol front end. The gateway does not
+// own the pool: Close stops serving but leaves the pool for its creator to
+// close (or hand to another gateway).
+func NewGateway(pool *Pool, opts ...GatewayOption) *Gateway {
+	g := &Gateway{pool: pool, conns: map[net.Conn]struct{}{}}
+	for _, o := range opts {
+		o(g)
+	}
+	if g.reg == nil {
+		g.reg = pool.Registry()
+	}
+	g.requests = g.reg.Counter("gateway.requests")
+	g.failures = g.reg.Counter("gateway.errors")
+	return g
+}
+
+// Registry returns the gateway's metrics registry.
+func (g *Gateway) Registry() *obs.Registry { return g.reg }
+
+// DebugAddr returns the bound debug endpoint address, or "" when none is
+// serving.
+func (g *Gateway) DebugAddr() string {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.debug == nil {
+		return ""
+	}
+	return g.debug.Addr
+}
+
+// Serve starts listening on addr (e.g. ":9000") and returns the bound
+// address. Connections are served on background goroutines until Close.
+func (g *Gateway) Serve(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("splitrt: gateway listen: %w", err)
+	}
+	g.mu.Lock()
+	if g.closed {
+		g.mu.Unlock()
+		ln.Close()
+		return "", errors.New("splitrt: gateway is closed")
+	}
+	g.listener = ln
+	startDebug := g.debugAddr != "" && g.debug == nil
+	g.mu.Unlock()
+	if startDebug {
+		d, err := obs.Debug{Metrics: g.reg, Sources: g.sources}.Serve(g.debugAddr)
+		if err != nil {
+			g.mu.Lock()
+			g.listener = nil
+			g.mu.Unlock()
+			ln.Close()
+			return "", fmt.Errorf("splitrt: gateway debug listen: %w", err)
+		}
+		g.mu.Lock()
+		g.debug = d
+		g.mu.Unlock()
+	}
+	g.wg.Add(1)
+	go g.acceptLoop(ln)
+	return ln.Addr().String(), nil
+}
+
+func (g *Gateway) acceptLoop(ln net.Listener) {
+	defer g.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		g.mu.Lock()
+		if g.closed {
+			g.mu.Unlock()
+			conn.Close()
+			return
+		}
+		g.conns[conn] = struct{}{}
+		g.wg.Add(1)
+		g.mu.Unlock()
+		go g.serveConn(conn)
+	}
+}
+
+// serveConn speaks the splitrt protocol: handshake, then a pipelined
+// request loop — every request relays through the pool on its own
+// goroutine, so one slow backend call never blocks the connection's other
+// requests (the pool is a concurrent fan-out, unlike a single client's
+// lockstep exchange).
+func (g *Gateway) serveConn(conn net.Conn) {
+	defer g.wg.Done()
+	defer func() {
+		conn.Close()
+		g.mu.Lock()
+		delete(g.conns, conn)
+		g.mu.Unlock()
+	}()
+	dec := gob.NewDecoder(conn)
+	enc := gob.NewEncoder(conn)
+
+	var h hello
+	if err := g.decodeIdle(conn, dec, &h); err != nil {
+		return
+	}
+	split, cut := g.pool.Split(), g.pool.CutLayer()
+	ack := helloAck{OK: true}
+	if h.Network != split.Net.Name() || h.CutLayer != cut {
+		ack = helloAck{OK: false, Err: fmt.Sprintf(
+			"gateway fronts %s cut at %s, client wants %s cut at %s",
+			split.Net.Name(), cut, h.Network, h.CutLayer)}
+	}
+	if err := enc.Encode(ack); err != nil || !ack.OK {
+		return
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var writeMu sync.Mutex
+	var reqWG sync.WaitGroup
+	defer reqWG.Wait()
+	for {
+		var req request
+		if err := g.decodeIdle(conn, dec, &req); err != nil {
+			return
+		}
+		reqWG.Add(1)
+		go func(req request) {
+			defer reqWG.Done()
+			resp := g.handle(ctx, req)
+			writeMu.Lock()
+			err := enc.Encode(resp)
+			writeMu.Unlock()
+			if err != nil {
+				conn.Close()
+			}
+		}(req)
+	}
+}
+
+func (g *Gateway) decodeIdle(conn net.Conn, dec *gob.Decoder, v any) error {
+	if g.idleTimeout > 0 {
+		if err := conn.SetReadDeadline(time.Now().Add(g.idleTimeout)); err != nil {
+			return err
+		}
+	}
+	return dec.Decode(v)
+}
+
+// handle relays one request through the pool, translating pool-level
+// failures into wire kinds: a backend's own typed error passes through
+// verbatim, while fleet-level exhaustion (no backend available, pool
+// closed, transport budget spent) maps to the retryable shutdown kind so
+// edge clients with WithReconnect resend rather than give up.
+func (g *Gateway) handle(ctx context.Context, req request) response {
+	g.requests.Inc()
+	recv := time.Now()
+	resp := response{ID: req.ID, Trace: req.Trace}
+	act, kind, msg := decodeRequestActivation(g.pool.Split(), req)
+	if kind != ErrUnknown {
+		g.failures.Inc()
+		resp.Err, resp.Kind = msg, kind
+		return resp
+	}
+	if g.callTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, g.callTimeout)
+		defer cancel()
+	}
+	logits, err := g.pool.InferActivation(ctx, act)
+	if err != nil {
+		g.failures.Inc()
+		resp.Err, resp.Kind = err.Error(), classifyPoolErr(err)
+		return resp
+	}
+	resp.Logits = logits
+	resp.SrvRecvUnixNanos = recv.UnixNano()
+	resp.SrvElapsedNs = int64(time.Since(recv))
+	return resp
+}
+
+// classifyPoolErr maps a pool failure to its wire kind for the edge client.
+func classifyPoolErr(err error) ErrKind {
+	var rerr *RemoteError
+	switch {
+	case errors.As(err, &rerr):
+		return rerr.Kind
+	case errors.Is(err, context.DeadlineExceeded):
+		return ErrTimeout
+	default:
+		// ErrNoBackends, ErrPoolClosed, cancellation during gateway
+		// shutdown, reroute-budget exhaustion: all transient fleet states.
+		return ErrShutdown
+	}
+}
+
+// Close stops the listener and debug endpoint, closes live connections,
+// and waits for serving goroutines. The pool is left open. Idempotent.
+func (g *Gateway) Close() error {
+	g.mu.Lock()
+	if g.closed {
+		g.mu.Unlock()
+		return nil
+	}
+	g.closed = true
+	ln := g.listener
+	g.listener = nil
+	debug := g.debug
+	g.debug = nil
+	conns := make([]net.Conn, 0, len(g.conns))
+	for c := range g.conns {
+		conns = append(conns, c)
+	}
+	g.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	debug.Close()
+	for _, c := range conns {
+		c.Close()
+	}
+	g.wg.Wait()
+	return nil
+}

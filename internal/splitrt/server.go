@@ -43,6 +43,7 @@ type CloudServer struct {
 	idleTimeout    time.Duration
 	writeTimeout   time.Duration
 	handlerTimeout time.Duration
+	injectLatency  time.Duration // chaos/bench only: sleep before every forward pass
 	serialized     bool
 	serialMu       sync.Mutex // used only when serialized (legacy mode)
 
@@ -85,6 +86,14 @@ func WithWriteTimeout(d time.Duration) ServerOption {
 // timeout error.
 func WithHandlerTimeout(d time.Duration) ServerOption {
 	return func(s *CloudServer) { s.handlerTimeout = d }
+}
+
+// WithLatencyInjection delays every forward pass by d before computing.
+// It exists for chaos tests and benchmarks that need a deterministically
+// slow backend — e.g. proving a pool's hedged requests cap tail latency —
+// and must never be set on a production server.
+func WithLatencyInjection(d time.Duration) ServerOption {
+	return func(s *CloudServer) { s.injectLatency = d }
 }
 
 // WithSerializedInference restores the pre-concurrency behaviour of one
@@ -408,7 +417,7 @@ func (s *CloudServer) handle(ctx context.Context, req request) response {
 		t0 = time.Now()
 	}
 	resp := response{ID: req.ID, Trace: req.Trace}
-	act, kind, msg := s.decodeActivation(req)
+	act, kind, msg := decodeRequestActivation(s.split, req)
 	if kind != ErrUnknown {
 		resp.Err, resp.Kind = msg, kind
 		o.finish(req, &resp, t0, nil, computeStart)
@@ -440,9 +449,11 @@ func (s *CloudServer) handle(ctx context.Context, req request) response {
 	return resp
 }
 
-// decodeActivation extracts and validates the request's activation batch.
-// A non-ErrUnknown kind means the request is rejected before inference.
-func (s *CloudServer) decodeActivation(req request) (act *tensor.Tensor, kind ErrKind, msg string) {
+// decodeRequestActivation extracts and validates a request's activation
+// batch against the split being served. A non-ErrUnknown kind means the
+// request is rejected before inference. It is shared by the CloudServer and
+// the fleet Gateway, which speak the same wire protocol.
+func decodeRequestActivation(split *core.Split, req request) (act *tensor.Tensor, kind ErrKind, msg string) {
 	act = req.Activation
 	if act == nil && req.Quant != nil {
 		scheme, err := quantize.NewScheme(req.Quant.Bits, req.Quant.Lo, req.Quant.Hi)
@@ -457,7 +468,7 @@ func (s *CloudServer) decodeActivation(req request) (act *tensor.Tensor, kind Er
 	if act == nil {
 		return nil, ErrBadRequest, "missing activation"
 	}
-	want := s.split.ActivationShape()
+	want := split.ActivationShape()
 	got := act.Shape()
 	if len(got) != len(want)+1 || !tensor.ShapeEq(got[1:], want) {
 		return nil, ErrBadRequest, fmt.Sprintf("activation shape %v does not match expected [N %v]", got, want)
@@ -539,6 +550,9 @@ func (s *CloudServer) infer(act *tensor.Tensor) (*tensor.Tensor, error) {
 				out, err = nil, fmt.Errorf("remote inference failed: %v", r)
 			}
 		}()
+		if s.injectLatency > 0 {
+			time.Sleep(s.injectLatency)
+		}
 		if s.serialized {
 			s.serialMu.Lock()
 			defer s.serialMu.Unlock()

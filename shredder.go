@@ -445,6 +445,54 @@ func (s *System) ConnectEdge(addr string, opts ...splitrt.ClientOption) (*EdgeHa
 	return &EdgeHandle{client: client, sys: s}, nil
 }
 
+// PoolHandle is a connected fleet client balancing split inference over
+// several cloud backends.
+type PoolHandle struct {
+	pool *splitrt.Pool
+	sys  *System
+}
+
+// ConnectPool dials every backend address and returns a fleet handle:
+// requests balance over the healthy backends, failures reroute, ejected
+// backends are health-checked back in, and (with splitrt.WithHedging)
+// slow calls are hedged. The pool applies the system's noise collection
+// exactly as a single edge client would — the privacy boundary does not
+// move when the fleet grows.
+func (s *System) ConnectPool(addrs []string, opts ...splitrt.PoolOption) (*PoolHandle, error) {
+	pool, err := splitrt.NewPool(s.split, s.cutLayer, s.collection, s.seed+99, addrs, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return &PoolHandle{pool: pool, sys: s}, nil
+}
+
+// Pool exposes the underlying fleet client (for gateway construction or
+// direct drain control).
+func (h *PoolHandle) Pool() *splitrt.Pool { return h.pool }
+
+// Stats snapshots the fleet's health and traffic counters.
+func (h *PoolHandle) Stats() splitrt.PoolStats { return h.pool.Stats() }
+
+// Classify runs one image through the fleet.
+func (h *PoolHandle) Classify(pixels []float64) (int, error) {
+	x, err := h.sys.toBatch(pixels)
+	if err != nil {
+		return 0, err
+	}
+	preds, err := h.pool.Classify(x)
+	if err != nil {
+		return 0, err
+	}
+	return preds[0], nil
+}
+
+// Drain gracefully removes one backend: in-flight calls finish, new calls
+// reroute.
+func (h *PoolHandle) Drain(addr string) error { return h.pool.Drain(addr) }
+
+// Close drains the pool and closes every backend connection.
+func (h *PoolHandle) Close() error { return h.pool.Close() }
+
 // SetWireQuantization switches the edge→cloud transport to linear
 // quantization at the given bit width (0 = dense float). 8 bits cuts the
 // wire volume several-fold with negligible accuracy impact.
