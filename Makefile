@@ -1,11 +1,11 @@
 GO ?= go
 
-.PHONY: ci fmt vet build test race bench bench-obs bench-profile bench-pool
+.PHONY: ci fmt vet build test race bench bench-obs bench-profile bench-pool bench-kernels
 
 ## ci: the full gate — formatting, vet, build, tests, the race suite over
 ## the concurrency-sensitive packages, and the observability-, profiler-,
-## and fleet-serving smoke benchmarks. Run before every push.
-ci: fmt vet build test race bench-obs bench-profile bench-pool
+## fleet-serving, and dtype-kernel smoke benchmarks. Run before every push.
+ci: fmt vet build test race bench-obs bench-profile bench-pool bench-kernels
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -42,3 +42,10 @@ bench-profile:
 ## results_bench_pool.txt for the reference run).
 bench-pool:
 	$(GO) test -run '^$$' -bench BenchmarkPoolServe -benchtime 50x .
+
+## bench-kernels: smoke-run the dtype/fusion kernel benchmarks (stock f64
+## vs compiled f64/f32 fused plans on the profiler's top layers — the f32
+## fused path should beat stock f64 by >=1.5x on conv1 and fc1; reference
+## run committed as results_bench_kernels.txt).
+bench-kernels:
+	$(GO) test -run '^$$' -bench BenchmarkKernels -benchtime 10x .

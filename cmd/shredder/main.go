@@ -15,10 +15,10 @@
 //	shredder eval        -net lenet [-noise noise.gob]
 //	shredder cuts        -net svhn
 //	shredder attack      -net lenet -cut conv0 [-noise noise.gob]
-//	shredder serve       -net lenet -addr 127.0.0.1:7777
+//	shredder serve       -net lenet -addr 127.0.0.1:7777 [-dtype float32]
 //	shredder gateway     -net lenet -backends host1:7777,host2:7777 -addr :9000
 //	shredder infer       -net lenet -addr 127.0.0.1:7777 [-noise noise.gob] [-n 16]
-//	shredder profile     -net lenet [-n 50] [-csv profile.csv]
+//	shredder profile     -net lenet [-n 50] [-csv profile.csv] [-dtype float32]
 package main
 
 import (
@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"shredder"
+	"shredder/internal/nn"
 	"shredder/internal/obs"
 	"shredder/internal/sched"
 	"shredder/internal/splitrt"
@@ -98,6 +99,7 @@ type commonFlags struct {
 	testN  int
 	epochs int
 	cache  string
+	dtype  string
 }
 
 func registerCommon(fs *flag.FlagSet) *commonFlags {
@@ -109,6 +111,7 @@ func registerCommon(fs *flag.FlagSet) *commonFlags {
 	fs.IntVar(&c.testN, "test", 0, "test-set size (0 = network default)")
 	fs.IntVar(&c.epochs, "epochs", 0, "pre-training epochs (0 = network default)")
 	fs.StringVar(&c.cache, "cache", "", "directory for cached pre-trained weights")
+	fs.StringVar(&c.dtype, "dtype", "", "inference arithmetic: float64 (default) or float32 — compiles a fused plan; training always runs float64")
 	return c
 }
 
@@ -117,6 +120,7 @@ func (c *commonFlags) system() (*shredder.System, error) {
 		Cut: c.cut, Seed: c.seed,
 		TrainN: c.trainN, TestN: c.testN, Epochs: c.epochs,
 		WeightCacheDir: c.cache, Progress: os.Stderr,
+		Dtype: c.dtype,
 	})
 }
 
@@ -238,10 +242,11 @@ func cmdServe(args []string) error {
 		return err
 	}
 	if *batch > 0 {
-		fmt.Printf("cloud part of %s (cut %s) serving on %s (micro-batching ≤%d samples, %v delay budget)\n",
-			sys.Network(), sys.Cut(), cloud.Addr, *batch, *batchDelay)
+		fmt.Printf("cloud part of %s (cut %s, %s) serving on %s (micro-batching ≤%d samples, %v delay budget)\n",
+			sys.Network(), sys.Cut(), sys.Dtype(), cloud.Addr, *batch, *batchDelay)
 	} else {
-		fmt.Printf("cloud part of %s (cut %s) serving on %s\n", sys.Network(), sys.Cut(), cloud.Addr)
+		fmt.Printf("cloud part of %s (cut %s, %s) serving on %s\n",
+			sys.Network(), sys.Cut(), sys.Dtype(), cloud.Addr)
 	}
 	if d := cloud.DebugAddr(); d != "" {
 		fmt.Printf("debug endpoint on http://%s/debug/metrics\n", d)
@@ -443,7 +448,7 @@ func cmdProfile(args []string) error {
 			return err
 		}
 		defer f.Close()
-		fmt.Fprintln(f, "network,cut,layer,side,fwd_calls,fwd_total_s,fwd_mean_s,scratch_bytes")
+		fmt.Fprintln(f, "network,cut,dtype,layer,side,fwd_calls,fwd_total_s,fwd_mean_s,scratch_bytes")
 		csvW = f
 	}
 	for _, cut := range cuts {
@@ -491,12 +496,14 @@ func cmdProfile(args []string) error {
 				side, lp.Layer, lp.ForwardCalls, lp.ForwardTotal.Round(time.Microsecond),
 				lp.ForwardMean().Round(100*time.Nanosecond), share, lp.ScratchBytes)
 			if csvW != nil {
-				fmt.Fprintf(csvW, "%s,%s,%s,%s,%d,%g,%g,%d\n",
-					sys.Network(), sys.Cut(), lp.Layer, side, lp.ForwardCalls,
+				fmt.Fprintf(csvW, "%s,%s,%s,%s,%s,%d,%g,%g,%d\n",
+					sys.Network(), sys.Cut(), sys.Dtype(), lp.Layer, side, lp.ForwardCalls,
 					lp.ForwardTotal.Seconds(), lp.ForwardMean().Seconds(), lp.ScratchBytes)
 			}
-			if lp.Layer == sys.CutLayerName() {
-				side = "cloud" // the wire sits after the cut layer
+			// The wire sits after the cut layer. Compiled plans report fused
+			// labels like "conv1+relu1[f32]", so match by component.
+			if nn.LabelMatches(lp.Layer, sys.CutLayerName()) {
+				side = "cloud"
 			}
 		}
 		fmt.Printf("total forward: %s (%.1f ms/inference)\n",

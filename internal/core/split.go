@@ -15,6 +15,7 @@ package core
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"shredder/internal/nn"
 	"shredder/internal/tensor"
@@ -34,6 +35,13 @@ type Split struct {
 	// state the training path performs: clearing parameter gradients left
 	// behind by pre-training or legacy (non-frozen) backward passes.
 	gradMu sync.Mutex
+
+	// remotePlan holds the compiled inference plan for the remote part,
+	// installed by CompileRemote. Behind an atomic pointer so it can be
+	// (re)installed while inference traffic is in flight; nil means the
+	// layer-at-a-time path. Only inference uses it — training always walks
+	// the float64 tape path.
+	remotePlan atomic.Pointer[nn.CompiledNet]
 }
 
 // NewSplit cuts net after the layer with the given name. in is the
@@ -82,6 +90,34 @@ func (s *Split) RemoteT(tape *nn.Tape, a *tensor.Tensor, train bool) *tensor.Ten
 // over one shared Split concurrently. This is the path CloudServer uses.
 func (s *Split) RemoteInfer(a *tensor.Tensor) *tensor.Tensor {
 	return s.Net.InferRange(a, s.CutIndex+1, s.Net.Len())
+}
+
+// CompileRemote lowers the remote part R into a fused inference plan at the
+// given dtype and installs it for RemoteInferCompiled. Weights are
+// snapshotted at compile time, consistent with Split's weights-are-frozen
+// contract. Safe to call while serving: in-flight passes finish on the old
+// plan.
+func (s *Split) CompileRemote(dt nn.Dtype, opts ...nn.CompileOption) error {
+	cn, err := nn.CompileRange(s.Net, s.CutIndex+1, s.Net.Len(), dt, opts...)
+	if err != nil {
+		return err
+	}
+	s.remotePlan.Store(cn)
+	return nil
+}
+
+// Compiled returns the installed remote inference plan, or nil when the
+// split serves through the layer-at-a-time path.
+func (s *Split) Compiled() *nn.CompiledNet { return s.remotePlan.Load() }
+
+// RemoteInferCompiled computes y = R(a') through the compiled plan when one
+// is installed, falling back to RemoteInfer otherwise. Like RemoteInfer it
+// is reentrant: any number of goroutines may call it concurrently.
+func (s *Split) RemoteInferCompiled(a *tensor.Tensor) *tensor.Tensor {
+	if cn := s.remotePlan.Load(); cn != nil {
+		return cn.Infer(a)
+	}
+	return s.RemoteInfer(a)
 }
 
 // RemoteBackward backpropagates an output gradient through R and returns

@@ -1,0 +1,577 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"time"
+
+	"shredder/internal/tensor"
+)
+
+// This file is the inference compiler: it lowers a (range of a) Sequential
+// into a flat list of dtype-parameterized steps that run without tape,
+// without per-layer dispatch, and — where layers compose — fused.
+//
+// Compilation performs three transformations the layer-at-a-time path
+// cannot:
+//
+//   - Weight conversion happens once. A Float32 plan converts every
+//     parameter to float32 at compile time, so inference never pays the
+//     per-request conversion cost and moves half the bytes per element.
+//
+//   - BatchNorm folding. A BatchNorm2D directly following a Conv2D is
+//     absorbed into the convolution step as a per-channel epilogue affine.
+//     The epilogue evaluates the exact expression normalizeRunning uses —
+//     g·(z−mean)·inv + b, with inv precomputed in float64 — so at Float64
+//     the fused plan is bitwise identical to the unfused (NoFusion) plan
+//     (folding weights as W′ = s·W would not be: IEEE multiplication does
+//     not distribute over the later dot product).
+//
+//   - Conv/Linear + ReLU fusion. The activation is applied in the epilogue
+//     of the producing step, so the intermediate pre-activation tensor is
+//     never materialized and the extra memory pass disappears.
+//
+// Tolerance policy: compiled plans run their matmuls through the
+// register-blocked kernel (tensor.MatMulT2BlockedDense), whose four-wide
+// accumulation order differs from the legacy kernel by rounding. A Float64
+// plan therefore matches the stock layer-at-a-time path to ~1e-12 relative
+// (tests pin 1e-9 absolute on logits) rather than bitwise, and a Float32
+// plan to ~1e-4; classification decisions are pinned identical in both
+// cases. Within compiled plans the fold/fuse transformations themselves are
+// exact: fused and NoFusion Float64 plans agree bitwise. The stock float64
+// API keeps its original summation order so training, noise learning, and
+// cached-weight reproducibility are untouched.
+//
+// Everything else — training, noise learning, the inversion attack — stays
+// on the float64 tape path; a compiled plan is inference-only by
+// construction (there is no backward).
+
+// CompileOption configures Compile/CompileRange.
+type CompileOption func(*compileConfig)
+
+type compileConfig struct {
+	noFuse bool
+}
+
+// NoFusion disables BN folding and conv/linear+ReLU fusion: every layer
+// becomes its own step. The plan still runs at the target dtype. This exists
+// to isolate the dtype win from the fusion win in benchmarks.
+func NoFusion() CompileOption {
+	return func(c *compileConfig) { c.noFuse = true }
+}
+
+// CompiledNet is an executable inference plan for a contiguous layer range
+// of a Sequential at a fixed dtype. It snapshots the parameters at compile
+// time and is immutable afterwards: any number of goroutines may call Infer
+// concurrently.
+type CompiledNet struct {
+	src      *Sequential
+	from, to int
+	dtype    Dtype
+	labels   []string
+	run      func(x *tensor.Tensor) *tensor.Tensor
+	run32    func(x *tensor.Tensor32) *tensor.Tensor
+}
+
+// Compile lowers the whole network into an inference plan at the given
+// dtype.
+func Compile(s *Sequential, dt Dtype, opts ...CompileOption) (*CompiledNet, error) {
+	return CompileRange(s, 0, s.Len(), dt, opts...)
+}
+
+// CompileRange lowers layers [from, to) into an inference plan at the given
+// dtype — the split-execution form: core.Split compiles the remote part
+// [cut, len) for the cloud side.
+func CompileRange(s *Sequential, from, to int, dt Dtype, opts ...CompileOption) (*CompiledNet, error) {
+	if from < 0 || to > s.Len() || from > to {
+		return nil, fmt.Errorf("nn: CompileRange [%d,%d) out of bounds for %d layers", from, to, s.Len())
+	}
+	var cfg compileConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	c := &CompiledNet{src: s, from: from, to: to, dtype: dt}
+	switch dt {
+	case Float64:
+		steps, labels, err := buildPlan[float64](s, from, to, cfg, dt.Short())
+		if err != nil {
+			return nil, err
+		}
+		c.labels = labels
+		c.run = func(x *tensor.Tensor) *tensor.Tensor {
+			return tensor.AsTensor64(runSteps(s, steps, tensor.AsDense64(x), 8))
+		}
+	case Float32:
+		steps, labels, err := buildPlan[float32](s, from, to, cfg, dt.Short())
+		if err != nil {
+			return nil, err
+		}
+		c.labels = labels
+		c.run = func(x *tensor.Tensor) *tensor.Tensor {
+			return runSteps(s, steps, tensor.ToDense[float32](x), 4).ToTensor()
+		}
+		c.run32 = func(x *tensor.Tensor32) *tensor.Tensor {
+			return runSteps(s, steps, x, 4).ToTensor()
+		}
+	default:
+		return nil, fmt.Errorf("nn: cannot compile for dtype %v", dt)
+	}
+	return c, nil
+}
+
+// Dtype returns the plan's element type.
+func (c *CompiledNet) Dtype() Dtype { return c.dtype }
+
+// Labels returns the per-step profiler labels in execution order, e.g.
+// "conv2+relu2[f32]" for a fused step. The slice must not be mutated.
+func (c *CompiledNet) Labels() []string { return c.labels }
+
+// From returns the first compiled layer index.
+func (c *CompiledNet) From() int { return c.from }
+
+// To returns the end (exclusive) of the compiled layer range.
+func (c *CompiledNet) To() int { return c.to }
+
+// Infer runs the plan on a float64 batch and returns a float64 result —
+// dtype conversion, when any, happens at the boundaries. Safe for
+// concurrent use.
+func (c *CompiledNet) Infer(x *tensor.Tensor) *tensor.Tensor { return c.run(x) }
+
+// Infer32 runs the plan on a float32 batch — the zero-conversion entry for
+// payloads dequantized directly to float32 (quantize.Dequantize32). For a
+// Float64 plan the input is widened first.
+func (c *CompiledNet) Infer32(x *tensor.Tensor32) *tensor.Tensor {
+	if c.run32 != nil {
+		return c.run32(x)
+	}
+	return c.run(x.ToTensor())
+}
+
+// LabelMatches reports whether a profiler label produced by a compiled plan
+// (or the stock layer path) refers to the named layer. Fused steps carry
+// labels like "conv2+relu2[f32]": the '+'-joined constituent layer names
+// with a dtype suffix.
+func LabelMatches(label, layer string) bool {
+	if i := strings.LastIndexByte(label, '['); i >= 0 && strings.HasSuffix(label, "]") {
+		label = label[:i]
+	}
+	if label == layer {
+		return true
+	}
+	for _, part := range strings.Split(label, "+") {
+		if part == layer {
+			return true
+		}
+	}
+	return false
+}
+
+// step is one executable unit of a compiled plan. run returns a fresh (or
+// reshaped-view) buffer; it never mutates its input, so the caller's input
+// tensor is safe to reuse.
+type step[F tensor.Float] interface {
+	label() string
+	run(x *tensor.Dense[F]) *tensor.Dense[F]
+}
+
+// runSteps executes a plan, reporting per-step wall time to the source
+// network's profiler (the same attach point the tape path uses, so
+// `shredder profile` sees compiled and stock passes through one interface).
+func runSteps[F tensor.Float](s *Sequential, steps []step[F], x *tensor.Dense[F], elemSize int64) *tensor.Dense[F] {
+	if p := s.activeProfiler(nil); p != nil {
+		for _, st := range steps {
+			t0 := time.Now()
+			x = st.run(x)
+			p.ObserveLayer(st.label(), false, time.Since(t0), int64(x.Len())*elemSize)
+		}
+		return x
+	}
+	for _, st := range steps {
+		x = st.run(x)
+	}
+	return x
+}
+
+// buildPlan lowers layers [from, to) to steps at element type F. The fusion
+// scan is greedy over the canonical producer chains:
+// Conv2D (+BatchNorm2D) (+ReLU) and Linear (+ReLU). Dropout is identity at
+// inference and compiles to nothing.
+func buildPlan[F tensor.Float](s *Sequential, from, to int, cfg compileConfig, short string) ([]step[F], []string, error) {
+	var steps []step[F]
+	layers := s.Layers()
+	i := from
+	for i < to {
+		switch l := layers[i].(type) {
+		case *Conv2D:
+			st := newConvStep[F](l)
+			names := []string{l.Name()}
+			j := i + 1
+			if !cfg.noFuse {
+				if j < to {
+					if bn, ok := layers[j].(*BatchNorm2D); ok && bn.C == l.OutC {
+						st.foldBatchNorm(bn)
+						names = append(names, bn.Name())
+						j++
+					}
+				}
+				if j < to {
+					if r, ok := layers[j].(*ReLU); ok {
+						st.relu = true
+						names = append(names, r.Name())
+						j++
+					}
+				}
+			}
+			st.lbl = strings.Join(names, "+") + "[" + short + "]"
+			steps = append(steps, st)
+			i = j
+		case *Linear:
+			st := newLinearStep[F](l)
+			names := []string{l.Name()}
+			j := i + 1
+			if !cfg.noFuse && j < to {
+				if r, ok := layers[j].(*ReLU); ok {
+					st.relu = true
+					names = append(names, r.Name())
+					j++
+				}
+			}
+			st.lbl = strings.Join(names, "+") + "[" + short + "]"
+			steps = append(steps, st)
+			i = j
+		case *ReLU:
+			steps = append(steps, &reluStep[F]{lbl: l.Name() + "[" + short + "]"})
+			i++
+		case *MaxPool2D:
+			steps = append(steps, &maxPoolStep[F]{lbl: l.Name() + "[" + short + "]", src: l})
+			i++
+		case *AvgPool2D:
+			steps = append(steps, &avgPoolStep[F]{lbl: l.Name() + "[" + short + "]", src: l})
+			i++
+		case *LocalResponseNorm:
+			steps = append(steps, &lrnStep[F]{lbl: l.Name() + "[" + short + "]", src: l})
+			i++
+		case *Flatten:
+			steps = append(steps, &flattenStep[F]{lbl: l.Name() + "[" + short + "]"})
+			i++
+		case *BatchNorm2D:
+			steps = append(steps, newBatchNormStep[F](l, short))
+			i++
+		case *Dropout:
+			// Identity at inference: compiles to nothing.
+			i++
+		default:
+			return nil, nil, fmt.Errorf("nn: cannot compile layer %q (%T) for inference", layers[i].Name(), layers[i])
+		}
+	}
+	labels := make([]string, len(steps))
+	for k, st := range steps {
+		labels[k] = st.label()
+	}
+	return steps, labels, nil
+}
+
+// convStep is an im2col-lowered convolution with the fused epilogue:
+// bias add, optional folded-BatchNorm affine, optional ReLU — applied while
+// the product row is still hot, so the pre-activation tensor is never
+// materialized.
+type convStep[F tensor.Float] struct {
+	lbl  string
+	src  *Conv2D
+	w    *tensor.Dense[F] // [OutC, InC*KH*KW], converted once at compile
+	b    []F              // [OutC]
+	relu bool
+
+	// Folded BatchNorm epilogue, nil when absent: y = g·(z−mean)·inv + b in
+	// exactly normalizeRunning's expression order, with inv precomputed in
+	// float64 so the fused Float64 plan is bitwise identical to the
+	// NoFusion plan's standalone BN step.
+	bnG, bnB, bnMean, bnInv []F
+}
+
+func newConvStep[F tensor.Float](c *Conv2D) *convStep[F] {
+	return &convStep[F]{
+		src: c,
+		w:   tensor.ToDense[F](c.W.Value),
+		b:   tensor.ToDense[F](c.B.Value).Data(),
+	}
+}
+
+func (st *convStep[F]) foldBatchNorm(bn *BatchNorm2D) {
+	n := bn.C
+	st.bnG = tensor.ToDense[F](bn.Gamma.Value).Data()
+	st.bnB = tensor.ToDense[F](bn.Beta.Value).Data()
+	st.bnMean = make([]F, n)
+	st.bnInv = make([]F, n)
+	for c := 0; c < n; c++ {
+		st.bnMean[c] = F(bn.runningMean[c])
+		st.bnInv[c] = F(1 / math.Sqrt(bn.runningVar[c]+bn.Eps))
+	}
+}
+
+func (st *convStep[F]) label() string { return st.lbl }
+
+func (st *convStep[F]) run(x *tensor.Dense[F]) *tensor.Dense[F] {
+	c := st.src
+	shape := x.Shape()
+	if len(shape) != 4 {
+		panic(fmt.Sprintf("nn: compiled %s expects [N,C,H,W] input, got %v", st.lbl, shape))
+	}
+	g := c.geom(shape[1:])
+	n := shape[0]
+	outH, outW := g.OutH(), g.OutW()
+	out := tensor.NewDense[F](n, c.OutC, outH, outW)
+	p := outH * outW
+	ckk := c.InC * c.KH * c.KW
+	tensor.ParallelFor(n, func(i int) {
+		cols := tensor.GetScratchDense[F](p, ckk)
+		prod := tensor.GetScratchDense[F](p, c.OutC)
+		tensor.Im2ColDense(cols, x.Slice(i), g)
+		tensor.MatMulT2BlockedDense(prod, cols, st.w) // [P, OutC]
+		dst := out.Slice(i).Data()                    // [OutC, P] layout
+		pd := prod.Data()
+		for pos := 0; pos < p; pos++ {
+			row := pd[pos*c.OutC:]
+			for oc := 0; oc < c.OutC; oc++ {
+				z := row[oc] + st.b[oc]
+				if st.bnInv != nil {
+					z = st.bnG[oc]*(z-st.bnMean[oc])*st.bnInv[oc] + st.bnB[oc]
+				}
+				if st.relu && !(z > 0) {
+					z = 0
+				}
+				dst[oc*p+pos] = z
+			}
+		}
+		tensor.PutScratchDense(prod)
+		tensor.PutScratchDense(cols)
+	})
+	return out
+}
+
+// linearStep is y = x·Wᵀ + b with an optional fused ReLU epilogue.
+type linearStep[F tensor.Float] struct {
+	lbl  string
+	src  *Linear
+	w    *tensor.Dense[F] // [Out, In]
+	b    []F
+	relu bool
+}
+
+func newLinearStep[F tensor.Float](l *Linear) *linearStep[F] {
+	return &linearStep[F]{
+		src: l,
+		w:   tensor.ToDense[F](l.W.Value),
+		b:   tensor.ToDense[F](l.B.Value).Data(),
+	}
+}
+
+func (st *linearStep[F]) label() string { return st.lbl }
+
+func (st *linearStep[F]) run(x *tensor.Dense[F]) *tensor.Dense[F] {
+	l := st.src
+	n := x.Dim(0)
+	x2 := x.Reshape(n, -1)
+	if x2.Dim(1) != l.In {
+		panic(fmt.Sprintf("nn: compiled %s expects %d inputs, got %d", st.lbl, l.In, x2.Dim(1)))
+	}
+	out := tensor.NewDense[F](n, l.Out)
+	tensor.MatMulT2BlockedDense(out, x2, st.w)
+	od := out.Data()
+	for i := 0; i < n; i++ {
+		row := od[i*l.Out:]
+		for j := 0; j < l.Out; j++ {
+			v := row[j] + st.b[j]
+			if st.relu && !(v > 0) {
+				v = 0
+			}
+			row[j] = v
+		}
+	}
+	return out
+}
+
+// reluStep is a standalone max(0, x) for positions where fusion did not
+// apply (after pooling, or under NoFusion).
+type reluStep[F tensor.Float] struct{ lbl string }
+
+func (st *reluStep[F]) label() string { return st.lbl }
+
+func (st *reluStep[F]) run(x *tensor.Dense[F]) *tensor.Dense[F] {
+	out := tensor.NewDense[F](x.Shape()...)
+	tensor.ReLUDense(out, x)
+	return out
+}
+
+// maxPoolStep is the window-max sweep, without the argmax routing table the
+// tape path builds for backward.
+type maxPoolStep[F tensor.Float] struct {
+	lbl string
+	src *MaxPool2D
+}
+
+func (st *maxPoolStep[F]) label() string { return st.lbl }
+
+func (st *maxPoolStep[F]) run(x *tensor.Dense[F]) *tensor.Dense[F] {
+	m := st.src
+	n, c := x.Dim(0), x.Dim(1)
+	h, w := x.Dim(2), x.Dim(3)
+	os := m.OutShape([]int{c, h, w})
+	oh, ow := os[1], os[2]
+	out := tensor.NewDense[F](n, c, oh, ow)
+	xd, od := x.Data(), out.Data()
+	tensor.ParallelFor(n, func(i int) {
+		for ch := 0; ch < c; ch++ {
+			in := xd[(i*c+ch)*h*w:]
+			outPlane := od[(i*c+ch)*oh*ow:]
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					y0, x0 := oy*m.Stride, ox*m.Stride
+					best := in[y0*w+x0]
+					for ky := 0; ky < m.K; ky++ {
+						for kx := 0; kx < m.K; kx++ {
+							if v := in[(y0+ky)*w+(x0+kx)]; v > best {
+								best = v
+							}
+						}
+					}
+					outPlane[oy*ow+ox] = best
+				}
+			}
+		}
+	})
+	return out
+}
+
+// avgPoolStep is the window-mean sweep.
+type avgPoolStep[F tensor.Float] struct {
+	lbl string
+	src *AvgPool2D
+}
+
+func (st *avgPoolStep[F]) label() string { return st.lbl }
+
+func (st *avgPoolStep[F]) run(x *tensor.Dense[F]) *tensor.Dense[F] {
+	a := st.src
+	n, c := x.Dim(0), x.Dim(1)
+	h, w := x.Dim(2), x.Dim(3)
+	os := a.OutShape([]int{c, h, w})
+	oh, ow := os[1], os[2]
+	out := tensor.NewDense[F](n, c, oh, ow)
+	inv := 1 / F(a.K*a.K)
+	xd, od := x.Data(), out.Data()
+	tensor.ParallelFor(n, func(i int) {
+		for ch := 0; ch < c; ch++ {
+			in := xd[(i*c+ch)*h*w:]
+			outPlane := od[(i*c+ch)*oh*ow:]
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					y0, x0 := oy*a.Stride, ox*a.Stride
+					var s F
+					for ky := 0; ky < a.K; ky++ {
+						for kx := 0; kx < a.K; kx++ {
+							s += in[(y0+ky)*w+(x0+kx)]
+						}
+					}
+					outPlane[oy*ow+ox] = s * inv
+				}
+			}
+		}
+	})
+	return out
+}
+
+// lrnStep is the cross-channel local response normalization sweep. The
+// x^(-β) power runs through math.Pow in float64 at both dtypes — exactly
+// what the stock path does at Float64, and well inside the float32 epsilon
+// budget at Float32.
+type lrnStep[F tensor.Float] struct {
+	lbl string
+	src *LocalResponseNorm
+}
+
+func (st *lrnStep[F]) label() string { return st.lbl }
+
+func (st *lrnStep[F]) run(x *tensor.Dense[F]) *tensor.Dense[F] {
+	l := st.src
+	n, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+	hw := h * w
+	out := tensor.NewDense[F](x.Shape()...)
+	xd, od := x.Data(), out.Data()
+	coef := F(l.Alpha) / F(l.N)
+	tensor.ParallelFor(n, func(i int) {
+		base := i * c * hw
+		for ch := 0; ch < c; ch++ {
+			lo, hi := l.window(ch, c)
+			for p := 0; p < hw; p++ {
+				var sum F
+				for j := lo; j < hi; j++ {
+					v := xd[base+j*hw+p]
+					sum += v * v
+				}
+				s := F(l.K) + coef*sum
+				idx := base + ch*hw + p
+				od[idx] = xd[idx] * F(math.Pow(float64(s), -l.Beta))
+			}
+		}
+	})
+	return out
+}
+
+// flattenStep reshapes [N, ...] to [N, D] — a view, no copy.
+type flattenStep[F tensor.Float] struct{ lbl string }
+
+func (st *flattenStep[F]) label() string { return st.lbl }
+
+func (st *flattenStep[F]) run(x *tensor.Dense[F]) *tensor.Dense[F] {
+	return x.Reshape(x.Dim(0), -1)
+}
+
+// batchNormStep is a standalone inference-mode BatchNorm (running-stats
+// affine) for positions where folding did not apply: BN not directly after
+// a Conv2D, or under NoFusion. The per-channel constants are precomputed at
+// compile time with inv derived in float64, matching normalizeRunning.
+type batchNormStep[F tensor.Float] struct {
+	lbl             string
+	c               int
+	g, b, mean, inv []F
+}
+
+func newBatchNormStep[F tensor.Float](bn *BatchNorm2D, short string) *batchNormStep[F] {
+	st := &batchNormStep[F]{
+		lbl:  bn.Name() + "[" + short + "]",
+		c:    bn.C,
+		g:    tensor.ToDense[F](bn.Gamma.Value).Data(),
+		b:    tensor.ToDense[F](bn.Beta.Value).Data(),
+		mean: make([]F, bn.C),
+		inv:  make([]F, bn.C),
+	}
+	for c := 0; c < bn.C; c++ {
+		st.mean[c] = F(bn.runningMean[c])
+		st.inv[c] = F(1 / math.Sqrt(bn.runningVar[c]+bn.Eps))
+	}
+	return st
+}
+
+func (st *batchNormStep[F]) label() string { return st.lbl }
+
+func (st *batchNormStep[F]) run(x *tensor.Dense[F]) *tensor.Dense[F] {
+	if x.Rank() != 4 || x.Dim(1) != st.c {
+		panic(fmt.Sprintf("nn: compiled %s expects [N,%d,H,W], got %v", st.lbl, st.c, x.Shape()))
+	}
+	n, hw := x.Dim(0), x.Dim(2)*x.Dim(3)
+	out := tensor.NewDense[F](x.Shape()...)
+	xd, od := x.Data(), out.Data()
+	for c := 0; c < st.c; c++ {
+		inv, mean := st.inv[c], st.mean[c]
+		g, b := st.g[c], st.b[c]
+		for i := 0; i < n; i++ {
+			base := (i*st.c + c) * hw
+			for p := 0; p < hw; p++ {
+				od[base+p] = g*(xd[base+p]-mean)*inv + b
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,130 @@
+package nn_test
+
+import (
+	"math"
+	"testing"
+
+	"shredder/internal/model"
+	"shredder/internal/nn"
+	"shredder/internal/tensor"
+)
+
+// TestCompileRegistryParity compiles every registry network at both dtypes
+// and checks the contract gating the compiled path: the Float64 plan
+// matches the stock layer-at-a-time inference path within the
+// accumulation-reorder epsilon of the blocked matmul kernel, and the
+// Float32 plan stays within the documented epsilon — both with identical
+// argmax decisions on every sample.
+func TestCompileRegistryParity(t *testing.T) {
+	const batch = 6
+	for _, spec := range model.All() {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			rng := tensor.NewRNG(21)
+			net := spec.Build(rng)
+			shape := append([]int{batch}, spec.Dataset.SampleShape()...)
+			x := rng.FillNormal(tensor.New(shape...), 0, 1)
+
+			want := net.Infer(x)
+
+			c64, err := nn.Compile(net, nn.Float64)
+			if err != nil {
+				t.Fatalf("compile f64: %v", err)
+			}
+			got64 := c64.Infer(x)
+			if !got64.SameShape(want) {
+				t.Fatalf("f64 plan shape %v want %v", got64.Shape(), want.Shape())
+			}
+			for i, v := range got64.Data() {
+				if math.Abs(v-want.Data()[i]) > 1e-9 {
+					t.Fatalf("f64 plan differs from stock path at %d: %v vs %v", i, v, want.Data()[i])
+				}
+			}
+			for i := 0; i < batch; i++ {
+				if a, b := got64.Slice(i).Argmax(), want.Slice(i).Argmax(); a != b {
+					t.Fatalf("f64 plan flips decision on sample %d: %d vs %d", i, a, b)
+				}
+			}
+
+			c32, err := nn.Compile(net, nn.Float32)
+			if err != nil {
+				t.Fatalf("compile f32: %v", err)
+			}
+			got32 := c32.Infer(x)
+			if !got32.SameShape(want) {
+				t.Fatalf("f32 plan shape %v want %v", got32.Shape(), want.Shape())
+			}
+			maxDiff := 0.0
+			for i, v := range got32.Data() {
+				if d := math.Abs(v - want.Data()[i]); d > maxDiff {
+					maxDiff = d
+				}
+			}
+			// The epsilon contract documented in DESIGN.md §5f: logits agree
+			// to ~1e-3 absolute on these depths at unit-scale inputs.
+			if maxDiff > 1e-3 {
+				t.Fatalf("f32 plan deviates by %g from float64 reference", maxDiff)
+			}
+			for i := 0; i < batch; i++ {
+				if a, b := got32.Slice(i).Argmax(), want.Slice(i).Argmax(); a != b {
+					t.Fatalf("f32 plan flips decision on sample %d: %d vs %d", i, a, b)
+				}
+			}
+		})
+	}
+}
+
+// TestCompileRangeMatchesInferRange checks the split-execution form: the
+// compiled remote part [cut, len) agrees with Sequential.InferRange over
+// the same range.
+func TestCompileRangeMatchesInferRange(t *testing.T) {
+	spec, err := model.ByName("lenet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := tensor.NewRNG(23)
+	net := spec.Build(rng)
+	cutLayer, err := spec.CutLayer(spec.DefaultCut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cut := net.Index(cutLayer) + 1
+	if cut <= 0 {
+		t.Fatalf("cut layer %q not found", cutLayer)
+	}
+
+	shape := append([]int{4}, spec.Dataset.SampleShape()...)
+	x := rng.FillNormal(tensor.New(shape...), 0, 1)
+	act := net.InferRange(x, 0, cut)
+	want := net.InferRange(act, cut, net.Len())
+
+	c64, err := nn.CompileRange(net, cut, net.Len(), nn.Float64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := c64.Infer(act)
+	for i, v := range got.Data() {
+		if math.Abs(v-want.Data()[i]) > 1e-9 {
+			t.Fatalf("compiled remote part differs at %d", i)
+		}
+	}
+	for i := 0; i < 4; i++ {
+		if a, b := got.Slice(i).Argmax(), want.Slice(i).Argmax(); a != b {
+			t.Fatalf("f64 remote part flips decision on sample %d", i)
+		}
+	}
+
+	c32, err := nn.CompileRange(net, cut, net.Len(), nn.Float32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got32 := c32.Infer(act)
+	for i := 0; i < 4; i++ {
+		if a, b := got32.Slice(i).Argmax(), want.Slice(i).Argmax(); a != b {
+			t.Fatalf("f32 remote part flips decision on sample %d", i)
+		}
+	}
+	if c32.From() != cut || c32.To() != net.Len() || c32.Dtype() != nn.Float32 {
+		t.Fatal("CompiledNet range/dtype accessors wrong")
+	}
+}

@@ -10,15 +10,26 @@
 package quantize
 
 import (
+	"errors"
 	"fmt"
 	"math"
 
 	"shredder/internal/tensor"
 )
 
+// ErrBadBits reports a bit width outside [1, 16]. Callers branching on the
+// failure mode (CLI flag validation vs. wire handshake rejection) test with
+// errors.Is.
+var ErrBadBits = errors.New("quantize: bits out of [1,16]")
+
+// ErrBadRange reports a clipping range that spans nothing: Hi <= Lo
+// (including the degenerate Lo == Hi), or a NaN endpoint.
+var ErrBadRange = errors.New("quantize: invalid clipping range")
+
 // Scheme is a symmetric linear quantizer with a fixed bit width.
 type Scheme struct {
-	// Bits per value, in [2, 16].
+	// Bits per value, in [1, 16]. One bit is the extreme sign-like
+	// quantizer (two levels: Lo and Hi).
 	Bits int
 	// Lo and Hi are the clipping range the levels span.
 	Lo, Hi float64
@@ -26,11 +37,11 @@ type Scheme struct {
 
 // NewScheme builds a quantizer covering [lo, hi] with 2^bits levels.
 func NewScheme(bits int, lo, hi float64) (Scheme, error) {
-	if bits < 2 || bits > 16 {
-		return Scheme{}, fmt.Errorf("quantize: bits %d out of [2,16]", bits)
+	if bits < 1 || bits > 16 {
+		return Scheme{}, fmt.Errorf("%w: %d", ErrBadBits, bits)
 	}
 	if !(hi > lo) {
-		return Scheme{}, fmt.Errorf("quantize: invalid range [%v, %v]", lo, hi)
+		return Scheme{}, fmt.Errorf("%w: [%v, %v]", ErrBadRange, lo, hi)
 	}
 	return Scheme{Bits: bits, Lo: lo, Hi: hi}, nil
 }
@@ -82,6 +93,21 @@ func (s Scheme) Dequantize(levels []uint16, shape ...int) *tensor.Tensor {
 	return out
 }
 
+// Dequantize32 reconstructs values from level indices directly into a
+// float32 buffer — the zero-copy entry to a compiled Float32 inference
+// plan. The level→value arithmetic runs in float64 (matching Dequantize)
+// with a single final rounding to float32, so the result is exactly the
+// float32 rounding of the float64 reconstruction.
+func (s Scheme) Dequantize32(levels []uint16, shape ...int) *tensor.Tensor32 {
+	out := tensor.NewDense[float32](shape...)
+	step := s.step()
+	d := out.Data()
+	for i, q := range levels {
+		d[i] = float32(s.Lo + float64(q)*step)
+	}
+	return out
+}
+
 // RoundTrip quantizes and dequantizes in one step — the wire simulation.
 func (s Scheme) RoundTrip(x *tensor.Tensor) *tensor.Tensor {
 	return s.Dequantize(s.Quantize(x), x.Shape()...)
@@ -101,8 +127,8 @@ func (s Scheme) WireBytes(n int) int64 {
 // producing the WireBytes-sized representation the splitrt protocol ships.
 // Levels must fit in bits bits (Quantize guarantees this for its output).
 func Pack(levels []uint16, bits int) []byte {
-	if bits < 2 || bits > 16 {
-		panic(fmt.Errorf("quantize: pack bits %d out of [2,16]", bits))
+	if bits < 1 || bits > 16 {
+		panic(fmt.Errorf("%w: pack bits %d", ErrBadBits, bits))
 	}
 	out := make([]byte, (len(levels)*bits+7)/8)
 	max := uint32(1)<<bits - 1
@@ -131,8 +157,8 @@ func Pack(levels []uint16, bits int) []byte {
 // error (not a panic) on short input, because packed payloads arrive from
 // the network and malformed ones must not crash a server.
 func Unpack(packed []byte, bits, n int) ([]uint16, error) {
-	if bits < 2 || bits > 16 {
-		return nil, fmt.Errorf("quantize: unpack bits %d out of [2,16]", bits)
+	if bits < 1 || bits > 16 {
+		return nil, fmt.Errorf("%w: unpack bits %d", ErrBadBits, bits)
 	}
 	if n < 0 {
 		return nil, fmt.Errorf("quantize: unpack count %d negative", n)
@@ -173,6 +199,17 @@ func (s Scheme) DequantizePacked(packed []byte, shape ...int) (*tensor.Tensor, e
 		return nil, err
 	}
 	return s.Dequantize(levels, shape...), nil
+}
+
+// DequantizePacked32 unpacks a wire payload and reconstructs a float32
+// buffer: the dequantize-straight-into-target-dtype path a Float32-compiled
+// cloud server feeds from, skipping the float64 intermediate entirely.
+func (s Scheme) DequantizePacked32(packed []byte, shape ...int) (*tensor.Tensor32, error) {
+	levels, err := Unpack(packed, s.Bits, tensor.Volume(shape))
+	if err != nil {
+		return nil, err
+	}
+	return s.Dequantize32(levels, shape...), nil
 }
 
 // MSE returns the mean squared reconstruction error of a round trip.

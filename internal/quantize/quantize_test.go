@@ -1,6 +1,7 @@
 package quantize
 
 import (
+	"errors"
 	"math"
 	"testing"
 	"testing/quick"
@@ -9,14 +10,33 @@ import (
 )
 
 func TestNewSchemeValidation(t *testing.T) {
-	if _, err := NewScheme(1, 0, 1); err == nil {
-		t.Fatal("1 bit should be rejected")
+	cases := []struct {
+		name    string
+		bits    int
+		lo, hi  float64
+		wantErr error
+	}{
+		{"zero bits", 0, 0, 1, ErrBadBits},
+		{"negative bits", -3, 0, 1, ErrBadBits},
+		{"17 bits", 17, 0, 1, ErrBadBits},
+		{"empty range", 8, 2, 2, ErrBadRange},
+		{"inverted range", 8, 1, -1, ErrBadRange},
+		{"nan lo", 8, math.NaN(), 1, ErrBadRange},
+		{"nan hi", 8, 0, math.NaN(), ErrBadRange},
+		{"one bit ok", 1, 0, 1, nil},
+		{"sixteen bits ok", 16, -1, 1, nil},
 	}
-	if _, err := NewScheme(17, 0, 1); err == nil {
-		t.Fatal("17 bits should be rejected")
-	}
-	if _, err := NewScheme(8, 2, 2); err == nil {
-		t.Fatal("empty range should be rejected")
+	for _, c := range cases {
+		_, err := NewScheme(c.bits, c.lo, c.hi)
+		if c.wantErr == nil {
+			if err != nil {
+				t.Errorf("%s: unexpected error %v", c.name, err)
+			}
+			continue
+		}
+		if !errors.Is(err, c.wantErr) {
+			t.Errorf("%s: error %v, want %v", c.name, err, c.wantErr)
+		}
 	}
 	s, err := NewScheme(8, -1, 1)
 	if err != nil {
@@ -24,6 +44,98 @@ func TestNewSchemeValidation(t *testing.T) {
 	}
 	if s.Levels() != 256 {
 		t.Fatalf("levels = %d", s.Levels())
+	}
+}
+
+// TestRoundTripExtremes table-tests the quantize→dequantize round trip at
+// the boundary bit widths and at extreme clipping ranges.
+func TestRoundTripExtremes(t *testing.T) {
+	cases := []struct {
+		name   string
+		bits   int
+		lo, hi float64
+	}{
+		{"one bit unit", 1, 0, 1},
+		{"one bit symmetric", 1, -3, 3},
+		{"two bit tiny range", 2, -1e-12, 1e-12},
+		{"eight bit huge range", 8, -1e18, 1e18},
+		{"sixteen bit asymmetric", 16, -1e-6, 1e12},
+		{"sixteen bit unit", 16, -1, 1},
+	}
+	rng := tensor.NewRNG(77)
+	for _, c := range cases {
+		s, err := NewScheme(c.bits, c.lo, c.hi)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		span := c.hi - c.lo
+		x := rng.FillUniform(tensor.New(64), c.lo-0.1*span, c.hi+0.1*span)
+		rt := s.RoundTrip(x)
+		for i, v := range rt.Data() {
+			if v < c.lo || v > c.hi {
+				t.Fatalf("%s: reconstructed value %v outside [%v, %v]", c.name, v, c.lo, c.hi)
+			}
+			in := x.Data()[i]
+			if in >= c.lo && in <= c.hi {
+				if err := math.Abs(v - in); err > s.MaxError()*(1+1e-9) {
+					t.Fatalf("%s: in-range error %v exceeds MaxError %v", c.name, err, s.MaxError())
+				}
+			}
+		}
+		if c.bits == 1 {
+			// One bit means exactly two representable values.
+			for i, v := range rt.Data() {
+				if v != c.lo && v != c.hi {
+					t.Fatalf("%s: elem %d = %v, want %v or %v", c.name, i, v, c.lo, c.hi)
+				}
+			}
+		}
+		// The packed wire representation must survive the same trip.
+		packed := s.QuantizePacked(x)
+		back, err := s.DequantizePacked(packed, 64)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if !tensor.Equal(back, rt) {
+			t.Fatalf("%s: packed round trip diverges from dense round trip", c.name)
+		}
+	}
+}
+
+// TestDequantize32MatchesFloat64 checks the float32 dequantization paths
+// are the float32 rounding of the float64 reconstruction, elementwise.
+func TestDequantize32MatchesFloat64(t *testing.T) {
+	rng := tensor.NewRNG(78)
+	for _, bits := range []int{1, 4, 8, 16} {
+		s, err := NewScheme(bits, -2.5, 3.25)
+		if err != nil {
+			t.Fatal(err)
+		}
+		x := rng.FillNormal(tensor.New(5, 7), 0, 2)
+		levels := s.Quantize(x)
+		want := s.Dequantize(levels, 5, 7)
+		got := s.Dequantize32(levels, 5, 7)
+		if !tensor.ShapeEq(got.Shape(), want.Shape()) {
+			t.Fatalf("bits=%d: shape %v want %v", bits, got.Shape(), want.Shape())
+		}
+		for i, v := range got.Data() {
+			if v != float32(want.Data()[i]) {
+				t.Fatalf("bits=%d: elem %d = %v, want float32(%v)", bits, i, v, want.Data()[i])
+			}
+		}
+		gotP, err := s.DequantizePacked32(s.QuantizePacked(x), 5, 7)
+		if err != nil {
+			t.Fatalf("bits=%d: %v", bits, err)
+		}
+		for i, v := range gotP.Data() {
+			if v != got.Data()[i] {
+				t.Fatalf("bits=%d: packed f32 path diverges at %d", bits, i)
+			}
+		}
+	}
+	s8, _ := NewScheme(8, 0, 1)
+	if _, err := s8.DequantizePacked32([]byte{1}, 4, 4); err == nil {
+		t.Fatal("short packed payload must be rejected by DequantizePacked32")
 	}
 }
 
@@ -149,7 +261,7 @@ func TestPropertyDequantizeInRange(t *testing.T) {
 
 func TestPackUnpackRoundTrip(t *testing.T) {
 	rng := tensor.NewRNG(21)
-	for bits := 2; bits <= 16; bits++ {
+	for bits := 1; bits <= 16; bits++ {
 		for _, n := range []int{0, 1, 3, 8, 17, 64} {
 			levels := make([]uint16, n)
 			for i := range levels {
@@ -201,8 +313,11 @@ func TestUnpackRejectsMalformedPayloads(t *testing.T) {
 	if _, err := Unpack([]byte{1, 2, 3, 4}, 8, 2); err == nil {
 		t.Fatal("oversized payload must be rejected")
 	}
-	if _, err := Unpack(nil, 1, 4); err == nil {
+	if _, err := Unpack(nil, 0, 4); err == nil {
 		t.Fatal("bits out of range must be rejected")
+	}
+	if _, err := Unpack(nil, 1, 4); err == nil {
+		t.Fatal("short one-bit payload must be rejected")
 	}
 	if _, err := Unpack(nil, 8, -1); err == nil {
 		t.Fatal("negative count must be rejected")

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"shredder/internal/core"
+	"shredder/internal/nn"
 	"shredder/internal/obs"
 	"shredder/internal/quantize"
 	"shredder/internal/sched"
@@ -49,6 +50,10 @@ type CloudServer struct {
 
 	batchOpts *sched.Options
 	batcher   *sched.Batcher[*tensor.Tensor, *tensor.Tensor]
+
+	dtype      *nn.Dtype       // WithDtype: compile the remote part at this dtype
+	compiled   *nn.CompiledNet // non-nil once compilation succeeded
+	compileErr error           // deferred to Serve so construction stays infallible
 
 	obs       *serverObs    // nil = observability disabled (hot path pays nil checks only)
 	debugAddr string        // "" = no debug HTTP endpoint
@@ -101,6 +106,18 @@ func WithLatencyInjection(d time.Duration) ServerOption {
 // global lock used to cost; production servers should never set it.
 func WithSerializedInference() ServerOption {
 	return func(s *CloudServer) { s.serialized = true }
+}
+
+// WithDtype compiles the remote part into a fused inference plan at the
+// given dtype (nn.Compile) and serves every forward pass through it.
+// Float64 keeps bitwise-identical results while gaining BN folding and
+// conv/linear+ReLU fusion; Float32 additionally halves the memory traffic,
+// with classification decisions pinned to the float64 path by tests. When
+// the client ships quantized payloads and batching is off, a Float32 server
+// dequantizes straight into float32 and never materializes a float64
+// activation. Compilation errors surface from Serve.
+func WithDtype(dt nn.Dtype) ServerOption {
+	return func(s *CloudServer) { s.dtype = &dt }
 }
 
 // WithBatching coalesces concurrent requests across connections into
@@ -166,6 +183,14 @@ func NewCloudServer(split *core.Split, cutLayer string, opts ...ServerOption) *C
 	s := &CloudServer{split: split, cutLayer: cutLayer, conns: map[net.Conn]struct{}{}}
 	for _, o := range opts {
 		o(s)
+	}
+	if s.dtype != nil {
+		cn, err := nn.CompileRange(split.Net, split.CutIndex+1, split.Net.Len(), *s.dtype)
+		if err != nil {
+			s.compileErr = fmt.Errorf("splitrt: compile remote part at %v: %w", *s.dtype, err)
+		} else {
+			s.compiled = cn
+		}
 	}
 	if (s.debugAddr != "" || s.profiling || s.joinRing != nil) && s.obs == nil {
 		s.obs = newServerObs(obs.NewRegistry(), obs.NewSpanRing(defaultSpanRing))
@@ -248,6 +273,9 @@ func (s *CloudServer) BatchStats() (stats sched.Stats, ok bool) {
 // bound address. Connections are served on background goroutines until
 // Close.
 func (s *CloudServer) Serve(addr string) (string, error) {
+	if s.compileErr != nil {
+		return "", s.compileErr
+	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", fmt.Errorf("splitrt: listen: %w", err)
@@ -417,25 +445,42 @@ func (s *CloudServer) handle(ctx context.Context, req request) response {
 		t0 = time.Now()
 	}
 	resp := response{ID: req.ID, Trace: req.Trace}
-	act, kind, msg := decodeRequestActivation(s.split, req)
-	if kind != ErrUnknown {
-		resp.Err, resp.Kind = msg, kind
-		o.finish(req, &resp, t0, nil, computeStart)
-		return resp
-	}
 	var logits *tensor.Tensor
 	var err error
 	var si *sched.SubmitInfo
-	if s.batcher != nil {
-		if o != nil {
-			si = new(sched.SubmitInfo)
+	if s.batcher == nil && s.compiled != nil && s.compiled.Dtype() == nn.Float32 &&
+		req.Activation == nil && req.Quant != nil {
+		// Direct-dequantization fast path: the quantized payload is
+		// reconstructed straight into float32 and fed to the compiled plan's
+		// float32 entry, so no float64 activation is ever materialized.
+		act32, kind, msg := decodeRequestActivation32(s.split, req)
+		if kind != ErrUnknown {
+			resp.Err, resp.Kind = msg, kind
+			o.finish(req, &resp, t0, nil, computeStart)
+			return resp
 		}
-		logits, err = s.batcher.SubmitTraced(ctx, act, act.Dim(0), si)
-	} else {
 		if o != nil {
 			computeStart = time.Now()
 		}
-		logits, err = s.infer(act)
+		logits, err = s.inferGuarded(func() *tensor.Tensor { return s.compiled.Infer32(act32) })
+	} else {
+		act, kind, msg := decodeRequestActivation(s.split, req)
+		if kind != ErrUnknown {
+			resp.Err, resp.Kind = msg, kind
+			o.finish(req, &resp, t0, nil, computeStart)
+			return resp
+		}
+		if s.batcher != nil {
+			if o != nil {
+				si = new(sched.SubmitInfo)
+			}
+			logits, err = s.batcher.SubmitTraced(ctx, act, act.Dim(0), si)
+		} else {
+			if o != nil {
+				computeStart = time.Now()
+			}
+			logits, err = s.infer(act)
+		}
 	}
 	if err != nil {
 		resp.Err, resp.Kind = err.Error(), classify(err)
@@ -447,6 +492,27 @@ func (s *CloudServer) handle(ctx context.Context, req request) response {
 	resp.Logits = logits
 	o.finish(req, &resp, t0, si, computeStart)
 	return resp
+}
+
+// decodeRequestActivation32 is the float32 twin of decodeRequestActivation
+// for the direct-dequantization fast path: it reconstructs a quantized
+// payload straight into a float32 buffer and validates its shape against
+// the split being served.
+func decodeRequestActivation32(split *core.Split, req request) (act *tensor.Tensor32, kind ErrKind, msg string) {
+	scheme, err := quantize.NewScheme(req.Quant.Bits, req.Quant.Lo, req.Quant.Hi)
+	if err != nil {
+		return nil, ErrBadRequest, fmt.Sprintf("bad quantization scheme: %v", err)
+	}
+	act, err = scheme.DequantizePacked32(req.Quant.Packed, req.Quant.Shape...)
+	if err != nil {
+		return nil, ErrBadRequest, fmt.Sprintf("bad quantized payload: %v", err)
+	}
+	want := split.ActivationShape()
+	got := act.Shape()
+	if len(got) != len(want)+1 || !tensor.ShapeEq(got[1:], want) {
+		return nil, ErrBadRequest, fmt.Sprintf("activation shape %v does not match expected [N %v]", got, want)
+	}
+	return act, ErrUnknown, ""
 }
 
 // decodeRequestActivation extracts and validates a request's activation
@@ -537,13 +603,24 @@ func (s *CloudServer) runBatch(acts []*tensor.Tensor) ([]*tensor.Tensor, error) 
 	return out, nil
 }
 
-// infer runs the reentrant remote forward pass, optionally bounded by the
+// infer runs the reentrant remote forward pass — through the compiled plan
+// when WithDtype installed one — with the panic/timeout guard.
+func (s *CloudServer) infer(act *tensor.Tensor) (*tensor.Tensor, error) {
+	return s.inferGuarded(func() *tensor.Tensor {
+		if s.compiled != nil {
+			return s.compiled.Infer(act)
+		}
+		return s.split.RemoteInfer(act)
+	})
+}
+
+// inferGuarded runs one forward-pass closure, optionally bounded by the
 // handler timeout, converting panics (bad payloads from a misbehaving
 // client that slipped past validation) into errors rather than crashing
 // the server. On timeout the computation goroutine is left to finish in
 // the background (Go cannot cancel a compute loop), but the request gets
 // an error and the connection moves on.
-func (s *CloudServer) infer(act *tensor.Tensor) (*tensor.Tensor, error) {
+func (s *CloudServer) inferGuarded(fn func() *tensor.Tensor) (*tensor.Tensor, error) {
 	run := func() (out *tensor.Tensor, err error) {
 		defer func() {
 			if r := recover(); r != nil {
@@ -557,7 +634,7 @@ func (s *CloudServer) infer(act *tensor.Tensor) (*tensor.Tensor, error) {
 			s.serialMu.Lock()
 			defer s.serialMu.Unlock()
 		}
-		return s.split.RemoteInfer(act), nil
+		return fn(), nil
 	}
 	if s.handlerTimeout <= 0 {
 		return run()

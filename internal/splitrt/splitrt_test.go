@@ -8,6 +8,7 @@ import (
 
 	"shredder/internal/core"
 	"shredder/internal/model"
+	"shredder/internal/nn"
 	"shredder/internal/tensor"
 )
 
@@ -253,6 +254,93 @@ func TestQuantizedTransportAccuracyAndVolume(t *testing.T) {
 	}
 }
 
+// TestCompiledServingDecisionParity pins the dtype-compiled serving paths
+// to the stock float64 path: a Float64-compiled server must reproduce the
+// logits within the blocked-matmul accumulation epsilon, and a
+// Float32-compiled server must yield identical classification decisions —
+// over dense transport and over the quantized fast path that dequantizes
+// straight into float32.
+func TestCompiledServingDecisionParity(t *testing.T) {
+	split, pre, cutLayer, addr := rig(t)
+
+	srv64 := NewCloudServer(split, cutLayer, WithDtype(nn.Float64))
+	addr64, err := srv64.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv64.Close() })
+	srv32 := NewCloudServer(split, cutLayer, WithDtype(nn.Float32))
+	addr32, err := srv32.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv32.Close() })
+
+	dial := func(a string, seed int64) *EdgeClient {
+		t.Helper()
+		c, err := Dial(a, split, cutLayer, nil, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { c.Close() })
+		return c
+	}
+	stock := dial(addr, 20)
+	c64 := dial(addr64, 21)
+	c32 := dial(addr32, 22)
+
+	b := pre.Test.Batches(16)[0]
+	want, err := stock.Infer(b.Images)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got64, err := c64.Infer(b.Images)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tensor.AllClose(want, got64, 1e-9) {
+		t.Fatal("float64-compiled server logits deviate from stock path")
+	}
+	for i := range b.Labels {
+		if want.Slice(i).Argmax() != got64.Slice(i).Argmax() {
+			t.Fatalf("sample %d: float64-compiled decision differs", i)
+		}
+	}
+	got32, err := c32.Infer(b.Images)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range b.Labels {
+		if want.Slice(i).Argmax() != got32.Slice(i).Argmax() {
+			t.Fatalf("sample %d: float32-compiled decision differs over dense transport", i)
+		}
+	}
+
+	// Quantized transport: the float32 server takes the direct-dequant fast
+	// path (no float64 activation materialized); decisions must still match
+	// the float64 server fed the very same wire payload.
+	q64 := dial(addr64, 23)
+	q32 := dial(addr32, 24)
+	for _, c := range []*EdgeClient{q64, q32} {
+		if err := c.SetWireQuantization(8); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wantQ, err := q64.Infer(b.Images)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotQ, err := q32.Infer(b.Images)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range b.Labels {
+		if wantQ.Slice(i).Argmax() != gotQ.Slice(i).Argmax() {
+			t.Fatalf("sample %d: float32 decision differs over quantized fast path", i)
+		}
+	}
+}
+
 func TestSetWireQuantizationValidation(t *testing.T) {
 	split, _, cutLayer, addr := rig(t)
 	client, err := Dial(addr, split, cutLayer, nil, 12)
@@ -260,8 +348,14 @@ func TestSetWireQuantizationValidation(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer client.Close()
-	if err := client.SetWireQuantization(1); err == nil {
-		t.Fatal("1-bit quantization should be rejected")
+	if err := client.SetWireQuantization(17); err == nil {
+		t.Fatal("17-bit quantization should be rejected")
+	}
+	if err := client.SetWireQuantization(-2); err == nil {
+		t.Fatal("negative bit width should be rejected")
+	}
+	if err := client.SetWireQuantization(1); err != nil {
+		t.Fatalf("1-bit quantization is the extreme of the legal range: %v", err)
 	}
 	if err := client.SetWireQuantization(0); err != nil {
 		t.Fatal("disabling quantization should succeed")

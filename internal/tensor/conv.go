@@ -54,40 +54,7 @@ func Im2ColInto(cols, img *Tensor, g ConvGeom) {
 		panic(fmt.Sprintf("tensor: Im2ColInto destination has %d elems, geometry wants %d",
 			cols.Len(), outH*outW*g.InC*g.KH*g.KW))
 	}
-	src := img.data
-	dst := cols.data
-	rowLen := g.InC * g.KH * g.KW
-	for oy := 0; oy < outH; oy++ {
-		iy0 := oy*g.Stride - g.Pad
-		for ox := 0; ox < outW; ox++ {
-			ix0 := ox*g.Stride - g.Pad
-			row := dst[(oy*outW+ox)*rowLen:]
-			p := 0
-			for c := 0; c < g.InC; c++ {
-				plane := src[c*g.InH*g.InW:]
-				for ky := 0; ky < g.KH; ky++ {
-					iy := iy0 + ky
-					if iy < 0 || iy >= g.InH {
-						for kx := 0; kx < g.KW; kx++ {
-							row[p] = 0
-							p++
-						}
-						continue
-					}
-					base := iy * g.InW
-					for kx := 0; kx < g.KW; kx++ {
-						ix := ix0 + kx
-						if ix < 0 || ix >= g.InW {
-							row[p] = 0
-						} else {
-							row[p] = plane[base+ix]
-						}
-						p++
-					}
-				}
-			}
-		}
-	}
+	im2colKernel(cols.data, img.data, g)
 }
 
 // Col2Im scatters a column matrix (as produced by Im2Col) back into an
@@ -100,33 +67,6 @@ func Col2Im(cols *Tensor, g ConvGeom) *Tensor {
 		panic(fmt.Sprintf("tensor: Col2Im input has %d elems, geometry wants %d", cols.Len(), outH*outW*rowLen))
 	}
 	img := New(g.InC, g.InH, g.InW)
-	dst := img.data
-	src := cols.data
-	for oy := 0; oy < outH; oy++ {
-		iy0 := oy*g.Stride - g.Pad
-		for ox := 0; ox < outW; ox++ {
-			ix0 := ox*g.Stride - g.Pad
-			row := src[(oy*outW+ox)*rowLen:]
-			p := 0
-			for c := 0; c < g.InC; c++ {
-				plane := dst[c*g.InH*g.InW:]
-				for ky := 0; ky < g.KH; ky++ {
-					iy := iy0 + ky
-					if iy < 0 || iy >= g.InH {
-						p += g.KW
-						continue
-					}
-					base := iy * g.InW
-					for kx := 0; kx < g.KW; kx++ {
-						ix := ix0 + kx
-						if ix >= 0 && ix < g.InW {
-							plane[base+ix] += row[p]
-						}
-						p++
-					}
-				}
-			}
-		}
-	}
+	col2imKernel(img.data, cols.data, g)
 	return img
 }

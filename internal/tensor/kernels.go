@@ -1,0 +1,301 @@
+package tensor
+
+// This file is the dtype-parameterized kernel layer: every hot numeric loop
+// in the package — matrix multiplication in its three transposition
+// variants, im2col/col2im convolution lowering, and the elementwise
+// epilogues — is written once, generically over the element type F. The
+// exported float64 Tensor API (MatMul*, Im2Col*, Col2Im) delegates to these
+// kernels, and the nn compile pipeline instantiates them at float32 for the
+// inference-only reduced-precision path.
+//
+// float32 and float64 have distinct gcshapes, so the compiler stencils a
+// separate, fully specialized instantiation per dtype: the inner loops
+// compile to the same scalar FP code a hand-written concrete version would,
+// and the float32 instantiation moves half the bytes per element through
+// the cache hierarchy.
+
+// Float is the element-type constraint of the kernel layer.
+type Float interface {
+	~float32 | ~float64
+}
+
+// matmulKernel computes dst = a·b for row-major a [m,k], b [k,n],
+// dst [m,n]. Every element of dst is overwritten. The loop order is i-k-j
+// so the hot loop streams both b and the output row; rows are computed in
+// parallel for large products.
+func matmulKernel[F Float](dst, a, b []F, m, k, n int) {
+	rowFn := func(i int) {
+		out := dst[i*n : (i+1)*n]
+		for j := range out {
+			out[j] = 0
+		}
+		ar := a[i*k : (i+1)*k]
+		for p, av := range ar {
+			if av == 0 {
+				continue
+			}
+			br := b[p*n : (p+1)*n]
+			for j, bv := range br {
+				out[j] += av * bv
+			}
+		}
+	}
+	if m*n < parallelThreshold || m < 2 {
+		for i := 0; i < m; i++ {
+			rowFn(i)
+		}
+		return
+	}
+	parallelRows(m, rowFn)
+}
+
+// matmulT1Kernel computes dst += aᵀ·b for a [k,m], b [k,n], dst [m,n].
+// dst must be zeroed by the caller (the float64 wrapper allocates it
+// zero-filled; kernels accumulate so gradient callers can reuse buffers).
+func matmulT1Kernel[F Float](dst, a, b []F, k, m, n int) {
+	rowFn := func(i int) {
+		o := dst[i*n : (i+1)*n]
+		for p := 0; p < k; p++ {
+			av := a[p*m+i]
+			if av == 0 {
+				continue
+			}
+			br := b[p*n : (p+1)*n]
+			for j, bv := range br {
+				o[j] += av * bv
+			}
+		}
+	}
+	if m*n < parallelThreshold || m < 2 {
+		for i := 0; i < m; i++ {
+			rowFn(i)
+		}
+		return
+	}
+	parallelRows(m, rowFn)
+}
+
+// matmulT2Kernel computes dst = a·bᵀ for a [m,k], b [n,k], dst [m,n].
+// Every element of dst is overwritten, so non-zeroed scratch is a valid
+// destination. This is the kernel behind both the linear layer and the
+// im2col-lowered convolution (cols · Wᵀ).
+func matmulT2Kernel[F Float](dst, a, b []F, m, k, n int) {
+	rowFn := func(i int) {
+		ar := a[i*k : (i+1)*k]
+		o := dst[i*n : (i+1)*n]
+		for j := 0; j < n; j++ {
+			br := b[j*k : (j+1)*k]
+			var s F
+			for p, av := range ar {
+				s += av * br[p]
+			}
+			o[j] = s
+		}
+	}
+	if m*n < parallelThreshold || m < 2 {
+		for i := 0; i < m; i++ {
+			rowFn(i)
+		}
+		return
+	}
+	parallelRows(m, rowFn)
+}
+
+// matmulT2BlockedKernel computes dst = a·bᵀ like matmulT2Kernel, but
+// register-blocked four columns wide: each pass over a row of a feeds four
+// independent accumulators, quartering the loads of a and breaking the
+// serial dependence of a single running sum. That reorders the floating-
+// point accumulation relative to matmulT2Kernel, so results differ by
+// rounding — which is why only the compiled inference path (gated by
+// tolerance tests) uses it, while training and the stock float64 API keep
+// the legacy kernel and its bitwise-reproducible summation order.
+func matmulT2BlockedKernel[F Float](dst, a, b []F, m, k, n int) {
+	rowFn := func(i int) {
+		ar := a[i*k : (i+1)*k]
+		o := dst[i*n : (i+1)*n]
+		j := 0
+		for ; j+4 <= n; j += 4 {
+			b0 := b[j*k : (j+1)*k]
+			b1 := b[(j+1)*k : (j+2)*k]
+			b2 := b[(j+2)*k : (j+3)*k]
+			b3 := b[(j+3)*k : (j+4)*k]
+			var s0, s1, s2, s3 F
+			for p, av := range ar {
+				s0 += av * b0[p]
+				s1 += av * b1[p]
+				s2 += av * b2[p]
+				s3 += av * b3[p]
+			}
+			o[j], o[j+1], o[j+2], o[j+3] = s0, s1, s2, s3
+		}
+		for ; j < n; j++ {
+			br := b[j*k : (j+1)*k]
+			var s F
+			for p, av := range ar {
+				s += av * br[p]
+			}
+			o[j] = s
+		}
+	}
+	if m*n < parallelThreshold || m < 2 {
+		for i := 0; i < m; i++ {
+			rowFn(i)
+		}
+		return
+	}
+	parallelRows(m, rowFn)
+}
+
+// im2colKernel lowers one image of shape [C,H,W] (flat, row-major) into a
+// column matrix [OutH*OutW, C*KH*KW]: each row is the unrolled receptive
+// field of one output position, with zero padding materialized. Every
+// element of dst is overwritten.
+func im2colKernel[F Float](dst, src []F, g ConvGeom) {
+	outH, outW := g.OutH(), g.OutW()
+	rowLen := g.InC * g.KH * g.KW
+	for oy := 0; oy < outH; oy++ {
+		iy0 := oy*g.Stride - g.Pad
+		for ox := 0; ox < outW; ox++ {
+			ix0 := ox*g.Stride - g.Pad
+			row := dst[(oy*outW+ox)*rowLen:]
+			p := 0
+			for c := 0; c < g.InC; c++ {
+				plane := src[c*g.InH*g.InW:]
+				for ky := 0; ky < g.KH; ky++ {
+					iy := iy0 + ky
+					if iy < 0 || iy >= g.InH {
+						for kx := 0; kx < g.KW; kx++ {
+							row[p] = 0
+							p++
+						}
+						continue
+					}
+					base := iy * g.InW
+					for kx := 0; kx < g.KW; kx++ {
+						ix := ix0 + kx
+						if ix < 0 || ix >= g.InW {
+							row[p] = 0
+						} else {
+							row[p] = plane[base+ix]
+						}
+						p++
+					}
+				}
+			}
+		}
+	}
+}
+
+// col2imKernel scatters a column matrix (as produced by im2colKernel) back
+// into an image [C,H,W], accumulating overlapping contributions into dst,
+// which must be zeroed by the caller. It is the adjoint of im2colKernel.
+func col2imKernel[F Float](dst, src []F, g ConvGeom) {
+	outH, outW := g.OutH(), g.OutW()
+	rowLen := g.InC * g.KH * g.KW
+	for oy := 0; oy < outH; oy++ {
+		iy0 := oy*g.Stride - g.Pad
+		for ox := 0; ox < outW; ox++ {
+			ix0 := ox*g.Stride - g.Pad
+			row := src[(oy*outW+ox)*rowLen:]
+			p := 0
+			for c := 0; c < g.InC; c++ {
+				plane := dst[c*g.InH*g.InW:]
+				for ky := 0; ky < g.KH; ky++ {
+					iy := iy0 + ky
+					if iy < 0 || iy >= g.InH {
+						p += g.KW
+						continue
+					}
+					base := iy * g.InW
+					for kx := 0; kx < g.KW; kx++ {
+						ix := ix0 + kx
+						if ix >= 0 && ix < g.InW {
+							plane[base+ix] += row[p]
+						}
+						p++
+					}
+				}
+			}
+		}
+	}
+}
+
+// reluKernel writes max(0, src) into dst elementwise. dst and src may be
+// the same slice.
+func reluKernel[F Float](dst, src []F) {
+	for i, v := range src {
+		if v > 0 {
+			dst[i] = v
+		} else {
+			dst[i] = 0
+		}
+	}
+}
+
+// addBiasRowsKernel adds the bias vector b [n] to every row of the
+// row-major matrix x [m,n] in place.
+func addBiasRowsKernel[F Float](x, b []F, m, n int) {
+	for i := 0; i < m; i++ {
+		row := x[i*n:]
+		for j := 0; j < n; j++ {
+			row[j] += b[j]
+		}
+	}
+}
+
+// MatMulDense computes dst = a·b over dtype-tagged buffers; shapes are
+// validated like MatMulInto.
+func MatMulDense[F Float](dst, a, b *Dense[F]) {
+	m, k := a.shape[0], a.shape[1]
+	n := b.shape[1]
+	if b.shape[0] != k || dst.shape[0] != m || dst.shape[1] != n {
+		panicShape("MatMulDense", dst.shape, a.shape, b.shape)
+	}
+	matmulKernel(dst.data, a.data, b.data, m, k, n)
+}
+
+// MatMulT2Dense computes dst = a·bᵀ over dtype-tagged buffers — the
+// allocation-free product the compiled inference path uses for both linear
+// layers and im2col-lowered convolution.
+func MatMulT2Dense[F Float](dst, a, b *Dense[F]) {
+	m, k := a.shape[0], a.shape[1]
+	n := b.shape[0]
+	if b.shape[1] != k || dst.shape[0] != m || dst.shape[1] != n {
+		panicShape("MatMulT2Dense", dst.shape, a.shape, b.shape)
+	}
+	matmulT2Kernel(dst.data, a.data, b.data, m, k, n)
+}
+
+// MatMulT2BlockedDense computes dst = a·bᵀ with the register-blocked
+// kernel. Same shapes as MatMulT2Dense; the accumulation order differs by
+// rounding (see matmulT2BlockedKernel), so it is reserved for the compiled
+// inference path.
+func MatMulT2BlockedDense[F Float](dst, a, b *Dense[F]) {
+	m, k := a.shape[0], a.shape[1]
+	n := b.shape[0]
+	if b.shape[1] != k || dst.shape[0] != m || dst.shape[1] != n {
+		panicShape("MatMulT2BlockedDense", dst.shape, a.shape, b.shape)
+	}
+	matmulT2BlockedKernel(dst.data, a.data, b.data, m, k, n)
+}
+
+// Im2ColDense lowers an image [C,H,W] into a column matrix
+// [OutH*OutW, C*KH*KW] over dtype-tagged buffers. Every element of cols is
+// overwritten, so non-zeroed scratch is a valid destination.
+func Im2ColDense[F Float](cols, img *Dense[F], g ConvGeom) {
+	if len(img.data) != g.InC*g.InH*g.InW {
+		panicShape("Im2ColDense", img.shape)
+	}
+	if len(cols.data) != g.OutH()*g.OutW()*g.InC*g.KH*g.KW {
+		panicShape("Im2ColDense", cols.shape)
+	}
+	im2colKernel(cols.data, img.data, g)
+}
+
+// ReLUDense writes max(0, src) into dst elementwise; dst and src may alias.
+func ReLUDense[F Float](dst, src *Dense[F]) {
+	if len(dst.data) != len(src.data) {
+		panicShape("ReLUDense", dst.shape, src.shape)
+	}
+	reluKernel(dst.data, src.data)
+}

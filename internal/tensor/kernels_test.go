@@ -1,0 +1,190 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+)
+
+// toDense32 converts a float64 tensor to a float32 buffer for kernel
+// parity tests.
+func toDense32(t *Tensor) *Tensor32 { return ToDense[float32](t) }
+
+// maxAbsDiff32 returns max |a_i - b_i| between a float32 buffer and a
+// float64 reference.
+func maxAbsDiff32(a *Tensor32, b *Tensor) float64 {
+	m := 0.0
+	bd := b.Data()
+	for i, v := range a.Data() {
+		if d := math.Abs(float64(v) - bd[i]); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+func TestKernelFloat64DelegationExact(t *testing.T) {
+	// The float64 Tensor API routes through the generic kernels; the
+	// Dense[float64] surface must agree bitwise with it.
+	rng := NewRNG(11)
+	a := rng.FillNormal(New(9, 13), 0, 1)
+	b := rng.FillNormal(New(7, 13), 0, 1)
+	want := MatMulT2(a, b)
+	got := NewDense[float64](9, 7)
+	MatMulT2Dense(got, AsDense64(a), AsDense64(b))
+	if !Equal(AsTensor64(got), want) {
+		t.Fatal("MatMulT2Dense[float64] diverges from MatMulT2")
+	}
+}
+
+func TestMatMulT2KernelFloat32Parity(t *testing.T) {
+	rng := NewRNG(12)
+	a := rng.FillNormal(New(8, 40), 0, 1)
+	b := rng.FillNormal(New(12, 40), 0, 1)
+	want := MatMulT2(a, b)
+	got := NewDense[float32](8, 12)
+	MatMulT2Dense(got, toDense32(a), toDense32(b))
+	// 40-term dot products of unit-normal values: float32 error well under
+	// 1e-4 in absolute terms at these magnitudes.
+	if d := maxAbsDiff32(got, want); d > 1e-4 {
+		t.Fatalf("float32 matmul deviates by %g from float64", d)
+	}
+}
+
+// TestMatMulT2BlockedParity checks the register-blocked kernel against the
+// legacy one at both dtypes, with shapes that exercise the four-wide body,
+// the tail columns, the single-row serial path, and the parallel path.
+func TestMatMulT2BlockedParity(t *testing.T) {
+	shapes := []struct{ m, k, n int }{
+		{1, 7, 3},    // all tail, serial
+		{5, 40, 8},   // exact four-wide blocks
+		{6, 33, 13},  // blocks plus tail
+		{64, 50, 70}, // crosses parallelThreshold
+	}
+	for _, s := range shapes {
+		rng := NewRNG(int64(s.m + s.k + s.n))
+		a := rng.FillNormal(New(s.m, s.k), 0, 1)
+		b := rng.FillNormal(New(s.n, s.k), 0, 1)
+		want := MatMulT2(a, b)
+
+		got64 := NewDense[float64](s.m, s.n)
+		MatMulT2BlockedDense(got64, AsDense64(a), AsDense64(b))
+		for i, v := range got64.Data() {
+			// The blocked kernel reorders accumulation, so agreement is to
+			// rounding, not bitwise.
+			if math.Abs(v-want.Data()[i]) > 1e-12 {
+				t.Fatalf("%+v: blocked f64 elem %d deviates: %v vs %v", s, i, v, want.Data()[i])
+			}
+		}
+
+		got32 := NewDense[float32](s.m, s.n)
+		MatMulT2BlockedDense(got32, toDense32(a), toDense32(b))
+		if d := maxAbsDiff32(got32, want); d > 1e-4 {
+			t.Fatalf("%+v: blocked f32 deviates by %g", s, d)
+		}
+	}
+}
+
+func TestMatMulKernelFloat32Parity(t *testing.T) {
+	rng := NewRNG(13)
+	a := rng.FillNormal(New(6, 17), 0, 1)
+	b := rng.FillNormal(New(17, 9), 0, 1)
+	want := MatMul(a, b)
+	got := NewDense[float32](6, 9)
+	MatMulDense(got, toDense32(a), toDense32(b))
+	if d := maxAbsDiff32(got, want); d > 1e-4 {
+		t.Fatalf("float32 matmul deviates by %g from float64", d)
+	}
+}
+
+func TestMatMulKernelParallelPathFloat32(t *testing.T) {
+	// Large enough to cross parallelThreshold: exercises parallelRows under
+	// the generic instantiation.
+	rng := NewRNG(14)
+	m, k, n := 64, 33, 300
+	a := rng.FillNormal(New(m, k), 0, 1)
+	b := rng.FillNormal(New(k, n), 0, 1)
+	want := MatMul(a, b)
+	got := NewDense[float32](m, n)
+	MatMulDense(got, toDense32(a), toDense32(b))
+	if d := maxAbsDiff32(got, want); d > 1e-3 {
+		t.Fatalf("parallel float32 matmul deviates by %g", d)
+	}
+}
+
+func TestIm2ColKernelFloat32Parity(t *testing.T) {
+	rng := NewRNG(15)
+	img := rng.FillNormal(New(3, 6, 6), 0, 1)
+	g := ConvGeom{InC: 3, InH: 6, InW: 6, KH: 3, KW: 3, Stride: 2, Pad: 1}
+	want := Im2Col(img, g)
+	cols := NewDense[float32](g.OutH()*g.OutW(), 3*3*3)
+	Im2ColDense(cols, toDense32(img), g)
+	// im2col only moves values (and writes zeros); the only error is the
+	// one float64→float32 conversion of the input.
+	wd := want.Data()
+	for i, v := range cols.Data() {
+		if float64(float32(wd[i])) != float64(v) {
+			t.Fatalf("im2col float32 elem %d: got %v want %v", i, v, float32(wd[i]))
+		}
+	}
+}
+
+func TestReLUDense(t *testing.T) {
+	in := DenseFrom([]float32{-1, 0, 2.5, -0.001, 7}, 5)
+	out := NewDense[float32](5)
+	ReLUDense(out, in)
+	want := []float32{0, 0, 2.5, 0, 7}
+	for i, v := range out.Data() {
+		if v != want[i] {
+			t.Fatalf("relu elem %d: got %v want %v", i, v, want[i])
+		}
+	}
+	// In-place aliasing must work too.
+	ReLUDense(in, in)
+	for i, v := range in.Data() {
+		if v != want[i] {
+			t.Fatalf("in-place relu elem %d: got %v want %v", i, v, want[i])
+		}
+	}
+}
+
+func TestDenseReshapeSliceArgmax(t *testing.T) {
+	d := NewDense[float32](2, 3, 4)
+	if d.Len() != 24 || d.Rank() != 3 || d.Dim(2) != 4 {
+		t.Fatalf("dense shape bookkeeping broken: %v", d.Shape())
+	}
+	r := d.Reshape(6, -1)
+	if !ShapeEq(r.Shape(), []int{6, 4}) {
+		t.Fatalf("reshape got %v", r.Shape())
+	}
+	// Slice shares storage.
+	s := d.Slice(1)
+	s.Data()[0] = 42
+	if d.Data()[12] != 42 {
+		t.Fatal("Slice does not share storage")
+	}
+	a := DenseFrom([]float32{1, 9, 3}, 3)
+	if a.Argmax() != 1 {
+		t.Fatalf("argmax got %d", a.Argmax())
+	}
+}
+
+func TestDenseTensorRoundTrip(t *testing.T) {
+	rng := NewRNG(16)
+	src := rng.FillNormal(New(4, 5), 0, 3)
+	d32 := ToDense[float32](src)
+	back := d32.ToTensor()
+	if !back.SameShape(src) {
+		t.Fatalf("round-trip shape %v vs %v", back.Shape(), src.Shape())
+	}
+	for i, v := range back.Data() {
+		if v != float64(float32(src.Data()[i])) {
+			t.Fatalf("round-trip elem %d not the float32 rounding of the source", i)
+		}
+	}
+	// AsDense64/AsTensor64 are zero-copy views.
+	v64 := AsDense64(src)
+	v64.Data()[0] = 123
+	if src.Data()[0] != 123 {
+		t.Fatal("AsDense64 does not share storage")
+	}
+}

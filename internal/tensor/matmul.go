@@ -41,29 +41,7 @@ func MatMulInto(dst, a, b *Tensor) {
 }
 
 func matmulInto(dst, a, b []float64, m, k, n int) {
-	rowFn := func(i int) {
-		out := dst[i*n : (i+1)*n]
-		for j := range out {
-			out[j] = 0
-		}
-		ar := a[i*k : (i+1)*k]
-		for p, av := range ar {
-			if av == 0 {
-				continue
-			}
-			br := b[p*n : (p+1)*n]
-			for j, bv := range br {
-				out[j] += av * bv
-			}
-		}
-	}
-	if m*n < parallelThreshold || m < 2 {
-		for i := 0; i < m; i++ {
-			rowFn(i)
-		}
-		return
-	}
-	parallelRows(m, rowFn)
+	matmulKernel(dst, a, b, m, k, n)
 }
 
 // MatMulT1 returns aᵀ·b for a of shape [k,m] and b of shape [k,n]: the
@@ -78,26 +56,7 @@ func MatMulT1(a, b *Tensor) *Tensor {
 	}
 	n := b.shape[1]
 	out := New(m, n)
-	rowFn := func(i int) {
-		o := out.data[i*n : (i+1)*n]
-		for p := 0; p < k; p++ {
-			av := a.data[p*m+i]
-			if av == 0 {
-				continue
-			}
-			br := b.data[p*n : (p+1)*n]
-			for j, bv := range br {
-				o[j] += av * bv
-			}
-		}
-	}
-	if m*n < parallelThreshold || m < 2 {
-		for i := 0; i < m; i++ {
-			rowFn(i)
-		}
-		return out
-	}
-	parallelRows(m, rowFn)
+	matmulT1Kernel(out.data, a.data, b.data, k, m, n)
 	return out
 }
 
@@ -113,25 +72,7 @@ func MatMulT2(a, b *Tensor) *Tensor {
 		panic(fmt.Sprintf("tensor: MatMulT2 dimension mismatch %v x %v", a.shape, b.shape))
 	}
 	out := New(m, n)
-	rowFn := func(i int) {
-		ar := a.data[i*k : (i+1)*k]
-		o := out.data[i*n : (i+1)*n]
-		for j := 0; j < n; j++ {
-			br := b.data[j*k : (j+1)*k]
-			s := 0.0
-			for p, av := range ar {
-				s += av * br[p]
-			}
-			o[j] = s
-		}
-	}
-	if m*n < parallelThreshold || m < 2 {
-		for i := 0; i < m; i++ {
-			rowFn(i)
-		}
-		return out
-	}
-	parallelRows(m, rowFn)
+	matmulT2Kernel(out.data, a.data, b.data, m, k, n)
 	return out
 }
 
@@ -145,25 +86,7 @@ func MatMulT2Into(dst, a, b *Tensor) {
 	if b.shape[1] != k || dst.shape[0] != m || dst.shape[1] != n {
 		panic(fmt.Sprintf("tensor: MatMulT2Into shape mismatch dst %v = %v x %vᵀ", dst.shape, a.shape, b.shape))
 	}
-	rowFn := func(i int) {
-		ar := a.data[i*k : (i+1)*k]
-		o := dst.data[i*n : (i+1)*n]
-		for j := 0; j < n; j++ {
-			br := b.data[j*k : (j+1)*k]
-			s := 0.0
-			for p, av := range ar {
-				s += av * br[p]
-			}
-			o[j] = s
-		}
-	}
-	if m*n < parallelThreshold || m < 2 {
-		for i := 0; i < m; i++ {
-			rowFn(i)
-		}
-		return
-	}
-	parallelRows(m, rowFn)
+	matmulT2Kernel(dst.data, a.data, b.data, m, k, n)
 }
 
 // Transpose returns the transpose of a rank-2 tensor.

@@ -25,6 +25,7 @@ import (
 	"shredder/internal/core"
 	"shredder/internal/mi"
 	"shredder/internal/model"
+	"shredder/internal/nn"
 	"shredder/internal/obs"
 	"shredder/internal/sched"
 	"shredder/internal/splitrt"
@@ -45,6 +46,14 @@ type Config struct {
 	WeightCacheDir string
 	// Progress, when non-nil, receives human-readable progress lines.
 	Progress io.Writer
+	// Dtype selects the inference arithmetic: "" or "float64" keeps the
+	// stock layer-at-a-time path; "float32" (also "f32", "fp32", "single")
+	// compiles the network into a fused single-precision plan — BatchNorm
+	// folded, conv+bias+ReLU fused — used by Classify, ClassifyBaseline,
+	// and ServeCloud. Training and noise learning always run in float64;
+	// only inference is lowered. Classification decisions are pinned to the
+	// float64 path by the test suite.
+	Dtype string
 }
 
 // NoiseOptions override the benchmark's tuned noise hyperparameters; zero
@@ -105,6 +114,8 @@ type System struct {
 	rngMu      sync.Mutex           // guards rng: tensor.RNG is not goroutine-safe
 	rng        *tensor.RNG
 	seed       int64
+	dtype      *nn.Dtype       // Config.Dtype parsed; nil = stock float64 path
+	fullPlan   *nn.CompiledNet // compiled whole net for ClassifyBaseline; nil = stock
 }
 
 // Networks lists the available benchmark networks.
@@ -151,11 +162,27 @@ func NewSystem(network string, cfg Config) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &System{
+	sys := &System{
 		bench: bench, pre: pre, split: split,
 		cutName: cutName, cutLayer: cutLayer,
 		rng: tensor.NewRNG(cfg.Seed + 77), seed: cfg.Seed,
-	}, nil
+	}
+	if cfg.Dtype != "" {
+		dt, err := nn.ParseDtype(cfg.Dtype)
+		if err != nil {
+			return nil, fmt.Errorf("shredder: %w", err)
+		}
+		full, err := nn.Compile(pre.Net, dt)
+		if err != nil {
+			return nil, fmt.Errorf("shredder: compile %s at %v: %w", bench.Spec.Name, dt, err)
+		}
+		if err := split.CompileRemote(dt); err != nil {
+			return nil, fmt.Errorf("shredder: compile remote part at %v: %w", dt, err)
+		}
+		sys.dtype = &dt
+		sys.fullPlan = full
+	}
+	return sys, nil
 }
 
 // Network returns the benchmark network name.
@@ -170,6 +197,15 @@ func (s *System) CutLayerName() string { return s.cutLayer }
 
 // PrivacyTarget returns the benchmark's tuned in-vivo (1/SNR) target.
 func (s *System) PrivacyTarget() float64 { return s.bench.PrivacyTarget }
+
+// Dtype returns the inference arithmetic ("float64" or "float32"). The
+// stock uncompiled path reports "float64".
+func (s *System) Dtype() string {
+	if s.dtype != nil {
+		return s.dtype.String()
+	}
+	return nn.Float64.String()
+}
 
 // AttachProfiler installs p as the network's per-layer profiler: every
 // forward/backward pass — local, remote, serving, or training — reports
@@ -335,7 +371,7 @@ func (s *System) Classify(pixels []float64) (int, error) {
 	// against the signal the noise is about to cover.
 	s.monitor.Observe(member, a.Slice(0))
 	a.Slice(0).AddInPlace(noise)
-	logits := s.split.RemoteInfer(a)
+	logits := s.split.RemoteInferCompiled(a)
 	return logits.Slice(0).Argmax(), nil
 }
 
@@ -345,6 +381,9 @@ func (s *System) ClassifyBaseline(pixels []float64) (int, error) {
 	x, err := s.toBatch(pixels)
 	if err != nil {
 		return 0, err
+	}
+	if s.fullPlan != nil {
+		return s.fullPlan.Infer(x).Slice(0).Argmax(), nil
 	}
 	return s.split.Forward(x).Slice(0).Argmax(), nil
 }
@@ -415,6 +454,11 @@ func (h *CloudHandle) DebugAddr() string { return h.srv.DebugAddr() }
 // Connections are served fully concurrently (the remote forward pass is
 // reentrant); opts configure per-connection timeouts.
 func (s *System) ServeCloud(addr string, opts ...splitrt.ServerOption) (*CloudHandle, error) {
+	if s.dtype != nil {
+		// Inherit the system's dtype; an explicit WithDtype later in the
+		// slice still wins.
+		opts = append([]splitrt.ServerOption{splitrt.WithDtype(*s.dtype)}, opts...)
+	}
 	srv := splitrt.NewCloudServer(s.split, s.cutLayer, opts...)
 	bound, err := srv.Serve(addr)
 	if err != nil {

@@ -204,6 +204,106 @@ func TestCloudEdgeRoundTrip(t *testing.T) {
 	}
 }
 
+// TestDtypeFacade pins the Config.Dtype plumbing: a float32 system must
+// make the same classification decisions as a float64 one built from the
+// same cached weights — locally (baseline and noisy) and when serving the
+// compiled remote part over TCP.
+func TestDtypeFacade(t *testing.T) {
+	if _, err := NewSystem("lenet", Config{Seed: 3, Dtype: "bfloat16"}); err == nil {
+		t.Fatal("unknown dtype should be rejected at construction")
+	}
+
+	cache := t.TempDir()
+	cfg := Config{Seed: 3, TrainN: 400, TestN: 120, Epochs: 3, WeightCacheDir: cache}
+	sys64, err := NewSystem("lenet", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Dtype = "f32"
+	sys32, err := NewSystem("lenet", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys64.Dtype() != "float64" || sys32.Dtype() != "float32" {
+		t.Fatalf("dtype accessors: %q / %q", sys64.Dtype(), sys32.Dtype())
+	}
+
+	n := 40
+	for i := 0; i < n; i++ {
+		px, _ := sys64.TestSample(i)
+		want, err := sys64.ClassifyBaseline(px)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := sys32.ClassifyBaseline(px)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want != got {
+			t.Fatalf("sample %d: float32 baseline decision %d, float64 %d", i, got, want)
+		}
+	}
+
+	// Same seeds → byte-identical noise collections and sampling order, so
+	// the noisy float32 decisions must reproduce the float64 ones too.
+	opt := NoiseOptions{Scale: 2, Lambda: 0.01, PrivacyTarget: 4, Epochs: 3}
+	sys64.LearnNoiseWith(2, opt)
+	sys32.LearnNoiseWith(2, opt)
+	for i := 0; i < n; i++ {
+		px, _ := sys64.TestSample(i)
+		want, err := sys64.Classify(px)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := sys32.Classify(px)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want != got {
+			t.Fatalf("sample %d: noisy float32 decision %d, float64 %d", i, got, want)
+		}
+	}
+
+	// ServeCloud inherits the system dtype. Two fresh edge clients share
+	// the same seed and byte-identical collections, so they draw the same
+	// noise sequence — the float32-served decisions must reproduce the
+	// float64-served ones exactly.
+	cloud64, err := sys64.ServeCloud("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cloud64.Close()
+	cloud32, err := sys32.ServeCloud("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cloud32.Close()
+	edge64, err := sys64.ConnectEdge(cloud64.Addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer edge64.Close()
+	edge32, err := sys32.ConnectEdge(cloud32.Addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer edge32.Close()
+	for i := 0; i < n; i++ {
+		px, _ := sys64.TestSample(i)
+		want, err := edge64.Classify(px)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := edge32.Classify(px)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want != got {
+			t.Fatalf("sample %d: served float32 decision %d, float64 %d", i, got, want)
+		}
+	}
+}
+
 func TestWeightCache(t *testing.T) {
 	dir := t.TempDir()
 	cfg := Config{Seed: 5, TrainN: 150, TestN: 40, Epochs: 1, WeightCacheDir: dir}
