@@ -1,11 +1,12 @@
 GO ?= go
 
-.PHONY: ci fmt vet build test race bench bench-obs bench-profile bench-pool bench-kernels
+.PHONY: ci fmt vet build test race bench bench-obs bench-profile bench-pool bench-kernels bench-fitted
 
 ## ci: the full gate — formatting, vet, build, tests, the race suite over
 ## the concurrency-sensitive packages, and the observability-, profiler-,
-## fleet-serving, and dtype-kernel smoke benchmarks. Run before every push.
-ci: fmt vet build test race bench-obs bench-profile bench-pool bench-kernels
+## fleet-serving, dtype-kernel, and fitted-noise smoke benchmarks. Run
+## before every push.
+ci: fmt vet build test race bench-obs bench-profile bench-pool bench-kernels bench-fitted
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -49,3 +50,9 @@ bench-pool:
 ## run committed as results_bench_kernels.txt).
 bench-kernels:
 	$(GO) test -run '^$$' -bench BenchmarkKernels -benchtime 10x .
+
+## bench-fitted: smoke-run the fitted noise-distribution benchmarks (per-
+## query sampling overhead vs stored replay, plus the resident-memory
+## accounting; reference run committed as results_bench_fitted.txt).
+bench-fitted:
+	$(GO) test -run '^$$' -bench BenchmarkFitted -benchtime 50x .

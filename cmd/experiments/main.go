@@ -25,7 +25,7 @@ import (
 )
 
 func main() {
-	run := flag.String("run", "all", "what to regenerate: table1, fig3, fig4, fig5, fig6, or all")
+	run := flag.String("run", "all", "what to regenerate: table1, fig3, fig4, fig5, fig6, fitted, or all")
 	quick := flag.Bool("quick", false, "CI-scale run: small datasets, short training")
 	workdir := flag.String("workdir", "", "directory for cached pre-trained weights")
 	seed := flag.Int64("seed", 1, "master seed")
@@ -64,7 +64,7 @@ func main() {
 
 	want := map[string]bool{}
 	if *run == "all" {
-		for _, r := range []string{"table1", "fig3", "fig4", "fig5", "fig6"} {
+		for _, r := range []string{"table1", "fig3", "fig4", "fig5", "fig6", "fitted"} {
 			want[r] = true
 		}
 	} else {
@@ -86,6 +86,7 @@ func main() {
 		{"fig4", func(c experiments.Config) (renderer, error) { return experiments.Fig4(c) }},
 		{"fig5", func(c experiments.Config) (renderer, error) { return experiments.Fig5(c) }},
 		{"fig6", func(c experiments.Config) (renderer, error) { return experiments.Fig6(c) }},
+		{"fitted", func(c experiments.Config) (renderer, error) { return experiments.Fitted(c) }},
 	}
 
 	// Per-experiment wall time rides the obs profiler (each experiment is a
@@ -124,7 +125,7 @@ func main() {
 		ran++
 	}
 	if ran == 0 {
-		fatal(fmt.Errorf("nothing to run: -run=%q (want table1, fig3, fig4, fig5, fig6, or all)", *run))
+		fatal(fmt.Errorf("nothing to run: -run=%q (want table1, fig3, fig4, fig5, fig6, fitted, or all)", *run))
 	}
 	if ran > 1 {
 		fmt.Fprintln(progress, "per-experiment timings:")

@@ -92,14 +92,16 @@ networks: lenet, cifar, svhn, alexnet`)
 
 // commonFlags registers the flags shared by every subcommand.
 type commonFlags struct {
-	net    string
-	cut    string
-	seed   int64
-	trainN int
-	testN  int
-	epochs int
-	cache  string
-	dtype  string
+	net       string
+	cut       string
+	seed      int64
+	trainN    int
+	testN     int
+	epochs    int
+	cache     string
+	dtype     string
+	noiseMode string
+	noiseDist string
 }
 
 func registerCommon(fs *flag.FlagSet) *commonFlags {
@@ -112,6 +114,8 @@ func registerCommon(fs *flag.FlagSet) *commonFlags {
 	fs.IntVar(&c.epochs, "epochs", 0, "pre-training epochs (0 = network default)")
 	fs.StringVar(&c.cache, "cache", "", "directory for cached pre-trained weights")
 	fs.StringVar(&c.dtype, "dtype", "", "inference arithmetic: float64 (default) or float32 — compiles a fused plan; training always runs float64")
+	fs.StringVar(&c.noiseMode, "noise-mode", "", "noise deployment: stored (default, replay trained tensors), fitted (sample fresh noise from fitted distributions), fitted-mul (fresh multiplicative a'=a⊙w+n)")
+	fs.StringVar(&c.noiseDist, "noise-dist", "", "fitted distribution family: laplace (default) or gaussian")
 	return c
 }
 
@@ -120,7 +124,8 @@ func (c *commonFlags) system() (*shredder.System, error) {
 		Cut: c.cut, Seed: c.seed,
 		TrainN: c.trainN, TestN: c.testN, Epochs: c.epochs,
 		WeightCacheDir: c.cache, Progress: os.Stderr,
-		Dtype: c.dtype,
+		Dtype:     c.dtype,
+		NoiseMode: c.noiseMode, NoiseDist: c.noiseDist,
 	})
 }
 
@@ -152,6 +157,7 @@ func cmdTrainNoise(args []string) error {
 	lambda := fs.Float64("lambda", 0, "privacy knob λ (0 = tuned default)")
 	nepochs := fs.Float64("noise-epochs", 0, "noise-training epochs, fractional ok (0 = default)")
 	selfSup := fs.Bool("self-supervised", false, "train against the model's own predictions")
+	mul := fs.Bool("multiplicative", false, "train per-element weights jointly with the noise (a'=a⊙w+n); implied by -noise-mode fitted-mul")
 	quiet := fs.Bool("quiet", false, "suppress per-iteration progress lines")
 	csvPath := fs.String("csv", "", "append per-evaluation training events to this CSV file")
 	fs.Parse(args)
@@ -176,12 +182,13 @@ func cmdTrainNoise(args []string) error {
 	}
 	sys.LearnNoiseWith(*count, shredder.NoiseOptions{
 		Scale: *scale, Lambda: *lambda, Epochs: *nepochs, SelfSupervised: *selfSup,
-		Hook: obs.Hooks(hooks...),
+		Multiplicative: *mul,
+		Hook:           obs.Hooks(hooks...),
 	})
 	if err := sys.SaveNoise(*out); err != nil {
 		return err
 	}
-	fmt.Println("noise collection saved to", *out)
+	fmt.Printf("noise saved to %s (mode %s)\n", *out, sys.NoiseMode())
 	return nil
 }
 

@@ -1,9 +1,7 @@
 package core
 
 import (
-	"encoding/gob"
 	"fmt"
-	"io"
 	"runtime"
 	"sync"
 
@@ -15,17 +13,33 @@ import (
 // "distribution of noise tensors, all of which yield similar accuracy and
 // noise levels" (§2.5). At inference one member is sampled per query; no
 // training happens in that phase.
+//
+// A collection trained with NoiseConfig.Multiplicative additionally holds
+// one trained weight tensor per member (Weights parallel to Members) for
+// the a' = a⊙w + n variant; Draw then pairs each member's weight with its
+// noise. FitCollection turns either kind into a FittedCollection that
+// samples fresh noise per query from fitted distributions.
 type Collection struct {
 	// Shape is the per-sample activation shape every member matches.
 	Shape []int
 	// Members are the trained noise tensors.
 	Members []*tensor.Tensor
+	// Weights are the trained multiplicative weight tensors, parallel to
+	// Members; nil for the standard additive collection.
+	Weights []*tensor.Tensor
 	// InVivo records each member's final in vivo privacy, for reporting.
 	InVivo []float64
 }
 
-// Add appends a trained noise tensor to the collection.
+// Add appends a trained additive noise tensor to the collection.
 func (c *Collection) Add(n *NoiseTensor, inVivo float64) {
+	c.AddMember(n, nil, inVivo)
+}
+
+// AddMember appends a trained member: its noise tensor and, for the
+// multiplicative variant, its weight tensor (nil for additive members).
+// Mixing additive and multiplicative members in one collection panics.
+func (c *Collection) AddMember(n, w *NoiseTensor, inVivo float64) {
 	v := n.Values()
 	if c.Shape == nil {
 		c.Shape = append([]int(nil), v.Shape()...)
@@ -33,12 +47,46 @@ func (c *Collection) Add(n *NoiseTensor, inVivo float64) {
 	if !tensor.ShapeEq(c.Shape, v.Shape()) {
 		panic(fmt.Sprintf("core: collection shape %v, member shape %v", c.Shape, v.Shape()))
 	}
+	if len(c.Members) > 0 && (w != nil) != (len(c.Weights) > 0) {
+		panic("core: cannot mix additive and multiplicative members in one collection")
+	}
 	c.Members = append(c.Members, v.Clone())
+	if w != nil {
+		wv := w.Values()
+		if !tensor.ShapeEq(c.Shape, wv.Shape()) {
+			panic(fmt.Sprintf("core: collection shape %v, weight shape %v", c.Shape, wv.Shape()))
+		}
+		c.Weights = append(c.Weights, wv.Clone())
+	}
 	c.InVivo = append(c.InVivo, inVivo)
 }
 
 // Len returns the number of members.
 func (c *Collection) Len() int { return len(c.Members) }
+
+// Multiplicative reports whether the collection carries trained weight
+// tensors (the a' = a⊙w + n variant).
+func (c *Collection) Multiplicative() bool { return len(c.Weights) > 0 }
+
+// NoiseShape returns the per-sample activation shape (NoiseSource).
+func (c *Collection) NoiseShape() []int { return c.Shape }
+
+// Mode reports ModeStored: the collection replays trained tensors.
+func (c *Collection) Mode() string { return ModeStored }
+
+// Draw samples one member uniformly and returns its tensors (NoiseSource).
+// For stored collections the draw shares the member tensors — callers must
+// not modify them. The random stream consumed is identical to
+// SampleIndexed's, so stored-mode behaviour is bit-for-bit unchanged by
+// the NoiseSource seam.
+func (c *Collection) Draw(rng *tensor.RNG) Draw {
+	i, n := c.SampleIndexed(rng)
+	d := Draw{Member: i, Noise: n}
+	if len(c.Weights) > 0 {
+		d.Weight = c.Weights[i]
+	}
+	return d
+}
 
 // Sample draws one noise tensor uniformly at random — the inference-time
 // sampling step of paper §2.5.
@@ -58,6 +106,9 @@ func (c *Collection) SampleIndexed(rng *tensor.RNG) (int, *tensor.Tensor) {
 }
 
 // MeanInVivo returns the average recorded in vivo privacy of the members.
+// Contract: an empty collection (or one whose members recorded no in vivo
+// values) returns 0, never NaN — callers render the result directly in
+// reports and summaries and must not need a guard.
 func (c *Collection) MeanInVivo() float64 {
 	if len(c.InVivo) == 0 {
 		return 0
@@ -71,7 +122,9 @@ func (c *Collection) MeanInVivo() float64 {
 
 // Collect trains count noise tensors with distinct seeds and returns them
 // as a collection. Each run repeats the full training process from a fresh
-// Laplace initialization, exactly as §2.5 prescribes.
+// Laplace initialization, exactly as §2.5 prescribes. With
+// cfg.Multiplicative set, each member is a (weight, noise) pair trained
+// jointly for a' = a⊙w + n.
 //
 // workers bounds the number of members trained concurrently: 1 trains
 // sequentially, n > 1 fans the members over n goroutines sharing the one
@@ -93,6 +146,7 @@ func Collect(split *Split, ds *data.Dataset, cfg NoiseConfig, count, workers int
 
 	type member struct {
 		noise  *NoiseTensor
+		weight *NoiseTensor
 		inVivo float64
 	}
 	results := make([]member, count)
@@ -106,7 +160,7 @@ func Collect(split *Split, ds *data.Dataset, cfg NoiseConfig, count, workers int
 			run.Run = cfg.Run + "/" + run.Run
 		}
 		res := TrainNoise(split, ds, run)
-		results[i] = member{noise: res.Noise, inVivo: res.FinalInVivo}
+		results[i] = member{noise: res.Noise, weight: res.Weight, inVivo: res.FinalInVivo}
 	}
 
 	if workers == 1 {
@@ -134,37 +188,7 @@ func Collect(split *Split, ds *data.Dataset, cfg NoiseConfig, count, workers int
 
 	c := &Collection{}
 	for _, m := range results {
-		c.Add(m.noise, m.inVivo)
+		c.AddMember(m.noise, m.weight, m.inVivo)
 	}
 	return c
-}
-
-// collectionWire is the gob wire format.
-type collectionWire struct {
-	Shape   []int
-	Members []*tensor.Tensor
-	InVivo  []float64
-}
-
-// Encode writes the collection in gob format.
-func (c *Collection) Encode(w io.Writer) error {
-	if err := gob.NewEncoder(w).Encode(collectionWire{c.Shape, c.Members, c.InVivo}); err != nil {
-		return fmt.Errorf("core: encode collection: %w", err)
-	}
-	return nil
-}
-
-// DecodeCollection reads a collection written by Encode.
-func DecodeCollection(r io.Reader) (*Collection, error) {
-	var wire collectionWire
-	if err := gob.NewDecoder(r).Decode(&wire); err != nil {
-		return nil, fmt.Errorf("core: decode collection: %w", err)
-	}
-	c := &Collection{Shape: wire.Shape, Members: wire.Members, InVivo: wire.InVivo}
-	for i, m := range c.Members {
-		if !tensor.ShapeEq(m.Shape(), c.Shape) {
-			return nil, fmt.Errorf("core: decode collection: member %d shape %v != %v", i, m.Shape(), c.Shape)
-		}
-	}
-	return c, nil
 }

@@ -45,12 +45,14 @@ func (c EvalConfig) withDefaults() EvalConfig {
 }
 
 // Activations runs the local part over the whole dataset and returns the
-// batched activations [N, ...]. When a collection is given, an
-// independently sampled noise tensor is added to every sample — the
+// batched activations [N, ...]. When a noise source is given, an
+// independently drawn perturbation is applied to every sample — the
 // paper's inference-time sampling (§2.5). Note that a single fixed noise
 // tensor is a constant shift and leaves mutual information unchanged; the
-// privacy comes from sampling the collection per query.
-func Activations(split *Split, ds *data.Dataset, col *Collection, batchSize int, rng *tensor.RNG) *tensor.Tensor {
+// privacy comes from per-query draws. For a stored Collection the draws
+// consume the same random stream Sample always did, so measurements are
+// bit-for-bit unchanged by the NoiseSource seam.
+func Activations(split *Split, ds *data.Dataset, src NoiseSource, batchSize int, rng *tensor.RNG) *tensor.Tensor {
 	shape := append([]int{ds.N()}, split.ActivationShape()...)
 	out := tensor.New(shape...)
 	row := 0
@@ -60,8 +62,8 @@ func Activations(split *Split, ds *data.Dataset, col *Collection, batchSize int,
 		for i := 0; i < n; i++ {
 			dst := out.Slice(row)
 			dst.CopyFrom(a.Slice(i))
-			if col != nil {
-				dst.AddInPlace(col.Sample(rng))
+			if src != nil {
+				src.Draw(rng).ApplyInPlace(dst)
 			}
 			row++
 		}
@@ -70,9 +72,12 @@ func Activations(split *Split, ds *data.Dataset, col *Collection, batchSize int,
 }
 
 // Evaluate measures baseline/noisy accuracy, in vivo privacy, and the
-// original vs shredded mutual information of a split with a noise
-// collection on a test set.
-func Evaluate(split *Split, ds *data.Dataset, col *Collection, cfg EvalConfig) EvalResult {
+// original vs shredded mutual information of a split with a noise source
+// on a test set. Additive sources report the classic 1/SNR =
+// Var(noise)/E[a²]; multiplicative draws report the realized perturbation
+// power E[(a′−a)²]/E[a²], since the weight scales the signal and the noise
+// variance alone no longer measures the distortion.
+func Evaluate(split *Split, ds *data.Dataset, src NoiseSource, cfg EvalConfig) EvalResult {
 	cfg = cfg.withDefaults()
 	rng := tensor.NewRNG(cfg.Seed)
 	var res EvalResult
@@ -85,10 +90,10 @@ func Evaluate(split *Split, ds *data.Dataset, col *Collection, cfg EvalConfig) E
 		base := split.RemoteInfer(a)
 		// Per-sample noise draws, as at real inference time (§2.5).
 		aPrime := a.Clone()
-		var lastNoise *tensor.Tensor
+		var lastDraw Draw
 		for i := 0; i < aPrime.Dim(0); i++ {
-			lastNoise = col.Sample(rng)
-			aPrime.Slice(i).AddInPlace(lastNoise)
+			lastDraw = src.Draw(rng)
+			lastDraw.ApplyInPlace(aPrime.Slice(i))
 		}
 		noisy := split.RemoteInfer(aPrime)
 		for i, y := range b.Labels {
@@ -99,7 +104,13 @@ func Evaluate(split *Split, ds *data.Dataset, col *Collection, cfg EvalConfig) E
 				correctNoisy++
 			}
 		}
-		inVivoSum += privacy.InVivo(a, lastNoise)
+		if lastDraw.Multiplicative() {
+			if ea2 := a.SqSum() / float64(a.Len()); ea2 > 0 {
+				inVivoSum += meanSqDiff(aPrime, a) / ea2
+			}
+		} else {
+			inVivoSum += privacy.InVivo(a, lastDraw.Noise)
+		}
 		batches++
 		n += len(b.Labels)
 	}
@@ -113,7 +124,7 @@ func Evaluate(split *Split, ds *data.Dataset, col *Collection, cfg EvalConfig) E
 	res.AccLossPct = privacy.AccuracyLoss(res.BaselineAcc, res.NoisyAcc)
 
 	clean := Activations(split, ds, nil, cfg.BatchSize, rng)
-	shredded := Activations(split, ds, col, cfg.BatchSize, rng)
+	shredded := Activations(split, ds, src, cfg.BatchSize, rng)
 	res.OrigMI = privacy.MeasureMI(ds.Images, clean, cfg.MI)
 	miOpts := cfg.MI
 	miOpts.Seed++ // decorrelate subsampling between the two estimates

@@ -55,6 +55,58 @@ func AddBroadcast(a, noise *tensor.Tensor) *tensor.Tensor {
 	return out
 }
 
+// NewWeightTensor creates a Normal(mu, std)-initialized multiplicative
+// weight tensor for a per-sample activation shape. Weights start near the
+// identity (mu ≈ 1) so short training budgets begin from an unperturbed
+// network; the snippet-faithful N(0, 1) start is WeightMu=0, WeightStd=1.
+func NewWeightTensor(shape []int, mu, std float64, rng *tensor.RNG) *NoiseTensor {
+	v := tensor.New(shape...)
+	rng.FillNormal(v, mu, std)
+	return &NoiseTensor{Param: nn.NewParam("weight", v), Mu: mu, Scale: std}
+}
+
+// MulAddBroadcast returns a⊙w + noise for a batched activation a of shape
+// [N, ...shape], broadcasting the per-sample weight and noise tensors over
+// the batch — the multiplicative Shredder variant's forward transform. The
+// input is not modified.
+func MulAddBroadcast(a, w, noise *tensor.Tensor) *tensor.Tensor {
+	per := noise.Len()
+	if w.Len() != per {
+		panic(fmt.Sprintf("core: weight of %d values paired with noise of %d", w.Len(), per))
+	}
+	if a.Rank() < 2 || a.Len()%per != 0 || a.Len()/a.Dim(0) != per {
+		panic(fmt.Sprintf("core: noise of %d values cannot broadcast over activation shape %v", per, a.Shape()))
+	}
+	out := a.Clone()
+	od, wd, nd := out.Data(), w.Data(), noise.Data()
+	batch := a.Dim(0)
+	for i := 0; i < batch; i++ {
+		row := od[i*per : (i+1)*per]
+		for j := range row {
+			row[j] = row[j]*wd[j] + nd[j]
+		}
+	}
+	return out
+}
+
+// AccumulateWeightGrad folds a batched activation gradient ∂loss/∂a′ into
+// the weight gradient: with a′ᵢ = aᵢ⊙w + n shared across the batch,
+// ∂loss/∂w = Σᵢ ∂loss/∂a′ᵢ ⊙ aᵢ.
+func (n *NoiseTensor) AccumulateWeightGrad(dAprime, a *tensor.Tensor) {
+	per := n.Param.Value.Len()
+	if dAprime.Len() != a.Len() || dAprime.Len()%per != 0 {
+		panic(fmt.Sprintf("core: gradient shape %v incompatible with weight of %d values", dAprime.Shape(), per))
+	}
+	gd, dd, ad := n.Param.Grad.Data(), dAprime.Data(), a.Data()
+	batch := dAprime.Len() / per
+	for i := 0; i < batch; i++ {
+		off := i * per
+		for j := 0; j < per; j++ {
+			gd[j] += dd[off+j] * ad[off+j]
+		}
+	}
+}
+
 // AccumulateGrad folds a batched activation gradient ∂loss/∂a′ of shape
 // [N, ...shape] into the noise gradient: since the same noise is added to
 // every sample, ∂loss/∂n = Σᵢ ∂loss/∂a′ᵢ.

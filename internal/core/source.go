@@ -1,0 +1,71 @@
+package core
+
+import (
+	"fmt"
+
+	"shredder/internal/tensor"
+)
+
+// Noise-mode names shared by the facade, CLI flags, and the wire format.
+const (
+	ModeStored    = "stored"     // replay K trained tensors (paper §2.5 as seeded)
+	ModeFitted    = "fitted"     // sample fresh additive noise from fitted distributions
+	ModeFittedMul = "fitted-mul" // sample fresh (w, n): a' = a⊙w + n
+)
+
+// NoiseSource yields per-query noise for the cutting-point activation. It
+// is the seam between noise *training* (which produces a Collection of
+// trained tensors) and noise *serving*: the stored Collection satisfies it
+// by replaying members, and FittedCollection satisfies it by sampling
+// fresh noise from distributions fitted to those members. Everything that
+// applies noise at inference time — the facade's Classify, the edge
+// client, the fleet pool, the evaluator — speaks this interface and is
+// agnostic to which mode is deployed.
+//
+// Implementations are safe for concurrent use as long as callers serialize
+// the RNG they pass in, exactly as Collection sampling always required.
+type NoiseSource interface {
+	// NoiseShape is the per-sample activation shape the noise matches.
+	NoiseShape() []int
+	// Mode names the deployment mode (ModeStored, ModeFitted, ModeFittedMul).
+	Mode() string
+	// Draw produces one per-query noise realization from rng.
+	Draw(rng *tensor.RNG) Draw
+	// MeanInVivo reports the average recorded in vivo privacy (1/SNR) of
+	// the underlying trained members; 0 when nothing was recorded.
+	MeanInVivo() float64
+}
+
+// Draw is one per-query noise realization: the transformation
+// a' = a⊙Weight + Noise (Weight nil means the identity, i.e. the paper's
+// additive a' = a + n). Member attributes the draw to a stored collection
+// member for telemetry; fresh per-query samples carry Member = -1.
+type Draw struct {
+	// Member is the stored-collection member index, or -1 when the noise
+	// was sampled fresh from a fitted distribution.
+	Member int
+	// Weight is the multiplicative per-element weight w, nil for additive
+	// sources.
+	Weight *tensor.Tensor
+	// Noise is the additive component n.
+	Noise *tensor.Tensor
+}
+
+// ApplyInPlace perturbs one per-sample activation: a ← a⊙w + n. The draw's
+// tensors are never modified; for stored draws they are shared collection
+// members, so the activation is the only tensor written.
+func (d Draw) ApplyInPlace(a *tensor.Tensor) *tensor.Tensor {
+	if d.Noise != nil && a.Len() != d.Noise.Len() {
+		panic(fmt.Sprintf("core: draw of %d values applied to activation of %d", d.Noise.Len(), a.Len()))
+	}
+	if d.Weight != nil {
+		a.MulInPlace(d.Weight)
+	}
+	if d.Noise != nil {
+		a.AddInPlace(d.Noise)
+	}
+	return a
+}
+
+// Multiplicative reports whether the draw carries a weight tensor.
+func (d Draw) Multiplicative() bool { return d.Weight != nil }

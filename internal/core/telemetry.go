@@ -58,6 +58,13 @@ type PrivacyMonitor struct {
 	lastSNR *obs.Gauge
 
 	members []memberTelemetry
+
+	// fitted is set when the monitor observes a FittedCollection: per-query
+	// draws are fresh samples, so the per-member balance gauges are replaced
+	// by static distribution-parameter gauges and the realized 1/SNR is
+	// computed from each sampled draw's own noise (still in vivo).
+	fitted *FittedCollection
+	fitInv atomic.Uint64 // float64 bits of the last sampled fitted 1/SNR
 }
 
 // memberTelemetry is the per-collection-member slice of the monitor.
@@ -103,6 +110,134 @@ func NewPrivacyMonitor(reg *obs.Registry, col *Collection, target float64, sampl
 		reg.Gauge(name + ".noise_l1").Set(mt.noiseL1)
 	}
 	return m
+}
+
+// NewPrivacyMonitorSource builds a monitor over any noise source. Stored
+// collections get the classic per-member monitor; fitted sources get the
+// same query/sample/alert pipeline plus static distribution-parameter
+// gauges in place of member-balance gauges:
+//
+//	privacy.dist.components      gauge, mixture size (trained members fitted)
+//	privacy.dist.loc             gauge, mixture-mean location
+//	privacy.dist.scale           gauge, mixture-mean scale
+//	privacy.dist.noise_var       gauge, analytic element variance of a draw
+//	privacy.dist.weight.*        same three for the fitted weights (fitted-mul)
+//
+// Returns nil (a valid, disabled monitor) when reg or src is nil or the
+// source is of an unknown type.
+func NewPrivacyMonitorSource(reg *obs.Registry, src NoiseSource, target float64, sampleEvery int) *PrivacyMonitor {
+	switch s := src.(type) {
+	case *Collection:
+		return NewPrivacyMonitor(reg, s, target, sampleEvery)
+	case *FittedCollection:
+		if reg == nil || s == nil || s.Noise == nil {
+			return nil
+		}
+		if sampleEvery < 1 {
+			sampleEvery = 1
+		}
+		m := &PrivacyMonitor{
+			target:  target,
+			every:   uint64(sampleEvery),
+			queries: reg.Counter("privacy.queries"),
+			sampled: reg.Counter("privacy.sampled"),
+			alerts:  reg.Counter("privacy.alerts"),
+			invivo:  reg.Histogram("privacy.invivo", DefPrivacyBuckets...),
+			lastInv: reg.Gauge("privacy.invivo.last"),
+			lastSNR: reg.Gauge("privacy.snr.last"),
+			fitted:  s,
+		}
+		reg.Gauge("privacy.dist.components").Set(float64(s.Components()))
+		reg.Gauge("privacy.dist.loc").Set(s.Noise.MeanLoc())
+		reg.Gauge("privacy.dist.scale").Set(s.Noise.MeanScale())
+		reg.Gauge("privacy.dist.noise_var").Set(s.Noise.Variance())
+		if s.Weight != nil {
+			reg.Gauge("privacy.dist.weight.loc").Set(s.Weight.MeanLoc())
+			reg.Gauge("privacy.dist.weight.scale").Set(s.Weight.MeanScale())
+			reg.Gauge("privacy.dist.weight.var").Set(s.Weight.Variance())
+		}
+		return m
+	}
+	return nil
+}
+
+// ObserveDraw records one noise application from any source. Stored
+// additive draws route through Observe unchanged (identical counters and
+// per-member gauges). Fresh or multiplicative draws compute the realized
+// in-vivo 1/SNR from the draw itself on every sampleEvery-th query:
+// Var(drawn noise)/E[a²] for additive draws, and the realized perturbation
+// power E[(a⊙w + n − a)²]/E[a²] for multiplicative ones. act must be the
+// *clean* activation — call before ApplyInPlace.
+func (m *PrivacyMonitor) ObserveDraw(d Draw, act *tensor.Tensor) {
+	if m == nil {
+		return
+	}
+	if !d.Multiplicative() && d.Member >= 0 {
+		m.Observe(d.Member, act)
+		return
+	}
+	m.queries.Inc()
+	var mt *memberTelemetry
+	if d.Member >= 0 && d.Member < len(m.members) {
+		mt = &m.members[d.Member]
+		mt.samples.Inc()
+	}
+	if m.tick.Add(1)%m.every != 0 {
+		return
+	}
+	n := act.Len()
+	if n == 0 || d.Noise == nil {
+		return
+	}
+	ea2 := act.SqSum() / float64(n)
+	if !(ea2 > 0) {
+		return // all-zero activation: SNR undefined, skip the sample
+	}
+	var inv float64
+	if d.Multiplicative() {
+		inv = perturbPower(act, d.Weight, d.Noise) / ea2
+	} else {
+		inv = d.Noise.Variance() / ea2
+	}
+	m.sampled.Inc()
+	m.invivo.Observe(inv)
+	m.lastInv.Set(inv)
+	m.fitInv.Store(floatBits(inv))
+	if inv > 0 {
+		m.lastSNR.Set(1 / inv)
+	}
+	if mt != nil {
+		mt.invivo.Set(inv)
+		mt.lastInv.Store(floatBits(inv))
+	}
+	if m.target > 0 && inv < m.target {
+		m.alerts.Inc()
+	}
+}
+
+// perturbPower returns E[(a⊙w + n − a)²] for one per-sample activation —
+// the realized perturbation power of a multiplicative draw.
+func perturbPower(a, w, n *tensor.Tensor) float64 {
+	ad := a.Data()
+	var wd, nd []float64
+	if w != nil {
+		wd = w.Data()
+	}
+	if n != nil {
+		nd = n.Data()
+	}
+	s := 0.0
+	for i := range ad {
+		p := 0.0
+		if wd != nil {
+			p = ad[i] * (wd[i] - 1)
+		}
+		if nd != nil {
+			p += nd[i]
+		}
+		s += p * p
+	}
+	return s / float64(len(ad))
 }
 
 // Observe records one noise application: member is the index returned by
@@ -169,9 +304,11 @@ func (m *PrivacyMonitor) Alerts() int64 {
 	return m.alerts.Value()
 }
 
-// WriteSummary renders a per-member table (samples, share, noise L1, last
-// sampled 1/SNR) plus the query/alert totals — the `shredder infer
-// -privacy-sample` report. Nil-safe: a nil monitor writes nothing.
+// WriteSummary renders the query/alert totals plus either a per-member
+// table (samples, share, noise L1, last sampled 1/SNR) for stored
+// collections or the fitted distribution parameters for fitted sources —
+// the `shredder infer -privacy-sample` report. Nil-safe: a nil monitor
+// writes nothing.
 func (m *PrivacyMonitor) WriteSummary(w io.Writer) {
 	if m == nil {
 		return
@@ -179,6 +316,20 @@ func (m *PrivacyMonitor) WriteSummary(w io.Writer) {
 	total := m.queries.Value()
 	fmt.Fprintf(w, "privacy telemetry: %d queries, %d sampled, %d alerts (target 1/SNR >= %g)\n",
 		total, m.sampled.Value(), m.alerts.Value(), m.target)
+	if f := m.fitted; f != nil {
+		fmt.Fprintf(w, "mode %s: %d-component %s mixture, loc %.4f, scale %.4f, draw var %.4f\n",
+			f.Mode(), f.Components(), f.Noise.Kind, f.Noise.MeanLoc(), f.Noise.MeanScale(), f.Noise.Variance())
+		if f.Weight != nil {
+			fmt.Fprintf(w, "weights: loc %.4f, scale %.4f, draw var %.4f\n",
+				f.Weight.MeanLoc(), f.Weight.MeanScale(), f.Weight.Variance())
+		}
+		last := "-"
+		if bits := m.fitInv.Load(); bits != 0 {
+			last = fmt.Sprintf("%.3f", floatFromBits(bits))
+		}
+		fmt.Fprintf(w, "last sampled 1/SNR %s (fresh per-query draws; no member balance)\n", last)
+		return
+	}
 	fmt.Fprintf(w, "%-8s %10s %7s %12s %12s\n", "member", "samples", "share", "noise_l1", "last 1/SNR")
 	for i := range m.members {
 		mt := &m.members[i]

@@ -40,6 +40,16 @@ type NoiseConfig struct {
 	// predictions instead of ground-truth labels (extension; ablated in
 	// the benchmarks).
 	SelfSupervised bool
+	// Multiplicative trains the a' = a⊙w + n variant: a per-element weight
+	// tensor is optimized jointly with the noise (the λ privacy term still
+	// rewards only the noise magnitude).
+	Multiplicative bool
+	// WeightMu and WeightStd parameterize the Normal weight initialization
+	// of the multiplicative variant. Defaults (1, 0.25) start near the
+	// identity so short budgets begin from an unperturbed network; set
+	// (0, 1) for the reference implementation's N(0, 1) start. Only read
+	// when Multiplicative is set.
+	WeightMu, WeightStd float64
 	// EvalEvery is the iteration interval for events/λ-decay (default 10).
 	EvalEvery int
 	// Log, when non-nil, receives an event at every evaluation point.
@@ -73,6 +83,14 @@ func (c NoiseConfig) withDefaults() NoiseConfig {
 	if c.EvalEvery == 0 {
 		c.EvalEvery = 10
 	}
+	if c.Multiplicative {
+		if c.WeightMu == 0 && c.WeightStd == 0 {
+			c.WeightMu = 1
+		}
+		if c.WeightStd == 0 {
+			c.WeightStd = 0.25
+		}
+	}
 	return c
 }
 
@@ -91,7 +109,10 @@ type TrainEvent struct {
 
 // TrainResult is the outcome of one noise-training run.
 type TrainResult struct {
-	Noise       *NoiseTensor
+	Noise *NoiseTensor
+	// Weight is the trained multiplicative weight tensor, nil unless the
+	// run had NoiseConfig.Multiplicative set.
+	Weight      *NoiseTensor
 	Iterations  int
 	Epochs      float64 // actual epochs executed
 	FinalInVivo float64
@@ -118,7 +139,15 @@ func TrainNoise(split *Split, ds *data.Dataset, cfg NoiseConfig) *TrainResult {
 	split.zeroParamGrads()
 	rng := tensor.NewRNG(cfg.Seed)
 	noise := NewNoiseTensor(split.ActivationShape(), cfg.Mu, cfg.Scale, rng)
-	opt := optim.NewAdam([]*nn.Param{noise.Param}, cfg.LR)
+	params := []*nn.Param{noise.Param}
+	var weight *NoiseTensor
+	if cfg.Multiplicative {
+		// The weight draws from the same seeded stream, after the noise
+		// init; the additive path consumes an identical stream to before.
+		weight = NewWeightTensor(split.ActivationShape(), cfg.WeightMu, cfg.WeightStd, rng)
+		params = append(params, weight.Param)
+	}
+	opt := optim.NewAdam(params, cfg.LR)
 
 	// The run's private execution context: frozen (no ∂loss/∂θ), with its
 	// own dropout stream.
@@ -135,7 +164,7 @@ func TrainNoise(split *Split, ds *data.Dataset, cfg NoiseConfig) *TrainResult {
 	}
 
 	lambda := cfg.Lambda
-	res := &TrainResult{Noise: noise}
+	res := &TrainResult{Noise: noise, Weight: weight}
 	iter := 0
 	var lastInVivo float64
 	// Running estimate of E[a²] over all batches seen: the signal power in
@@ -143,6 +172,8 @@ func TrainNoise(split *Split, ds *data.Dataset, cfg NoiseConfig) *TrainResult {
 	// trace from fluctuating with individual batches.
 	var ea2Sum float64
 	var ea2N int
+	// Running perturbation power E[(a'−a)²] (multiplicative runs only).
+	var pertSum float64
 	for iter < totalIters {
 		shuffled := ds.Shuffle(cfg.Seed + int64(10_000+iter))
 		for _, b := range shuffled.Batches(cfg.BatchSize) {
@@ -150,7 +181,12 @@ func TrainNoise(split *Split, ds *data.Dataset, cfg NoiseConfig) *TrainResult {
 				break
 			}
 			a := split.Local(b.Images)
-			aPrime := noise.Apply(a)
+			var aPrime *tensor.Tensor
+			if weight != nil {
+				aPrime = MulAddBroadcast(a, weight.Values(), noise.Values())
+			} else {
+				aPrime = noise.Apply(a)
+			}
 			tape.Reset()
 			logits := split.RemoteT(tape, aPrime, true)
 
@@ -170,12 +206,27 @@ func TrainNoise(split *Split, ds *data.Dataset, cfg NoiseConfig) *TrainResult {
 			noise.Param.ZeroGrad()
 			noise.AccumulateGrad(dAprime)
 			AddPrivacyGrad(noise, lambda)
+			if weight != nil {
+				weight.Param.ZeroGrad()
+				weight.AccumulateWeightGrad(dAprime, a)
+			}
 			opt.Step()
 
 			ea2Sum += a.SqSum() / float64(a.Len())
 			ea2N++
 			meanEA2 := ea2Sum / float64(ea2N)
-			if varN := noise.Values().Variance(); varN > 0 && meanEA2 > 0 {
+			if weight != nil {
+				// Multiplicative 1/SNR uses the realized perturbation power
+				// E[(a'−a)²] = E[(a⊙(w−1) + n)²] in place of the noise
+				// variance: the weight scales the signal, so the noise
+				// tensor's variance alone no longer measures the distortion.
+				pertSum += meanSqDiff(aPrime, a)
+				if meanEA2 > 0 {
+					lastInVivo = (pertSum / float64(ea2N)) / meanEA2
+				} else {
+					lastInVivo = 0
+				}
+			} else if varN := noise.Values().Variance(); varN > 0 && meanEA2 > 0 {
 				lastInVivo = varN / meanEA2 // 1/SNR with averaged signal power
 			} else {
 				lastInVivo = 0
@@ -217,5 +268,19 @@ func TrainNoise(split *Split, ds *data.Dataset, cfg NoiseConfig) *TrainResult {
 	if !noise.Values().AllFinite() {
 		panic(fmt.Sprintf("core: noise diverged (non-finite values) after %d iterations", iter))
 	}
+	if weight != nil && !weight.Values().AllFinite() {
+		panic(fmt.Sprintf("core: weight diverged (non-finite values) after %d iterations", iter))
+	}
 	return res
+}
+
+// meanSqDiff returns E[(x−y)²] over two equally sized tensors.
+func meanSqDiff(x, y *tensor.Tensor) float64 {
+	xd, yd := x.Data(), y.Data()
+	s := 0.0
+	for i := range xd {
+		d := xd[i] - yd[i]
+		s += d * d
+	}
+	return s / float64(len(xd))
 }

@@ -121,5 +121,28 @@ func (r *Fig6Result) WriteCSV(w io.Writer) error {
 	return nil
 }
 
+// WriteCSV emits one row per (benchmark, noise mode) evaluation.
+func (r *FittedResult) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	defer cw.Flush()
+	if err := cw.Write([]string{
+		"benchmark", "mode", "cut", "baseline_acc", "noisy_acc", "acc_loss_pct",
+		"original_mi_bits", "shredded_mi_bits", "mi_loss_pct", "in_vivo", "members", "memory_bytes",
+	}); err != nil {
+		return err
+	}
+	for _, row := range r.Rows {
+		if err := cw.Write([]string{
+			row.Benchmark, row.Mode, row.Cut,
+			f(row.BaselineAcc), f(row.NoisyAcc), f(row.AccLossPct),
+			f(row.OriginalMI), f(row.ShreddedMI), f(row.MILossPct), f(row.InVivo),
+			strconv.Itoa(row.Members), strconv.Itoa(row.MemoryBytes),
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // f formats a float compactly for CSV.
 func f(v float64) string { return fmt.Sprintf("%g", v) }

@@ -199,3 +199,47 @@ func TestBenchmarksForFilter(t *testing.T) {
 		t.Fatalf("filtered benchmarks = %d", len(got))
 	}
 }
+
+func TestFittedQuickLeNet(t *testing.T) {
+	res, err := Fitted(quickCfg(t, "lenet"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("got %d rows, want stored/fitted/fitted-mul", len(res.Rows))
+	}
+	modes := map[string]FittedRow{}
+	for _, row := range res.Rows {
+		if row.Benchmark != "lenet" || row.Members <= 0 {
+			t.Fatalf("bad row %+v", row)
+		}
+		modes[row.Mode] = row
+	}
+	for _, m := range []string{"stored", "fitted", "fitted-mul"} {
+		if _, ok := modes[m]; !ok {
+			t.Fatalf("mode %q missing (have %v)", m, res.Rows)
+		}
+	}
+	// Fitted mode keeps sketches + orderings resident, never the K
+	// trained float64 tensors, so it must come in under stored mode.
+	if modes["fitted"].MemoryBytes >= modes["stored"].MemoryBytes {
+		t.Fatalf("fitted %d B not below stored %d B",
+			modes["fitted"].MemoryBytes, modes["stored"].MemoryBytes)
+	}
+
+	var buf bytes.Buffer
+	res.Render(&buf)
+	out := buf.String()
+	for _, want := range []string{"stored", "fitted", "fitted-mul", "resident B"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendered table missing %q:\n%s", want, out)
+		}
+	}
+	buf.Reset()
+	if err := res.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(buf.String(), "\n"); lines != 4 {
+		t.Fatalf("CSV has %d lines, want header + 3 rows", lines)
+	}
+}

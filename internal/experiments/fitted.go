@@ -1,0 +1,119 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"shredder/internal/core"
+	"shredder/internal/noisedist"
+	"shredder/internal/tensor"
+)
+
+// FittedRow is one (benchmark, noise mode) evaluation: stored replay of
+// the trained collection, fresh sampling from the fitted distributions, or
+// the fitted multiplicative variant.
+type FittedRow struct {
+	Benchmark   string
+	Mode        string // stored | fitted | fitted-mul
+	Cut         string
+	BaselineAcc float64 // fraction
+	NoisyAcc    float64 // fraction
+	AccLossPct  float64 // percentage points
+	OriginalMI  float64 // I(x; a) in bits
+	ShreddedMI  float64 // I(x; a′) in bits
+	MILossPct   float64
+	InVivo      float64 // mean in vivo 1/SNR over the evaluation
+	Members     int     // trained members behind the source
+	MemoryBytes int     // resident noise-source size
+}
+
+// FittedResult aggregates the stored-vs-fitted-vs-multiplicative
+// comparison across benchmarks.
+type FittedResult struct {
+	Rows []FittedRow
+}
+
+// Fitted compares the three noise deployment modes on each benchmark at
+// its default cut. The stored and fitted rows share one trained additive
+// collection — the fitted source is literally a fit of the stored members,
+// so the accuracy gap isolates the cost of sampling fresh noise instead of
+// replaying trained tensors. The fitted-mul row trains its own collection
+// with the joint a' = a⊙w + n objective.
+func Fitted(cfg Config) (*FittedResult, error) {
+	cfg = cfg.withDefaults()
+	res := &FittedResult{}
+	for _, b := range benchmarksFor(cfg) {
+		cfg.logf("fitted: preparing %s", b.Spec.Name)
+		pre, err := cfg.pretrained(b.Spec)
+		if err != nil {
+			return nil, fmt.Errorf("fitted: %s: %w", b.Spec.Name, err)
+		}
+		split, err := splitAt(pre, b.Spec.DefaultCut)
+		if err != nil {
+			return nil, err
+		}
+		nc := cfg.noiseConfig(b)
+		cfg.logf("fitted: training %d additive noise tensors for %s", cfg.collectionSize(), b.Spec.Name)
+		col := core.Collect(split, pre.Train, nc, cfg.collectionSize(), cfg.Workers)
+		fit, err := core.FitCollection(col, noisedist.Laplace)
+		if err != nil {
+			return nil, fmt.Errorf("fitted: %s: %w", b.Spec.Name, err)
+		}
+
+		mulNC := nc
+		mulNC.Multiplicative = true
+		cfg.logf("fitted: training %d multiplicative (w, n) pairs for %s", cfg.collectionSize(), b.Spec.Name)
+		mulCol := core.Collect(split, pre.Train, mulNC, cfg.collectionSize(), cfg.Workers)
+		mulFit, err := core.FitCollection(mulCol, noisedist.Laplace)
+		if err != nil {
+			return nil, fmt.Errorf("fitted: %s: %w", b.Spec.Name, err)
+		}
+
+		elems := tensor.Volume(split.ActivationShape())
+		for _, src := range []struct {
+			source  core.NoiseSource
+			members int
+			bytes   int
+		}{
+			{col, col.Len(), 8 * elems * col.Len()},
+			{fit, col.Len(), fit.MemoryBytes()},
+			{mulFit, mulCol.Len(), mulFit.MemoryBytes()},
+		} {
+			ev := core.Evaluate(split, pre.Test, src.source, core.EvalConfig{MI: cfg.miOptions(), Seed: cfg.Seed})
+			row := FittedRow{
+				Benchmark:   b.Spec.Name,
+				Mode:        src.source.Mode(),
+				Cut:         b.Spec.DefaultCut,
+				BaselineAcc: ev.BaselineAcc,
+				NoisyAcc:    ev.NoisyAcc,
+				AccLossPct:  ev.AccLossPct,
+				OriginalMI:  ev.OrigMI,
+				ShreddedMI:  ev.ShreddedMI,
+				MILossPct:   ev.MILossPct,
+				InVivo:      ev.InVivo,
+				Members:     src.members,
+				MemoryBytes: src.bytes,
+			}
+			cfg.logf("fitted: %s %-10s acc %.1f%% → %.1f%%, MI %.2f → %.2f bits, 1/SNR %.3f, %d B resident",
+				row.Benchmark, row.Mode, 100*row.BaselineAcc, 100*row.NoisyAcc,
+				row.OriginalMI, row.ShreddedMI, row.InVivo, row.MemoryBytes)
+			res.Rows = append(res.Rows, row)
+		}
+	}
+	return res, nil
+}
+
+// Render writes the comparison as a per-benchmark table.
+func (r *FittedResult) Render(w io.Writer) {
+	fmt.Fprintln(w, "Fitted noise distributions: stored replay vs fresh per-query sampling vs multiplicative variant.")
+	fmt.Fprintf(w, "%-10s %-11s %-8s %9s %9s %9s %9s %9s %8s %8s %12s\n",
+		"benchmark", "mode", "cut", "base acc", "noisy acc", "acc loss", "orig MI", "shred MI", "1/SNR", "members", "resident B")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%-10s %-11s %-8s %8.2f%% %8.2f%% %8.2f%% %9.2f %9.2f %8.3f %8d %12d\n",
+			row.Benchmark, row.Mode, row.Cut,
+			100*row.BaselineAcc, 100*row.NoisyAcc, row.AccLossPct,
+			row.OriginalMI, row.ShreddedMI, row.InVivo, row.Members, row.MemoryBytes)
+	}
+	fmt.Fprintln(w, strings.Repeat("-", 110))
+}

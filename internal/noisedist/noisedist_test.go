@@ -1,0 +1,254 @@
+package noisedist
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"shredder/internal/tensor"
+)
+
+func TestParseKind(t *testing.T) {
+	for s, want := range map[string]Kind{
+		"": Laplace, "laplace": Laplace,
+		"gaussian": Gaussian, "normal": Gaussian, "norm": Gaussian, "gauss": Gaussian,
+	} {
+		got, err := ParseKind(s)
+		if err != nil || got != want {
+			t.Fatalf("ParseKind(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParseKind("cauchy"); err == nil {
+		t.Fatal("ParseKind should reject unknown kinds")
+	}
+	if Laplace.String() != "laplace" || Gaussian.String() != "gaussian" {
+		t.Fatal("Kind.String not parse-stable")
+	}
+}
+
+// The MLE fits must recover the parameters of large synthetic samples.
+func TestFitValuesRecoversParameters(t *testing.T) {
+	rng := tensor.NewRNG(1)
+	n := 20000
+	lap := make([]float64, n)
+	gau := make([]float64, n)
+	for i := range lap {
+		lap[i] = rng.Laplace(1.5, 2.0)
+		gau[i] = rng.Normal(-0.5, 3.0)
+	}
+	cl := FitValues(lap, Laplace)
+	if math.Abs(cl.Loc-1.5) > 0.1 || math.Abs(cl.Scale-2.0) > 0.1 {
+		t.Fatalf("Laplace fit (%.3f, %.3f), want (1.5, 2.0)", cl.Loc, cl.Scale)
+	}
+	cg := FitValues(gau, Gaussian)
+	if math.Abs(cg.Loc+0.5) > 0.1 || math.Abs(cg.Scale-3.0) > 0.1 {
+		t.Fatalf("Gaussian fit (%.3f, %.3f), want (-0.5, 3.0)", cg.Loc, cg.Scale)
+	}
+	if got := FitValues(nil, Laplace); got != (Component{}) {
+		t.Fatalf("empty fit = %+v", got)
+	}
+}
+
+func TestFitValuesExact(t *testing.T) {
+	vals := []float64{-2, 0, 1, 3}
+	cl := FitValues(vals, Laplace)
+	if cl.Loc != 0.5 { // even length: mean of middle two
+		t.Fatalf("Laplace loc = %v, want 0.5", cl.Loc)
+	}
+	wantScale := (2.5 + 0.5 + 0.5 + 2.5) / 4
+	if math.Abs(cl.Scale-wantScale) > 1e-12 {
+		t.Fatalf("Laplace scale = %v, want %v", cl.Scale, wantScale)
+	}
+	cg := FitValues(vals, Gaussian)
+	if cg.Loc != 0.5 {
+		t.Fatalf("Gaussian loc = %v, want 0.5", cg.Loc)
+	}
+}
+
+// Sampled noise must be rank-identical to the trained tensor: the sampled
+// value at the position of the k-th smallest trained value is itself the
+// k-th smallest sampled value.
+func TestSamplePreservesSpatialOrdering(t *testing.T) {
+	rng := tensor.NewRNG(7)
+	trained := tensor.New(4, 5)
+	rng.FillLaplace(trained, 0, 3)
+	f := Fit(trained, Laplace)
+	if err := f.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	s := f.Sample(tensor.NewRNG(11))
+	if !tensor.ShapeEq(s.Shape(), trained.Shape()) {
+		t.Fatalf("sample shape %v", s.Shape())
+	}
+	tr, sa := trained.Data(), s.Data()
+	for i := range tr {
+		for j := range tr {
+			if (tr[i] < tr[j]) != (sa[i] < sa[j]) && tr[i] != tr[j] {
+				t.Fatalf("ordering broken at (%d,%d): trained (%v,%v), sampled (%v,%v)",
+					i, j, tr[i], tr[j], sa[i], sa[j])
+			}
+		}
+	}
+	// The sample must be fresh noise, not a replay.
+	if tensor.Equal(s, trained) {
+		t.Fatal("sample replayed the trained tensor")
+	}
+}
+
+// A fixed seed must reproduce the sampled noise byte-for-byte.
+func TestSampleDeterministic(t *testing.T) {
+	trained := tensor.New(3, 4, 4)
+	tensor.NewRNG(3).FillLaplace(trained, 0.5, 2)
+	f := Fit(trained, Gaussian)
+	a := f.Sample(tensor.NewRNG(99))
+	b := f.Sample(tensor.NewRNG(99))
+	if !tensor.Equal(a, b) {
+		t.Fatal("same seed produced different samples")
+	}
+	c := f.Sample(tensor.NewRNG(100))
+	if tensor.Equal(a, c) {
+		t.Fatal("different seeds produced identical samples")
+	}
+}
+
+func TestFitMixture(t *testing.T) {
+	rng := tensor.NewRNG(5)
+	var members []*tensor.Tensor
+	for i := 0; i < 3; i++ {
+		m := tensor.New(6)
+		rng.FillLaplace(m, 0, float64(i+1))
+		members = append(members, m)
+	}
+	f, err := FitMixture(members, Laplace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Components() != 3 {
+		t.Fatalf("components = %d", f.Components())
+	}
+	// Every member contributes its own argsort and its own sketch: a
+	// shared permutation measurably costs accuracy and privacy.
+	if len(f.Orders) != 3 || len(f.Sketches) != 3 {
+		t.Fatalf("per-member orders/sketches: %d/%d", len(f.Orders), len(f.Sketches))
+	}
+	for i, m := range members {
+		want := argsort(m.Data())
+		for j := range want {
+			if want[j] != f.Orders[i][j] {
+				t.Fatalf("order %d not the member's own argsort", i)
+			}
+		}
+		// Sketch endpoints are the member's min and max.
+		data := append([]float64(nil), m.Data()...)
+		sort.Float64s(data)
+		sk := f.Sketches[i]
+		if float64(sk[0]) != float64(float32(data[0])) ||
+			float64(sk[len(sk)-1]) != float64(float32(data[len(data)-1])) {
+			t.Fatalf("sketch %d endpoints (%v, %v), member range (%v, %v)",
+				i, sk[0], sk[len(sk)-1], data[0], data[len(data)-1])
+		}
+		for j := 1; j < len(sk); j++ {
+			if sk[j] < sk[j-1] {
+				t.Fatalf("sketch %d not non-decreasing", i)
+			}
+		}
+	}
+	if _, err := FitMixture(nil, Laplace); err == nil {
+		t.Fatal("empty mixture should fail")
+	}
+	if _, err := FitMixture([]*tensor.Tensor{members[0], tensor.New(7)}, Laplace); err == nil {
+		t.Fatal("shape mismatch should fail")
+	}
+}
+
+func TestVarianceAnalytic(t *testing.T) {
+	f := &Fitted{Kind: Laplace, Comps: []Component{{Loc: 0, Scale: 2}}}
+	if got := f.Variance(); math.Abs(got-8) > 1e-12 { // 2b²
+		t.Fatalf("Laplace variance = %v, want 8", got)
+	}
+	g := &Fitted{Kind: Gaussian, Comps: []Component{{Loc: 1, Scale: 3}, {Loc: -1, Scale: 3}}}
+	// law of total variance: E[σ²] + Var[µ] = 9 + 1
+	if got := g.Variance(); math.Abs(got-10) > 1e-12 {
+		t.Fatalf("mixture variance = %v, want 10", got)
+	}
+	// Monte-Carlo check of the end-to-end sampled variance: reassignment
+	// permutes values, so the element distribution (and variance) of the
+	// sampled tensor matches the fitted family.
+	trained := tensor.New(2048)
+	tensor.NewRNG(8).FillLaplace(trained, 0, 2)
+	fit := Fit(trained, Laplace)
+	s := fit.Sample(tensor.NewRNG(9))
+	if rel := math.Abs(s.Variance()-fit.Variance()) / fit.Variance(); rel > 0.15 {
+		t.Fatalf("sampled variance %v vs analytic %v (rel %v)", s.Variance(), fit.Variance(), rel)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	trained := tensor.New(2, 3)
+	tensor.NewRNG(4).FillNormal(trained, 0, 1)
+	f := Fit(trained, Gaussian)
+	if err := f.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := *f
+	bad.Orders = [][]int32{append([]int32(nil), f.Orders[0]...)}
+	bad.Orders[0][0] = bad.Orders[0][1] // duplicate → not a permutation
+	if bad.Validate() == nil {
+		t.Fatal("duplicate order entries should fail validation")
+	}
+	bad2 := *f
+	bad2.Comps = nil
+	if bad2.Validate() == nil {
+		t.Fatal("empty mixture should fail validation")
+	}
+	bad3 := *f
+	bad3.Comps = []Component{{Loc: math.NaN(), Scale: 1}}
+	bad3.Sketches = f.Sketches[:1]
+	bad3.Orders = f.Orders[:1]
+	if bad3.Validate() == nil {
+		t.Fatal("NaN loc should fail validation")
+	}
+	bad4 := *f
+	bad4.Sketches = [][]float32{append([]float32(nil), f.Sketches[0]...)}
+	bad4.Sketches[0][0] = bad4.Sketches[0][len(bad4.Sketches[0])-1] + 1 // decreasing
+	if bad4.Validate() == nil {
+		t.Fatal("decreasing sketch should fail validation")
+	}
+	bad5 := *f
+	bad5.Sketches = nil
+	if bad5.Validate() == nil {
+		t.Fatal("missing sketches should fail validation")
+	}
+	if (*Fitted)(nil).Validate() == nil {
+		t.Fatal("nil fitted should fail validation")
+	}
+}
+
+func TestMemoryBytes(t *testing.T) {
+	trained := tensor.New(10)
+	tensor.NewRNG(2).FillNormal(trained, 0, 1)
+	f := Fit(trained, Laplace)
+	// order 4·10 + sketch 4·sketchKnots(10) + params 16
+	if got := f.MemoryBytes(); got != 4*10+4*sketchKnots(10)+16 {
+		t.Fatalf("MemoryBytes = %d", got)
+	}
+	// The knot budget keeps every fitted member strictly below the 8
+	// bytes/element a stored member costs, for any tensor over 8 elems.
+	for _, n := range []int{9, 10, 16, 120, 1000, 100000} {
+		if fitted := 4*n + 4*sketchKnots(n) + 16; fitted >= 8*n {
+			t.Fatalf("n=%d: fitted member %dB >= stored %dB", n, fitted, 8*n)
+		}
+	}
+}
+
+func TestSampleIntoWrongSizePanics(t *testing.T) {
+	trained := tensor.New(4)
+	tensor.NewRNG(2).FillNormal(trained, 0, 1)
+	f := Fit(trained, Laplace)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	f.SampleInto(tensor.New(5), tensor.NewRNG(1))
+}

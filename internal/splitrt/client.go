@@ -19,9 +19,10 @@ import (
 )
 
 // EdgeClient is the device side of split inference: it runs the local part
-// L, adds a noise tensor sampled from a trained collection, and sends only
-// the noisy activation to the cloud. When the collection is nil the client
-// transmits raw activations (the paper's "original execution" baseline).
+// L, perturbs the activation with a per-query draw from a noise source
+// (stored collection or fitted distributions), and sends only the noisy
+// activation to the cloud. When the source is nil the client transmits raw
+// activations (the paper's "original execution" baseline).
 //
 // The wire protocol is request/response over a single connection, so the
 // client serializes round trips internally: Infer/Classify are safe to
@@ -29,8 +30,8 @@ import (
 // concurrently; only noise sampling and the wire exchange are serialized).
 // Stats is lock-free and safe to call from a concurrent poller at any time.
 type EdgeClient struct {
-	split      *core.Split
-	collection *core.Collection
+	split *core.Split
+	noise core.NoiseSource
 
 	// mu guards the RNG (tensor.RNG is not goroutine-safe), the connection
 	// state (conn/enc/dec/broken), and wireBits.
@@ -241,10 +242,12 @@ func (s *stageWriter) discard() {
 // instead of burning the backoff budget.
 var errHandshakeRejected = errors.New("handshake rejected")
 
-// Dial connects to a CloudServer and performs the handshake.
-func Dial(addr string, split *core.Split, cutLayer string, col *core.Collection, seed int64, opts ...ClientOption) (*EdgeClient, error) {
+// Dial connects to a CloudServer and performs the handshake. src may be a
+// stored *core.Collection, a *core.FittedCollection, or nil for the
+// no-noise baseline.
+func Dial(addr string, split *core.Split, cutLayer string, src core.NoiseSource, seed int64, opts ...ClientOption) (*EdgeClient, error) {
 	c := &EdgeClient{
-		split: split, collection: col, rng: tensor.NewRNG(seed),
+		split: split, noise: src, rng: tensor.NewRNG(seed),
 		addr: addr, cutLayer: cutLayer,
 		redialBase: 50 * time.Millisecond, redialMax: 2 * time.Second,
 	}
@@ -361,13 +364,13 @@ func (c *EdgeClient) Infer(x *tensor.Tensor) (*tensor.Tensor, error) {
 func (c *EdgeClient) InferContext(ctx context.Context, x *tensor.Tensor) (*tensor.Tensor, error) {
 	a := c.split.Local(x) // reentrant: runs outside the lock
 	c.mu.Lock()
-	if c.collection != nil {
+	if c.noise != nil {
 		for i := 0; i < a.Dim(0); i++ {
-			member, noise := c.collection.SampleIndexed(c.rng)
+			d := c.noise.Draw(c.rng)
 			// Telemetry sees the clean activation: realized SNR is defined
 			// against the signal the noise is about to cover.
-			c.monitor.Observe(member, a.Slice(i))
-			a.Slice(i).AddInPlace(noise)
+			c.monitor.ObserveDraw(d, a.Slice(i))
+			d.ApplyInPlace(a.Slice(i))
 		}
 	}
 	c.mu.Unlock()

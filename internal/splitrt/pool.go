@@ -33,16 +33,16 @@ import (
 //     one backend — in-flight calls finish, new calls reroute — and Close
 //     drains the whole pool.
 //
-// Like EdgeClient, the pool applies the noise collection (when non-nil) to
+// Like EdgeClient, the pool applies the noise source (when non-nil) to
 // each sample before anything leaves the process, so no backend ever sees a
 // raw activation regardless of routing, rerouting, or hedging.
 //
 // All methods are safe for concurrent use.
 type Pool struct {
-	split      *core.Split
-	cutLayer   string
-	collection *core.Collection
-	key        string // routing key: network "/" cut layer
+	split    *core.Split
+	cutLayer string
+	noise    core.NoiseSource
+	key      string // routing key: network "/" cut layer
 
 	mu  sync.Mutex // guards rng (noise sampling)
 	rng *tensor.RNG
@@ -218,12 +218,12 @@ var errBackendDraining = errors.New("splitrt: pool: backend draining")
 // fail to dial start in the ejected state and are retried by the health
 // loop; NewPool fails only when no backend at all is reachable. The seed
 // derives both the pool's noise RNG and per-backend client seeds.
-func NewPool(split *core.Split, cutLayer string, col *core.Collection, seed int64, addrs []string, opts ...PoolOption) (*Pool, error) {
+func NewPool(split *core.Split, cutLayer string, src core.NoiseSource, seed int64, addrs []string, opts ...PoolOption) (*Pool, error) {
 	if len(addrs) == 0 {
 		return nil, errors.New("splitrt: pool: no backend addresses")
 	}
 	p := &Pool{
-		split: split, cutLayer: cutLayer, collection: col,
+		split: split, cutLayer: cutLayer, noise: src,
 		key:  split.Net.Name() + "/" + cutLayer,
 		rng:  tensor.NewRNG(seed),
 		seed: seed, balancer: NewRoundRobin(),
@@ -284,15 +284,14 @@ func (p *Pool) Infer(x *tensor.Tensor) (*tensor.Tensor, error) {
 }
 
 // InferContext runs the local part, applies noise (when the pool holds a
-// collection), and routes the protected activation through the fleet with
-// balancing, rerouting, and hedging.
+// noise source), and routes the protected activation through the fleet
+// with balancing, rerouting, and hedging.
 func (p *Pool) InferContext(ctx context.Context, x *tensor.Tensor) (*tensor.Tensor, error) {
 	a := p.split.Local(x) // reentrant: outside any lock
-	if p.collection != nil {
+	if p.noise != nil {
 		p.mu.Lock()
 		for i := 0; i < a.Dim(0); i++ {
-			_, noise := p.collection.SampleIndexed(p.rng)
-			a.Slice(i).AddInPlace(noise)
+			p.noise.Draw(p.rng).ApplyInPlace(a.Slice(i))
 		}
 		p.mu.Unlock()
 	}

@@ -26,6 +26,7 @@ import (
 	"shredder/internal/mi"
 	"shredder/internal/model"
 	"shredder/internal/nn"
+	"shredder/internal/noisedist"
 	"shredder/internal/obs"
 	"shredder/internal/sched"
 	"shredder/internal/splitrt"
@@ -54,6 +55,18 @@ type Config struct {
 	// only inference is lowered. Classification decisions are pinned to the
 	// float64 path by the test suite.
 	Dtype string
+	// NoiseMode selects how learned noise is deployed at inference.
+	// "stored" (or "") replays the K trained tensors, sampling one per
+	// query — the paper's §2.5 collection exactly as before. "fitted"
+	// distills each trained tensor into a quantile sketch + ordering once
+	// and samples *fresh* noise per query (no float64 tensors resident).
+	// "fitted-mul" additionally trains per-element multiplicative weights
+	// and samples fresh (w, n) pairs: a' = a⊙w + n.
+	NoiseMode string
+	// NoiseDist selects the parametric family of the fitted modes:
+	// "laplace" (the default; matches the noise initialization) or
+	// "gaussian". Ignored in stored mode.
+	NoiseDist string
 }
 
 // NoiseOptions override the benchmark's tuned noise hyperparameters; zero
@@ -64,6 +77,12 @@ type NoiseOptions struct {
 	PrivacyTarget  float64 // in vivo (1/SNR) level at which λ decays
 	Epochs         float64 // noise-training length (fractional allowed)
 	SelfSupervised bool    // train against the model's own predictions
+	// Multiplicative trains per-element weights jointly with the noise
+	// (a' = a⊙w + n). Implied by Config.NoiseMode "fitted-mul".
+	Multiplicative bool
+	// WeightMu and WeightStd override the Normal weight initialization of
+	// the multiplicative variant (defaults: near-identity N(1, 0.25)).
+	WeightMu, WeightStd float64
 	// Workers bounds how many noise tensors train concurrently: 1 forces
 	// sequential training, 0 (the default) uses all available cores. The
 	// learned collection is byte-identical either way.
@@ -109,7 +128,10 @@ type System struct {
 	split      *core.Split
 	cutName    string
 	cutLayer   string
-	collection *core.Collection
+	collection *core.Collection     // trained members (nil after loading a fitted file)
+	noise      core.NoiseSource     // deployed source: the collection or its fit
+	noiseMode  string               // Config.NoiseMode, validated
+	noiseKind  noisedist.Kind       // Config.NoiseDist, parsed
 	monitor    *core.PrivacyMonitor // nil = privacy telemetry disabled
 	rngMu      sync.Mutex           // guards rng: tensor.RNG is not goroutine-safe
 	rng        *tensor.RNG
@@ -162,9 +184,24 @@ func NewSystem(network string, cfg Config) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
+	mode := cfg.NoiseMode
+	if mode == "" {
+		mode = core.ModeStored
+	}
+	switch mode {
+	case core.ModeStored, core.ModeFitted, core.ModeFittedMul:
+	default:
+		return nil, fmt.Errorf("shredder: unknown noise mode %q (want %s, %s, or %s)",
+			cfg.NoiseMode, core.ModeStored, core.ModeFitted, core.ModeFittedMul)
+	}
+	kind, err := noisedist.ParseKind(cfg.NoiseDist)
+	if err != nil {
+		return nil, fmt.Errorf("shredder: %w", err)
+	}
 	sys := &System{
 		bench: bench, pre: pre, split: split,
 		cutName: cutName, cutLayer: cutLayer,
+		noiseMode: mode, noiseKind: kind,
 		rng: tensor.NewRNG(cfg.Seed + 77), seed: cfg.Seed,
 	}
 	if cfg.Dtype != "" {
@@ -237,7 +274,7 @@ func (s *System) EnablePrivacyTelemetry(reg *obs.Registry, sampleEvery int) erro
 	if !s.HasNoise() {
 		return fmt.Errorf("shredder: EnablePrivacyTelemetry before LearnNoise/LoadNoise")
 	}
-	s.monitor = core.NewPrivacyMonitor(reg, s.collection, s.bench.PrivacyTarget, sampleEvery)
+	s.monitor = core.NewPrivacyMonitorSource(reg, s.noise, s.bench.PrivacyTarget, sampleEvery)
 	return nil
 }
 
@@ -290,6 +327,9 @@ func (s *System) noiseConfig(opt NoiseOptions) core.NoiseConfig {
 		nc.Epochs = opt.Epochs
 	}
 	nc.SelfSupervised = opt.SelfSupervised
+	nc.Multiplicative = opt.Multiplicative || s.noiseMode == core.ModeFittedMul
+	nc.WeightMu = opt.WeightMu
+	nc.WeightStd = opt.WeightStd
 	nc.Hook = opt.Hook
 	return nc
 }
@@ -300,13 +340,65 @@ func (s *System) LearnNoise(count int) { s.LearnNoiseWith(count, NoiseOptions{})
 
 // LearnNoiseWith is LearnNoise with hyperparameter overrides. The
 // collection's members train over opt.Workers goroutines (0 = all cores);
-// the result does not depend on the worker count.
+// the result does not depend on the worker count. Under Config.NoiseMode
+// "fitted-mul" the multiplicative objective is trained regardless of
+// opt.Multiplicative; under the fitted modes the trained collection is
+// fitted immediately and fresh noise is sampled from then on.
 func (s *System) LearnNoiseWith(count int, opt NoiseOptions) {
-	s.collection = core.Collect(s.split, s.pre.Train, s.noiseConfig(opt), count, opt.Workers)
+	col := core.Collect(s.split, s.pre.Train, s.noiseConfig(opt), count, opt.Workers)
+	if err := s.installNoise(col); err != nil {
+		// The guards below make this unreachable from Collect output; a
+		// failure here is a programming error, not an I/O condition.
+		panic("shredder: " + err.Error())
+	}
 }
 
-// HasNoise reports whether a collection has been learned or loaded.
-func (s *System) HasNoise() bool { return s.collection != nil && s.collection.Len() > 0 }
+// installNoise deploys a trained collection under the configured noise
+// mode: as-is for stored, through FitCollection for the fitted modes.
+func (s *System) installNoise(col *core.Collection) error {
+	switch s.noiseMode {
+	case core.ModeFitted:
+		if col.Multiplicative() {
+			return fmt.Errorf("noise mode %s cannot deploy a multiplicative collection; use %s",
+				core.ModeFitted, core.ModeFittedMul)
+		}
+		fc, err := core.FitCollection(col, s.noiseKind)
+		if err != nil {
+			return err
+		}
+		s.collection, s.noise = col, fc
+	case core.ModeFittedMul:
+		if !col.Multiplicative() {
+			return fmt.Errorf("noise mode %s needs a multiplicative collection (train with NoiseOptions.Multiplicative)",
+				core.ModeFittedMul)
+		}
+		fc, err := core.FitCollection(col, s.noiseKind)
+		if err != nil {
+			return err
+		}
+		s.collection, s.noise = col, fc
+	default: // stored: additive or multiplicative members replay directly
+		s.collection, s.noise = col, col
+	}
+	return nil
+}
+
+// HasNoise reports whether a noise source has been learned or loaded.
+func (s *System) HasNoise() bool { return s.noise != nil }
+
+// NoiseMode returns the deployed noise mode ("stored", "fitted",
+// "fitted-mul") — the active source's mode once noise is learned or
+// loaded, the configured mode before that.
+func (s *System) NoiseMode() string {
+	if s.noise != nil {
+		return s.noise.Mode()
+	}
+	return s.noiseMode
+}
+
+// NoiseSource returns the deployed noise source (nil before
+// LearnNoise/LoadNoise).
+func (s *System) NoiseSource() core.NoiseSource { return s.noise }
 
 // Evaluate measures accuracy and mutual information on the test set.
 // LearnNoise (or LoadNoise) must have been called.
@@ -314,7 +406,7 @@ func (s *System) Evaluate() Report {
 	if !s.HasNoise() {
 		panic("shredder: Evaluate before LearnNoise/LoadNoise")
 	}
-	ev := core.Evaluate(s.split, s.pre.Test, s.collection, core.EvalConfig{
+	ev := core.Evaluate(s.split, s.pre.Test, s.noise, core.EvalConfig{
 		MI:   mi.Options{K: 3, MaxSamples: 256, Seed: s.seed},
 		Seed: s.seed,
 	})
@@ -365,12 +457,12 @@ func (s *System) Classify(pixels []float64) (int, error) {
 	}
 	a := s.split.Local(x)
 	s.rngMu.Lock()
-	member, noise := s.collection.SampleIndexed(s.rng)
+	d := s.noise.Draw(s.rng)
 	s.rngMu.Unlock()
 	// Telemetry observes the clean activation — realized SNR is defined
 	// against the signal the noise is about to cover.
-	s.monitor.Observe(member, a.Slice(0))
-	a.Slice(0).AddInPlace(noise)
+	s.monitor.ObserveDraw(d, a.Slice(0))
+	d.ApplyInPlace(a.Slice(0))
 	logits := s.split.RemoteInferCompiled(a)
 	return logits.Slice(0).Argmax(), nil
 }
@@ -388,7 +480,10 @@ func (s *System) ClassifyBaseline(pixels []float64) (int, error) {
 	return s.split.Forward(x).Slice(0).Argmax(), nil
 }
 
-// SaveNoise writes the learned collection to path.
+// SaveNoise writes the deployed noise source to path: stored collections
+// in the legacy byte-compatible format, fitted sources as their compact
+// distribution parameters (sketches, orderings, and (loc, scale) pairs —
+// trained float64 tensors are not written in the fitted modes).
 func (s *System) SaveNoise(path string) error {
 	if !s.HasNoise() {
 		return fmt.Errorf("shredder: no noise collection to save")
@@ -398,25 +493,36 @@ func (s *System) SaveNoise(path string) error {
 		return err
 	}
 	defer f.Close()
-	return s.collection.Encode(f)
+	return core.EncodeNoiseSource(f, s.noise)
 }
 
-// LoadNoise reads a collection written by SaveNoise.
+// LoadNoise reads a noise file written by SaveNoise (any version). A
+// stored collection is deployed under the configured NoiseMode — fitted
+// modes refit it on load; a fitted file deploys directly in its own mode.
 func (s *System) LoadNoise(path string) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
 	}
 	defer f.Close()
-	col, err := core.DecodeCollection(f)
+	src, err := core.DecodeNoiseSource(f)
 	if err != nil {
 		return err
 	}
-	if !tensor.ShapeEq(col.Shape, s.split.ActivationShape()) {
-		return fmt.Errorf("shredder: collection shape %v does not match cut activation %v",
-			col.Shape, s.split.ActivationShape())
+	if !tensor.ShapeEq(src.NoiseShape(), s.split.ActivationShape()) {
+		return fmt.Errorf("shredder: noise shape %v does not match cut activation %v",
+			src.NoiseShape(), s.split.ActivationShape())
 	}
-	s.collection = col
+	switch v := src.(type) {
+	case *core.Collection:
+		if err := s.installNoise(v); err != nil {
+			return fmt.Errorf("shredder: %w", err)
+		}
+	case *core.FittedCollection:
+		s.collection, s.noise, s.noiseMode = nil, v, v.Mode()
+	default:
+		return fmt.Errorf("shredder: unsupported noise source %T", src)
+	}
 	return nil
 }
 
@@ -482,7 +588,7 @@ func (s *System) ConnectEdge(addr string, opts ...splitrt.ClientOption) (*EdgeHa
 		// the slice still win.
 		opts = append([]splitrt.ClientOption{splitrt.WithPrivacyTelemetry(s.monitor)}, opts...)
 	}
-	client, err := splitrt.Dial(addr, s.split, s.cutLayer, s.collection, s.seed+99, opts...)
+	client, err := splitrt.Dial(addr, s.split, s.cutLayer, s.noise, s.seed+99, opts...)
 	if err != nil {
 		return nil, err
 	}
@@ -503,7 +609,7 @@ type PoolHandle struct {
 // exactly as a single edge client would — the privacy boundary does not
 // move when the fleet grows.
 func (s *System) ConnectPool(addrs []string, opts ...splitrt.PoolOption) (*PoolHandle, error) {
-	pool, err := splitrt.NewPool(s.split, s.cutLayer, s.collection, s.seed+99, addrs, opts...)
+	pool, err := splitrt.NewPool(s.split, s.cutLayer, s.noise, s.seed+99, addrs, opts...)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package shredder
 
 import (
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -405,5 +406,134 @@ func TestEdgeQuantizedTransportFacade(t *testing.T) {
 	}
 	if edge.BytesSent() <= 0 {
 		t.Fatal("byte counter did not advance")
+	}
+}
+
+func TestNewSystemInvalidNoiseConfig(t *testing.T) {
+	if _, err := NewSystem("lenet", Config{NoiseMode: "psychedelic", TrainN: 50, TestN: 20, Epochs: 1}); err == nil {
+		t.Fatal("expected error for unknown noise mode")
+	}
+	if _, err := NewSystem("lenet", Config{NoiseDist: "cauchy", TrainN: 50, TestN: 20, Epochs: 1}); err == nil {
+		t.Fatal("expected error for unknown noise distribution")
+	}
+}
+
+// TestFittedLifecycle walks the fitted mode end to end: learn → classify →
+// save (a file of distribution parameters, not tensors) → load into a
+// stored-configured system, which deploys whatever mode the file carries.
+func TestFittedLifecycle(t *testing.T) {
+	sys, err := NewSystem("lenet", Config{Seed: 3, TrainN: 400, TestN: 120, Epochs: 3, NoiseMode: "fitted"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.NoiseMode() != "fitted" {
+		t.Fatalf("configured mode %q", sys.NoiseMode())
+	}
+	sys.LearnNoiseWith(3, NoiseOptions{Scale: 2, Lambda: 0.01, PrivacyTarget: 4, Epochs: 2})
+	if !sys.HasNoise() || sys.NoiseMode() != "fitted" {
+		t.Fatalf("after learn: HasNoise=%v mode=%q", sys.HasNoise(), sys.NoiseMode())
+	}
+
+	correct, n := 0, 40
+	for i := 0; i < n; i++ {
+		px, y := sys.TestSample(i)
+		got, err := sys.Classify(px)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got == y {
+			correct++
+		}
+	}
+	if correct < n/4 {
+		t.Fatalf("fitted accuracy %d/%d collapsed", correct, n)
+	}
+
+	path := filepath.Join(t.TempDir(), "fitted.gob")
+	if err := sys.SaveNoise(path); err != nil {
+		t.Fatal(err)
+	}
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The fitted file carries per-member int32 orders and float32 quantile
+	// sketches instead of float64 tensors, so it must come in under a
+	// stored-mode save of an equally sized collection.
+	storedSys := tinySystem(t)
+	storedSys.LearnNoiseWith(3, NoiseOptions{Scale: 2, Lambda: 0.01, PrivacyTarget: 4, Epochs: 2})
+	storedPath := filepath.Join(t.TempDir(), "stored.gob")
+	if err := storedSys.SaveNoise(storedPath); err != nil {
+		t.Fatal(err)
+	}
+	storedInfo, err := os.Stat(storedPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Size() >= storedInfo.Size() {
+		t.Fatalf("fitted file %d B is not smaller than the stored-mode file (%d B)", info.Size(), storedInfo.Size())
+	}
+
+	// A stored-configured system deploys the file's mode, not its own.
+	other := tinySystem(t)
+	if err := other.LoadNoise(path); err != nil {
+		t.Fatal(err)
+	}
+	if other.NoiseMode() != "fitted" {
+		t.Fatalf("loaded mode %q, want fitted", other.NoiseMode())
+	}
+	px, _ := other.TestSample(0)
+	if _, err := other.Classify(px); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFittedMulLifecycle does the same for the multiplicative variant and
+// checks it serves over the edge/cloud split.
+func TestFittedMulLifecycle(t *testing.T) {
+	sys, err := NewSystem("lenet", Config{Seed: 3, TrainN: 400, TestN: 120, Epochs: 3, NoiseMode: "fitted-mul"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.LearnNoiseWith(2, NoiseOptions{Scale: 1, Lambda: 0.01, PrivacyTarget: 4, Epochs: 2})
+	if sys.NoiseMode() != "fitted-mul" {
+		t.Fatalf("mode %q, want fitted-mul", sys.NoiseMode())
+	}
+
+	path := filepath.Join(t.TempDir(), "mul.gob")
+	if err := sys.SaveNoise(path); err != nil {
+		t.Fatal(err)
+	}
+	other := tinySystem(t)
+	if err := other.LoadNoise(path); err != nil {
+		t.Fatal(err)
+	}
+	if other.NoiseMode() != "fitted-mul" {
+		t.Fatalf("loaded mode %q, want fitted-mul", other.NoiseMode())
+	}
+
+	cloud, err := other.ServeCloud("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cloud.Close()
+	edge, err := other.ConnectEdge(cloud.Addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer edge.Close()
+	correct, n := 0, 30
+	for i := 0; i < n; i++ {
+		px, y := other.TestSample(i)
+		got, err := edge.Classify(px)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got == y {
+			correct++
+		}
+	}
+	if correct < n/4 {
+		t.Fatalf("remote fitted-mul accuracy %d/%d collapsed", correct, n)
 	}
 }
