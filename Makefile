@@ -1,12 +1,12 @@
 GO ?= go
 
-.PHONY: ci fmt vet build test race bench bench-obs bench-profile bench-pool bench-kernels bench-fitted
+.PHONY: ci fmt vet build test race bench bench-obs bench-profile bench-pool bench-kernels bench-fitted bench-audit
 
 ## ci: the full gate — formatting, vet, build, tests, the race suite over
 ## the concurrency-sensitive packages, and the observability-, profiler-,
-## fleet-serving, dtype-kernel, and fitted-noise smoke benchmarks. Run
-## before every push.
-ci: fmt vet build test race bench-obs bench-profile bench-pool bench-kernels bench-fitted
+## fleet-serving, dtype-kernel, fitted-noise, and audit-ledger smoke
+## benchmarks. Run before every push.
+ci: fmt vet build test race bench-obs bench-profile bench-pool bench-kernels bench-fitted bench-audit
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -22,7 +22,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/sched/... ./internal/splitrt/... ./internal/tensor/... ./internal/nn/... ./internal/core/... ./internal/experiments/... ./internal/obs/...
+	$(GO) test -race ./internal/sched/... ./internal/splitrt/... ./internal/tensor/... ./internal/nn/... ./internal/core/... ./internal/experiments/... ./internal/obs/... ./internal/audit/...
 
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkCloudServerThroughput|BenchmarkServeBatched' -benchtime 200x .
@@ -56,3 +56,10 @@ bench-kernels:
 ## accounting; reference run committed as results_bench_fitted.txt).
 bench-fitted:
 	$(GO) test -run '^$$' -bench BenchmarkFitted -benchtime 50x .
+
+## bench-audit: smoke-run the audit-ledger overhead benchmark (serving
+## with the auditor disabled vs mem/file/mock-latency ledgers — the
+## disabled path must stay within noise of the mem-ledger path; reference
+## run committed as results_bench_audit.txt).
+bench-audit:
+	$(GO) test -run '^$$' -bench BenchmarkAuditOverhead -benchtime 50x .

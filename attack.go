@@ -54,11 +54,15 @@ func (s *System) GalleryAttack(trials int) (GalleryReport, error) {
 // steps controls attack strength (0 = default 300). LearnNoise must have
 // been called. This is an extension beyond the paper's evaluation that
 // makes the mutual-information metric concrete.
+//
+// The attack faces the *deployed* noise source — stored replay, fitted
+// per-query sampling, or multiplicative fitted-mul — exactly as the
+// serving path would apply it.
 func (s *System) AttackResistance(n, steps int) (AttackReport, error) {
 	if !s.HasNoise() {
 		return AttackReport{}, fmt.Errorf("shredder: AttackResistance before LearnNoise/LoadNoise")
 	}
-	clean, shredded := attack.Evaluate(s.split, s.pre.Test.Images, s.collection, n,
+	clean, shredded := attack.Evaluate(s.split, s.pre.Test.Images, s.noise, n,
 		attack.Config{Steps: steps, Seed: s.seed})
 	rep := AttackReport{CleanMSE: clean, ShreddedMSE: shredded}
 	if clean > 0 {

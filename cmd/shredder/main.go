@@ -15,8 +15,9 @@
 //	shredder eval        -net lenet [-noise noise.gob]
 //	shredder cuts        -net svhn
 //	shredder attack      -net lenet -cut conv0 [-noise noise.gob]
-//	shredder serve       -net lenet -addr 127.0.0.1:7777 [-dtype float32]
+//	shredder serve       -net lenet -addr 127.0.0.1:7777 [-dtype float32] [-audit-ledger audit.bin]
 //	shredder gateway     -net lenet -backends host1:7777,host2:7777 -addr :9000
+//	shredder audit       verify -url http://host:port/debug/audit -trace <hex id>
 //	shredder infer       -net lenet -addr 127.0.0.1:7777 [-noise noise.gob] [-n 16]
 //	shredder profile     -net lenet [-n 50] [-csv profile.csv] [-dtype float32]
 package main
@@ -24,11 +25,13 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"strings"
 	"time"
 
 	"shredder"
+	"shredder/internal/audit"
 	"shredder/internal/nn"
 	"shredder/internal/obs"
 	"shredder/internal/sched"
@@ -60,6 +63,8 @@ func main() {
 		err = cmdProfile(os.Args[2:])
 	case "attack":
 		err = cmdAttack(os.Args[2:])
+	case "audit":
+		err = cmdAudit(os.Args[2:])
 	case "help", "-h", "--help":
 		usage()
 	default:
@@ -86,6 +91,7 @@ commands:
   cuts         print the cost model of every cutting point of a network
   profile      time every layer over N warm inferences, per cutting point
   attack       measure inversion/gallery attack resistance of learned noise
+  audit        verify an inclusion proof against a server's anchored roots
 
 networks: lenet, cifar, svhn, alexnet`)
 }
@@ -225,6 +231,10 @@ func cmdServe(args []string) error {
 	batchDelay := fs.Duration("batch-delay", 2*time.Millisecond, "max queueing behind an in-flight batch before a partial batch flushes")
 	debugAddr := fs.String("debug-addr", "", "serve /debug/metrics, /debug/spans and pprof on this HTTP address (empty = off)")
 	profile := fs.Bool("profile", false, "attach the per-layer profiler (table at /debug/profile; see -debug-addr)")
+	auditOn := fs.Bool("audit", false, "keep a tamper-evident in-memory audit ledger of served requests (implied by -audit-ledger)")
+	auditLedger := fs.String("audit-ledger", "", "append-only file anchoring the audit ledger's Merkle roots (enables -audit)")
+	auditBatch := fs.Int("audit-batch", 0, "records per sealed audit batch (0 = default 64)")
+	auditDelay := fs.Duration("audit-delay", 0, "max time a record waits in an unsealed batch (0 = default 5ms)")
 	fs.Parse(args)
 	sys, err := c.system()
 	if err != nil {
@@ -244,6 +254,21 @@ func cmdServe(args []string) error {
 	if *profile {
 		opts = append(opts, splitrt.WithProfiling())
 	}
+	if *auditOn || *auditLedger != "" {
+		aopts := audit.Options{MaxBatch: *auditBatch, MaxDelay: *auditDelay}
+		if *auditLedger != "" {
+			led, err := audit.OpenFileLedger(*auditLedger)
+			if err != nil {
+				return err
+			}
+			if led.Recovered > 0 {
+				fmt.Fprintf(os.Stderr, "audit ledger %s: truncated %d bytes of partial tail from a previous crash\n",
+					*auditLedger, led.Recovered)
+			}
+			aopts.Ledger = led
+		}
+		opts = append(opts, splitrt.WithAudit(audit.New(aopts)))
+	}
 	cloud, err := sys.ServeCloud(*addr, opts...)
 	if err != nil {
 		return err
@@ -257,6 +282,9 @@ func cmdServe(args []string) error {
 	}
 	if d := cloud.DebugAddr(); d != "" {
 		fmt.Printf("debug endpoint on http://%s/debug/metrics\n", d)
+		if cloud.Auditor() != nil {
+			fmt.Printf("audit proofs on http://%s/debug/audit\n", d)
+		}
 	}
 	select {} // serve until killed
 }
@@ -281,6 +309,7 @@ func cmdGateway(args []string) error {
 	idle := fs.Duration("idle-timeout", 5*time.Minute, "drop client connections idle longer than this (0 = never)")
 	debugAddr := fs.String("debug-addr", "", "serve the merged fleet /debug/metrics on this HTTP address (empty = off)")
 	backendDebug := fs.String("backend-debug", "", "comma-separated backend /debug/metrics URLs to fold into the merged snapshot, ordered like -backends")
+	backendAudit := fs.String("backend-audit", "", "comma-separated backend /debug/audit URLs; the gateway then serves fleet-wide proof lookups and the anchored-root union at its own /debug/audit")
 	fs.Parse(args)
 	if *backends == "" {
 		return fmt.Errorf("gateway: -backends is required")
@@ -326,6 +355,17 @@ func cmdGateway(args []string) error {
 			}
 			gwOpts = append(gwOpts, splitrt.WithBackendSources(sources...))
 		}
+		if *backendAudit != "" {
+			var sources []audit.Source
+			for i, u := range strings.Split(*backendAudit, ",") {
+				name := fmt.Sprintf("backend.%d", i)
+				if i < len(addrs) {
+					name = addrs[i]
+				}
+				sources = append(sources, audit.HTTPSource{Name: name, Base: u})
+			}
+			gwOpts = append(gwOpts, splitrt.WithBackendAuditSources(sources...))
+		}
 	}
 	gw := splitrt.NewGateway(pool.Pool(), gwOpts...)
 	bound, err := gw.Serve(*addr)
@@ -339,6 +379,9 @@ func cmdGateway(args []string) error {
 	}
 	if d := gw.DebugAddr(); d != "" {
 		fmt.Printf("merged fleet metrics on http://%s/debug/metrics\n", d)
+		if *backendAudit != "" {
+			fmt.Printf("fleet audit proofs on http://%s/debug/audit\n", d)
+		}
 	}
 	select {} // serve until killed
 }
@@ -386,7 +429,7 @@ func cmdInfer(args []string) error {
 			correct++
 			mark = "✓"
 		}
-		fmt.Printf("sample %3d: predicted %2d, label %2d %s\n", i, got, y, mark)
+		fmt.Printf("sample %3d: predicted %2d, label %2d %s  trace %s\n", i, got, y, mark, edge.LastTrace())
 	}
 	fmt.Printf("accuracy: %d/%d\n", correct, *n)
 	if m := sys.PrivacyMonitor(); m != nil {
@@ -517,6 +560,83 @@ func cmdProfile(args []string) error {
 			total.Round(time.Microsecond), total.Seconds()*1000/float64(*n))
 	}
 	return nil
+}
+
+// cmdAudit is the client half of the tamper-evident audit ledger: given a
+// trace ID (printed by `shredder infer`, or any EdgeClient's LastTrace),
+// `audit verify` fetches the inclusion proof from a server or gateway
+// /debug/audit endpoint, recomputes the Merkle root from the proof path,
+// and checks it against the endpoint's anchored roots. Exit status is
+// non-zero unless the proof verifies — operators script it directly.
+// `audit status` prints the ledger summary and anchored roots.
+func cmdAudit(args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("audit: usage: shredder audit verify|status -url http://host:port/debug/audit [-trace <hex>]")
+	}
+	sub, rest := args[0], args[1:]
+	fs := flag.NewFlagSet("audit "+sub, flag.ExitOnError)
+	url := fs.String("url", "", "audit endpoint, e.g. http://127.0.0.1:8080/debug/audit (required)")
+	trace := fs.String("trace", "", "trace ID to verify, 16 hex digits (required for verify)")
+	timeout := fs.Duration("timeout", 5*time.Second, "HTTP timeout per fetch")
+	fs.Parse(rest)
+	if *url == "" {
+		return fmt.Errorf("audit: -url is required")
+	}
+	client := &http.Client{Timeout: *timeout}
+	switch sub {
+	case "verify":
+		if *trace == "" {
+			return fmt.Errorf("audit verify: -trace is required")
+		}
+		if _, err := audit.ParseTrace(*trace); err != nil {
+			return fmt.Errorf("audit verify: %w", err)
+		}
+		proof, err := audit.FetchProof(*url, *trace, client)
+		if err != nil {
+			return err
+		}
+		roots, err := audit.FetchRoots(*url, client)
+		if err != nil {
+			return err
+		}
+		rec, err := proof.VerifyAgainst(roots)
+		if err != nil {
+			return fmt.Errorf("audit verify: proof REJECTED: %w", err)
+		}
+		fmt.Printf("proof OK: trace %016x is record %d of %d in sealed batch %d (root %s)\n",
+			rec.Trace, proof.Index+1, proof.Count, proof.Seq, proof.Root[:16])
+		fmt.Printf("  model %s cut %s, noise mode %s", rec.Model, rec.Cut, rec.Mode)
+		switch {
+		case rec.Member >= 0:
+			fmt.Printf(", member %d", rec.Member)
+		case rec.Member == -1:
+			fmt.Printf(", fresh per-query sample")
+		}
+		fmt.Println()
+		if rec.Sampled {
+			fmt.Printf("  realized in-vivo 1/SNR %.4f\n", rec.InVivo)
+		}
+		fmt.Printf("  recorded %s, activation digest %x…\n",
+			time.Unix(0, rec.UnixNanos).UTC().Format(time.RFC3339Nano), rec.ActDigest[:8])
+		return nil
+	case "status":
+		roots, err := audit.FetchRoots(*url, client)
+		if err != nil {
+			return err
+		}
+		records := 0
+		for _, r := range roots {
+			records += r.Count
+		}
+		fmt.Printf("%d anchored roots covering %d records at %s\n", len(roots), records, *url)
+		for _, r := range roots {
+			fmt.Printf("  seq %4d  %3d records  %s  %x…\n",
+				r.Seq, r.Count, time.Unix(0, r.UnixNanos).UTC().Format(time.RFC3339), r.Root[:8])
+		}
+		return nil
+	default:
+		return fmt.Errorf("audit: unknown subcommand %q (want verify or status)", sub)
+	}
 }
 
 func cmdAttack(args []string) error {

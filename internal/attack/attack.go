@@ -96,11 +96,14 @@ func Invert(split *core.Split, target *tensor.Tensor, trueInput *tensor.Tensor, 
 }
 
 // Evaluate runs the attack over the first n samples of a batch of inputs,
-// once against clean activations and once against activations with noise
-// sampled from the collection, and returns the mean input-space MSE of
+// once against clean activations and once against activations perturbed by
+// a draw from the noise source, and returns the mean input-space MSE of
 // each. A large shredded/clean ratio means the noise destroyed the
-// information the attacker needs.
-func Evaluate(split *core.Split, inputs *tensor.Tensor, col *core.Collection, n int, cfg Config) (cleanMSE, shreddedMSE float64) {
+// information the attacker needs. Any deployment mode works: stored
+// collections replay trained members, fitted sources sample fresh noise
+// per attacked query, and fitted-mul draws joint (weight, noise) pairs —
+// so the attacker faces exactly what the serving path would send.
+func Evaluate(split *core.Split, inputs *tensor.Tensor, src core.NoiseSource, n int, cfg Config) (cleanMSE, shreddedMSE float64) {
 	if n > inputs.Dim(0) {
 		n = inputs.Dim(0)
 	}
@@ -114,7 +117,7 @@ func Evaluate(split *core.Split, inputs *tensor.Tensor, col *core.Collection, n 
 		cleanMSE += clean.InputMSE
 
 		noisy := a.Clone()
-		noisy.Slice(0).AddInPlace(col.Sample(rng))
+		src.Draw(rng).ApplyInPlace(noisy.Slice(0))
 		shredded := Invert(split, noisy, x, run)
 		shreddedMSE += shredded.InputMSE
 	}

@@ -6,6 +6,7 @@ import (
 
 	"shredder/internal/core"
 	"shredder/internal/model"
+	"shredder/internal/noisedist"
 	"shredder/internal/tensor"
 )
 
@@ -56,6 +57,52 @@ func TestNoiseDegradesInversion(t *testing.T) {
 	clean, shredded := Evaluate(split, pre.Test.Images, col, 2, Config{Steps: 200, Seed: 4})
 	if shredded <= clean {
 		t.Fatalf("noise should hurt reconstruction: clean MSE %v, shredded MSE %v", clean, shredded)
+	}
+}
+
+// TestFittedSourcesResistInversion runs the inversion adversary against
+// every deployment mode of the same trained-noise stand-in: stored replay,
+// fitted per-query sampling, and multiplicative fitted-mul. Fresh sampling
+// must degrade reconstruction at least comparably to replaying the stored
+// members — the fitted modes exist to shrink memory, not to leak more.
+func TestFittedSourcesResistInversion(t *testing.T) {
+	split, pre := attackRig(t)
+	rng := tensor.NewRNG(5)
+	col := &core.Collection{}
+	for i := 0; i < 4; i++ {
+		col.AddMember(
+			core.NewNoiseTensor(split.ActivationShape(), 0, 3, rng),
+			core.NewWeightTensor(split.ActivationShape(), 1, 0.3, rng), 0)
+	}
+	fitted, err := core.FitCollection(col, noisedist.Laplace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fitted.Mode() != core.ModeFittedMul {
+		t.Fatalf("weighted fit deployed as %q", fitted.Mode())
+	}
+	// The additive baseline replays the same noise members without weights.
+	additive := &core.Collection{Shape: split.ActivationShape(), Members: col.Members, InVivo: col.InVivo}
+	fittedAdd, err := core.FitCollection(additive, noisedist.Laplace)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := Config{Steps: 150, Seed: 6}
+	clean, stored := Evaluate(split, pre.Test.Images, additive, 1, cfg)
+	_, fresh := Evaluate(split, pre.Test.Images, fittedAdd, 1, cfg)
+	_, mul := Evaluate(split, pre.Test.Images, fitted, 1, cfg)
+	t.Logf("inversion MSE: clean %.4f, stored %.4f, fitted %.4f, fitted-mul %.4f",
+		clean, stored, fresh, mul)
+	for name, got := range map[string]float64{"fitted": fresh, "fitted-mul": mul} {
+		if got <= clean {
+			t.Errorf("%s source did not degrade inversion: shredded MSE %.4f <= clean %.4f", name, got, clean)
+		}
+		// "At least as well as stored replay", with slack for sampling
+		// variance between a 4-member replay and a fresh draw.
+		if got < 0.7*stored {
+			t.Errorf("%s source resists far worse than stored replay: %.4f vs %.4f", name, got, stored)
+		}
 	}
 }
 

@@ -1,0 +1,107 @@
+package audit
+
+import (
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+func settledAuditor(t *testing.T, n int, traceBase uint64) *Auditor {
+	t.Helper()
+	a := New(Options{MaxBatch: 4})
+	for i := 0; i < n; i++ {
+		r := testRecord(i)
+		r.Trace = traceBase + uint64(i)
+		if err := a.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return a
+}
+
+func TestHandlerProofRoundTrip(t *testing.T) {
+	a := settledAuditor(t, 6, 0x100)
+	defer a.Close()
+	a.Flush()
+	srv := httptest.NewServer(Handler(LocalSource{Auditor: a}))
+	defer srv.Close()
+
+	proof, err := FetchProof(srv.URL, "0000000000000103", nil)
+	if err != nil {
+		t.Fatalf("fetch proof: %v", err)
+	}
+	roots, err := FetchRoots(srv.URL, nil)
+	if err != nil {
+		t.Fatalf("fetch roots: %v", err)
+	}
+	rec, err := proof.VerifyAgainst(roots)
+	if err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	if rec.Trace != 0x103 {
+		t.Fatalf("verified record trace %#x, want 0x103", rec.Trace)
+	}
+
+	if _, err := FetchProof(srv.URL, "dead", nil); err == nil {
+		t.Fatal("unknown trace should not produce a proof")
+	}
+	if _, err := FetchProof(srv.URL, "zzzz", nil); err == nil {
+		t.Fatal("malformed trace should error")
+	}
+
+	// The bare status endpoint serves a single-source Status.
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status endpoint: %s", resp.Status)
+	}
+}
+
+// TestMergedHandlerFansOut is the gateway shape: one handler over
+// several backends' audit endpoints, mirroring obs.MergedSnapshot.
+func TestMergedHandlerFansOut(t *testing.T) {
+	a0 := settledAuditor(t, 3, 0x100)
+	defer a0.Close()
+	a1 := settledAuditor(t, 3, 0x200)
+	defer a1.Close()
+	a0.Flush()
+	a1.Flush()
+	b0 := httptest.NewServer(Handler(LocalSource{Auditor: a0}))
+	defer b0.Close()
+	b1 := httptest.NewServer(Handler(LocalSource{Auditor: a1}))
+	defer b1.Close()
+
+	gw := httptest.NewServer(Handler(
+		HTTPSource{Name: "b0", Base: b0.URL},
+		HTTPSource{Name: "b1", Base: b1.URL},
+	))
+	defer gw.Close()
+
+	// A trace held only by the second backend is found through the
+	// gateway, and verifies against the gateway's merged root union.
+	proof, err := FetchProof(gw.URL, "0000000000000201", nil)
+	if err != nil {
+		t.Fatalf("fetch via gateway: %v", err)
+	}
+	roots, err := FetchRoots(gw.URL, nil)
+	if err != nil {
+		t.Fatalf("fetch merged roots: %v", err)
+	}
+	if _, err := proof.VerifyAgainst(roots); err != nil {
+		t.Fatalf("verify against merged roots: %v", err)
+	}
+
+	// A proof from one backend must not verify against a root set that
+	// excludes that backend.
+	only0, err := FetchRoots(b0.URL, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := proof.VerifyAgainst(only0); !errors.Is(err, ErrRootNotAnchored) {
+		t.Fatalf("foreign roots: err = %v, want ErrRootNotAnchored", err)
+	}
+}

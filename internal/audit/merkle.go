@@ -1,0 +1,122 @@
+package audit
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+)
+
+// The Merkle construction is RFC 6962's: leaves and interior nodes are
+// domain-separated (0x00 / 0x01 prefixes) so a leaf can never be
+// confused for a node, and a tree over n leaves splits at the largest
+// power of two strictly less than n. Proof paths list siblings from
+// the leaf upward; verification consumes them from the root downward.
+
+// LeafHash hashes a record's canonical bytes into its Merkle leaf.
+func LeafHash(record []byte) [32]byte {
+	h := sha256.New()
+	h.Write([]byte{0x00})
+	h.Write(record)
+	var out [32]byte
+	h.Sum(out[:0])
+	return out
+}
+
+// nodeHash combines two subtree roots.
+func nodeHash(l, r [32]byte) [32]byte {
+	h := sha256.New()
+	h.Write([]byte{0x01})
+	h.Write(l[:])
+	h.Write(r[:])
+	var out [32]byte
+	h.Sum(out[:0])
+	return out
+}
+
+// splitPoint returns the largest power of two strictly less than n
+// (n >= 2).
+func splitPoint(n int) int {
+	k := 1
+	for k*2 < n {
+		k *= 2
+	}
+	return k
+}
+
+// MerkleRoot computes the root over the leaf hashes. A single leaf is
+// its own root; the empty tree is the hash of the empty string (never
+// produced by the batcher, which seals only non-empty batches).
+func MerkleRoot(leaves [][32]byte) [32]byte {
+	switch len(leaves) {
+	case 0:
+		return sha256.Sum256(nil)
+	case 1:
+		return leaves[0]
+	}
+	k := splitPoint(len(leaves))
+	return nodeHash(MerkleRoot(leaves[:k]), MerkleRoot(leaves[k:]))
+}
+
+// MerklePath returns the inclusion path for leaf i: sibling subtree
+// roots ordered leaf-to-root.
+func MerklePath(leaves [][32]byte, i int) [][32]byte {
+	if i < 0 || i >= len(leaves) {
+		return nil
+	}
+	if len(leaves) == 1 {
+		return nil
+	}
+	k := splitPoint(len(leaves))
+	if i < k {
+		return append(MerklePath(leaves[:k], i), MerkleRoot(leaves[k:]))
+	}
+	return append(MerklePath(leaves[k:], i-k), MerkleRoot(leaves[:k]))
+}
+
+// RootFromPath replays an inclusion path: given the leaf hash, its
+// index, the batch size, and the sibling path, it recomputes the root
+// the path commits to. A structurally impossible proof (index out of
+// range, path length mismatch) wraps ErrProofInvalid.
+func RootFromPath(leaf [32]byte, index, n int, path [][32]byte) ([32]byte, error) {
+	if n <= 0 || index < 0 || index >= n {
+		return [32]byte{}, fmt.Errorf("%w: index %d out of range for %d leaves", ErrProofInvalid, index, n)
+	}
+	if n == 1 {
+		if len(path) != 0 {
+			return [32]byte{}, fmt.Errorf("%w: %d extra path elements for single-leaf batch", ErrProofInvalid, len(path))
+		}
+		return leaf, nil
+	}
+	if len(path) == 0 {
+		return [32]byte{}, fmt.Errorf("%w: path exhausted with %d leaves remaining", ErrProofInvalid, n)
+	}
+	sib := path[len(path)-1]
+	rest := path[:len(path)-1]
+	k := splitPoint(n)
+	if index < k {
+		sub, err := RootFromPath(leaf, index, k, rest)
+		if err != nil {
+			return [32]byte{}, err
+		}
+		return nodeHash(sub, sib), nil
+	}
+	sub, err := RootFromPath(leaf, index-k, n-k, rest)
+	if err != nil {
+		return [32]byte{}, err
+	}
+	return nodeHash(sib, sub), nil
+}
+
+// VerifyInclusion checks that leaf sits at index in a batch of n leaves
+// whose root is root.
+func VerifyInclusion(leaf [32]byte, index, n int, path [][32]byte, root [32]byte) error {
+	got, err := RootFromPath(leaf, index, n, path)
+	if err != nil {
+		return err
+	}
+	if got != root {
+		return fmt.Errorf("%w: replayed root %s != claimed root %s",
+			ErrProofInvalid, hex.EncodeToString(got[:8]), hex.EncodeToString(root[:8]))
+	}
+	return nil
+}

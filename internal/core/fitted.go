@@ -102,6 +102,33 @@ func (c *FittedCollection) Draw(rng *tensor.RNG) Draw {
 	return d
 }
 
+// DrawInto is Draw sampling into s's reusable buffers instead of fresh
+// tensors — the serving hot path's allocation-free variant. The
+// returned Draw aliases the scratch and is valid until the next
+// DrawInto on the same scratch.
+func (c *FittedCollection) DrawInto(s *DrawScratch, rng *tensor.RNG) Draw {
+	if s == nil {
+		return c.Draw(rng)
+	}
+	if s.noise == nil || !tensor.ShapeEq(s.noise.Shape(), c.Noise.Shape) {
+		s.noise = tensor.New(c.Noise.Shape...)
+	}
+	if c.Weight == nil {
+		c.Noise.SampleInto(s.noise, rng)
+		return Draw{Member: -1, Noise: s.noise}
+	}
+	if s.weight == nil || !tensor.ShapeEq(s.weight.Shape(), c.Weight.Shape) {
+		s.weight = tensor.New(c.Weight.Shape...)
+	}
+	m := 0
+	if k := c.Noise.Components(); k > 1 {
+		m = rng.Intn(k)
+	}
+	c.Noise.SampleMemberInto(m, s.noise, rng)
+	c.Weight.SampleMemberInto(m, s.weight, rng)
+	return Draw{Member: -1, Noise: s.noise, Weight: s.weight}
+}
+
 // MeanInVivo returns the average recorded in vivo privacy of the source
 // members, 0 when none was recorded (same contract as Collection).
 func (c *FittedCollection) MeanInVivo() float64 {

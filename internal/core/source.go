@@ -69,3 +69,33 @@ func (d Draw) ApplyInPlace(a *tensor.Tensor) *tensor.Tensor {
 
 // Multiplicative reports whether the draw carries a weight tensor.
 func (d Draw) Multiplicative() bool { return d.Weight != nil }
+
+// DrawScratch holds reusable per-draw buffers for sources that sample
+// fresh noise per query. A serving loop keeps one scratch per RNG (both
+// are guarded by the same mutex) and passes it to DrawReusing; the
+// returned Draw's tensors alias the scratch, so they are valid only
+// until the next draw — apply the noise before drawing again. The zero
+// value is ready to use; buffers are allocated lazily on first draw and
+// re-used for every query after, keeping fitted serving allocation-free
+// on the hot path.
+type DrawScratch struct {
+	noise  *tensor.Tensor
+	weight *tensor.Tensor
+}
+
+// scratchDrawer is the optional NoiseSource refinement for sources that
+// can sample into caller-owned buffers.
+type scratchDrawer interface {
+	DrawInto(s *DrawScratch, rng *tensor.RNG) Draw
+}
+
+// DrawReusing draws one realization from src, reusing s's buffers when
+// the source supports it. Stored collections return shared member
+// tensors (already allocation-free) and fall through to plain Draw; a
+// nil scratch also falls through.
+func DrawReusing(src NoiseSource, s *DrawScratch, rng *tensor.RNG) Draw {
+	if sd, ok := src.(scratchDrawer); ok && s != nil {
+		return sd.DrawInto(s, rng)
+	}
+	return src.Draw(rng)
+}

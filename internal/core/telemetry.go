@@ -169,12 +169,20 @@ func NewPrivacyMonitorSource(reg *obs.Registry, src NoiseSource, target float64,
 // power E[(a⊙w + n − a)²]/E[a²] for multiplicative ones. act must be the
 // *clean* activation — call before ApplyInPlace.
 func (m *PrivacyMonitor) ObserveDraw(d Draw, act *tensor.Tensor) {
+	m.ObserveDrawSampled(d, act)
+}
+
+// ObserveDrawSampled is ObserveDraw, additionally reporting the realized
+// in-vivo 1/SNR when this query was one the monitor sampled — the value
+// per-request audit records carry. sampled is false when the query was
+// only counted (not the monitor's sampling turn, zero activation, or a
+// nil monitor); invivo is then 0 and must not be recorded as evidence.
+func (m *PrivacyMonitor) ObserveDrawSampled(d Draw, act *tensor.Tensor) (invivo float64, sampled bool) {
 	if m == nil {
-		return
+		return 0, false
 	}
 	if !d.Multiplicative() && d.Member >= 0 {
-		m.Observe(d.Member, act)
-		return
+		return m.ObserveSampled(d.Member, act)
 	}
 	m.queries.Inc()
 	var mt *memberTelemetry
@@ -183,15 +191,15 @@ func (m *PrivacyMonitor) ObserveDraw(d Draw, act *tensor.Tensor) {
 		mt.samples.Inc()
 	}
 	if m.tick.Add(1)%m.every != 0 {
-		return
+		return 0, false
 	}
 	n := act.Len()
 	if n == 0 || d.Noise == nil {
-		return
+		return 0, false
 	}
 	ea2 := act.SqSum() / float64(n)
 	if !(ea2 > 0) {
-		return // all-zero activation: SNR undefined, skip the sample
+		return 0, false // all-zero activation: SNR undefined, skip the sample
 	}
 	var inv float64
 	if d.Multiplicative() {
@@ -213,6 +221,7 @@ func (m *PrivacyMonitor) ObserveDraw(d Draw, act *tensor.Tensor) {
 	if m.target > 0 && inv < m.target {
 		m.alerts.Inc()
 	}
+	return inv, true
 }
 
 // perturbPower returns E[(a⊙w + n − a)²] for one per-sample activation —
@@ -246,25 +255,32 @@ func perturbPower(a, w, n *tensor.Tensor) float64 {
 // SNR is defined against the signal, not the noisy sum. Only every N-th
 // call computes activation statistics; the rest cost two counter bumps.
 func (m *PrivacyMonitor) Observe(member int, act *tensor.Tensor) {
+	m.ObserveSampled(member, act)
+}
+
+// ObserveSampled is Observe, reporting the realized 1/SNR when this
+// query was one the monitor sampled (same contract as
+// ObserveDrawSampled).
+func (m *PrivacyMonitor) ObserveSampled(member int, act *tensor.Tensor) (invivo float64, sampled bool) {
 	if m == nil {
-		return
+		return 0, false
 	}
 	m.queries.Inc()
 	if member < 0 || member >= len(m.members) {
-		return
+		return 0, false
 	}
 	mt := &m.members[member]
 	mt.samples.Inc()
 	if m.tick.Add(1)%m.every != 0 {
-		return
+		return 0, false
 	}
 	n := act.Len()
 	if n == 0 {
-		return
+		return 0, false
 	}
 	ea2 := act.SqSum() / float64(n)
 	if !(ea2 > 0) {
-		return // all-zero activation: SNR undefined, skip the sample
+		return 0, false // all-zero activation: SNR undefined, skip the sample
 	}
 	inv := mt.noiseVar / ea2
 	m.sampled.Inc()
@@ -278,6 +294,7 @@ func (m *PrivacyMonitor) Observe(member int, act *tensor.Tensor) {
 	if m.target > 0 && inv < m.target {
 		m.alerts.Inc()
 	}
+	return inv, true
 }
 
 // Target returns the alert threshold (0 when alerting is disabled).

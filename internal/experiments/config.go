@@ -138,6 +138,23 @@ func (c Config) sweepCollectionSize() int {
 	return 3
 }
 
+// attackSamples is how many test inputs the fitted experiment's inversion
+// adversary attacks per noise source.
+func (c Config) attackSamples() int {
+	if c.Quick {
+		return 1
+	}
+	return 2
+}
+
+// attackSteps bounds the inversion adversary's gradient descent.
+func (c Config) attackSteps() int {
+	if c.Quick {
+		return 100
+	}
+	return 250
+}
+
 // miOptions returns the MI estimator configuration for evaluation.
 func (c Config) miOptions() mi.Options {
 	o := mi.Options{K: 3, MaxSamples: 256, Seed: c.Seed}

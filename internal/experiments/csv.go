@@ -128,6 +128,7 @@ func (r *FittedResult) WriteCSV(w io.Writer) error {
 	if err := cw.Write([]string{
 		"benchmark", "mode", "cut", "baseline_acc", "noisy_acc", "acc_loss_pct",
 		"original_mi_bits", "shredded_mi_bits", "mi_loss_pct", "in_vivo", "members", "memory_bytes",
+		"inversion_clean_mse", "inversion_shredded_mse",
 	}); err != nil {
 		return err
 	}
@@ -137,6 +138,7 @@ func (r *FittedResult) WriteCSV(w io.Writer) error {
 			f(row.BaselineAcc), f(row.NoisyAcc), f(row.AccLossPct),
 			f(row.OriginalMI), f(row.ShreddedMI), f(row.MILossPct), f(row.InVivo),
 			strconv.Itoa(row.Members), strconv.Itoa(row.MemoryBytes),
+			f(row.InvCleanMSE), f(row.InvShredMSE),
 		}); err != nil {
 			return err
 		}

@@ -5,6 +5,7 @@ import (
 	"io"
 	"strings"
 
+	"shredder/internal/attack"
 	"shredder/internal/core"
 	"shredder/internal/noisedist"
 	"shredder/internal/tensor"
@@ -26,6 +27,8 @@ type FittedRow struct {
 	InVivo      float64 // mean in vivo 1/SNR over the evaluation
 	Members     int     // trained members behind the source
 	MemoryBytes int     // resident noise-source size
+	InvCleanMSE float64 // inversion-attack input MSE from clean activations
+	InvShredMSE float64 // inversion-attack input MSE against this source's draws
 }
 
 // FittedResult aggregates the stored-vs-fitted-vs-multiplicative
@@ -81,6 +84,11 @@ func Fitted(cfg Config) (*FittedResult, error) {
 			{mulFit, mulCol.Len(), mulFit.MemoryBytes()},
 		} {
 			ev := core.Evaluate(split, pre.Test, src.source, core.EvalConfig{MI: cfg.miOptions(), Seed: cfg.Seed})
+			// The inversion adversary sees exactly what the serving path
+			// would transmit under this mode: a stored replay or a fresh
+			// per-query draw. Fresh sampling must resist no worse.
+			invClean, invShred := attack.Evaluate(split, pre.Test.Images, src.source,
+				cfg.attackSamples(), attack.Config{Steps: cfg.attackSteps(), Seed: cfg.Seed})
 			row := FittedRow{
 				Benchmark:   b.Spec.Name,
 				Mode:        src.source.Mode(),
@@ -94,10 +102,13 @@ func Fitted(cfg Config) (*FittedResult, error) {
 				InVivo:      ev.InVivo,
 				Members:     src.members,
 				MemoryBytes: src.bytes,
+				InvCleanMSE: invClean,
+				InvShredMSE: invShred,
 			}
-			cfg.logf("fitted: %s %-10s acc %.1f%% → %.1f%%, MI %.2f → %.2f bits, 1/SNR %.3f, %d B resident",
+			cfg.logf("fitted: %s %-10s acc %.1f%% → %.1f%%, MI %.2f → %.2f bits, 1/SNR %.3f, %d B resident, inversion MSE %.3f → %.3f",
 				row.Benchmark, row.Mode, 100*row.BaselineAcc, 100*row.NoisyAcc,
-				row.OriginalMI, row.ShreddedMI, row.InVivo, row.MemoryBytes)
+				row.OriginalMI, row.ShreddedMI, row.InVivo, row.MemoryBytes,
+				row.InvCleanMSE, row.InvShredMSE)
 			res.Rows = append(res.Rows, row)
 		}
 	}
@@ -107,13 +118,15 @@ func Fitted(cfg Config) (*FittedResult, error) {
 // Render writes the comparison as a per-benchmark table.
 func (r *FittedResult) Render(w io.Writer) {
 	fmt.Fprintln(w, "Fitted noise distributions: stored replay vs fresh per-query sampling vs multiplicative variant.")
-	fmt.Fprintf(w, "%-10s %-11s %-8s %9s %9s %9s %9s %9s %8s %8s %12s\n",
-		"benchmark", "mode", "cut", "base acc", "noisy acc", "acc loss", "orig MI", "shred MI", "1/SNR", "members", "resident B")
+	fmt.Fprintln(w, "inv MSE: inversion-attack input reconstruction error, clean activations → this source's draws (higher = better privacy).")
+	fmt.Fprintf(w, "%-10s %-11s %-8s %9s %9s %9s %9s %9s %8s %8s %12s %9s %9s\n",
+		"benchmark", "mode", "cut", "base acc", "noisy acc", "acc loss", "orig MI", "shred MI", "1/SNR", "members", "resident B", "inv clean", "inv shred")
 	for _, row := range r.Rows {
-		fmt.Fprintf(w, "%-10s %-11s %-8s %8.2f%% %8.2f%% %8.2f%% %9.2f %9.2f %8.3f %8d %12d\n",
+		fmt.Fprintf(w, "%-10s %-11s %-8s %8.2f%% %8.2f%% %8.2f%% %9.2f %9.2f %8.3f %8d %12d %9.3f %9.3f\n",
 			row.Benchmark, row.Mode, row.Cut,
 			100*row.BaselineAcc, 100*row.NoisyAcc, row.AccLossPct,
-			row.OriginalMI, row.ShreddedMI, row.InVivo, row.Members, row.MemoryBytes)
+			row.OriginalMI, row.ShreddedMI, row.InVivo, row.Members, row.MemoryBytes,
+			row.InvCleanMSE, row.InvShredMSE)
 	}
-	fmt.Fprintln(w, strings.Repeat("-", 110))
+	fmt.Fprintln(w, strings.Repeat("-", 130))
 }

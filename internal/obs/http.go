@@ -23,6 +23,12 @@ type Debug struct {
 	// backend fleet's metrics from one endpoint. Fetch failures surface as
 	// merge.failed.<label> counters instead of failing the request.
 	Sources []SnapshotSource
+
+	// Extra mounts additional handlers on the debug mux by pattern
+	// (e.g. "/debug/audit") — how subsystem endpoints join the surface
+	// without obs importing them. Patterns must not collide with the
+	// built-in routes.
+	Extra map[string]http.Handler
 }
 
 // Handler serves the debug surface:
@@ -80,6 +86,11 @@ func (d Debug) Handler() http.Handler {
 			writeJSON(w, out)
 		}
 	})
+	extra := ""
+	for pattern, h := range d.Extra {
+		mux.Handle(pattern, h)
+		extra += pattern + "\n"
+	}
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -94,7 +105,7 @@ func (d Debug) Handler() http.Handler {
 			"/debug/spans?join=1   joined client+server timelines (JSON)\n"+
 			"/debug/profile        per-layer compute profile (JSON, ?format=csv|text)\n"+
 			"/debug/vars           expvar\n"+
-			"/debug/pprof/         profiles\n")
+			"/debug/pprof/         profiles\n"+extra)
 	})
 	return mux
 }

@@ -3,6 +3,7 @@ package obs
 import (
 	"encoding/json"
 	"errors"
+	"math"
 	"net/http"
 	"testing"
 )
@@ -87,5 +88,92 @@ func TestDebugEndpointMergesSources(t *testing.T) {
 	}
 	if snap.Counters["pool.requests"] != 2 || snap.Counters["backend.0.server.requests"] != 9 {
 		t.Fatalf("merged endpoint payload: %+v", snap.Counters)
+	}
+}
+
+// TestMergeSnapshotEmptySource: merging an empty snapshot (a backend that
+// has registered nothing yet) must leave the destination untouched — no
+// phantom prefixed entries, no panics on nil maps inside the source.
+func TestMergeSnapshotEmptySource(t *testing.T) {
+	base := NewRegistry()
+	base.Counter("gateway.requests").Add(4)
+	dst := base.Snapshot()
+	before := len(dst.Counters) + len(dst.Gauges) + len(dst.Histograms)
+
+	MergeSnapshot(&dst, "idle", Snapshot{}) // zero-value source: nil maps
+	MergeSnapshot(&dst, "fresh", NewRegistry().Snapshot())
+
+	after := len(dst.Counters) + len(dst.Gauges) + len(dst.Histograms)
+	if after != before {
+		t.Fatalf("empty sources grew the snapshot: %d → %d entries", before, after)
+	}
+	if dst.Counters["gateway.requests"] != 4 {
+		t.Fatalf("base metric disturbed: %+v", dst.Counters)
+	}
+}
+
+// TestMergeSnapshotDuplicateLabel pins the collision semantics: two merges
+// under the same label overwrite key-by-key (last write wins), they do not
+// sum. Fleet configs that accidentally label two backends identically lose
+// one backend's numbers — visibly documented here rather than silently
+// relied on.
+func TestMergeSnapshotDuplicateLabel(t *testing.T) {
+	a := NewRegistry()
+	a.Counter("server.requests").Add(3)
+	a.Gauge("server.queue").Set(1)
+	b := NewRegistry()
+	b.Counter("server.requests").Add(11)
+
+	dst := NewRegistry().Snapshot()
+	MergeSnapshot(&dst, "backend", a.Snapshot())
+	MergeSnapshot(&dst, "backend", b.Snapshot())
+
+	if got := dst.Counters["backend.server.requests"]; got != 11 {
+		t.Fatalf("duplicate label should last-write-win, not sum: got %d, want 11", got)
+	}
+	// b never registered the gauge, so a's survives — merging is per-key,
+	// not per-source replacement.
+	if got := dst.Gauges["backend.server.queue"]; got != 1 {
+		t.Fatalf("unrelated key from the first merge lost: %v", got)
+	}
+}
+
+// TestMergeSnapshotOverflowBucket: a histogram whose observations exceed
+// every finite bound keeps its +Inf overflow bucket through a merge and a
+// JSON round trip (the wire format /debug/metrics speaks), even when the
+// two sources disagree on whether the overflow bucket is populated.
+func TestMergeSnapshotOverflowBucket(t *testing.T) {
+	hot := NewRegistry()
+	hot.Histogram("latency", 0.01, 0.1).Observe(5) // above every bound → +Inf bucket
+	cold := NewRegistry()
+	cold.Histogram("latency", 0.01, 0.1).Observe(0.005) // first bucket only
+
+	dst := NewRegistry().Snapshot()
+	MergeSnapshot(&dst, "hot", hot.Snapshot())
+	MergeSnapshot(&dst, "cold", cold.Snapshot())
+
+	raw, err := json.Marshal(dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	hotH := back.Histograms["hot.latency"]
+	if hotH.Count != 1 || len(hotH.Buckets) != 1 {
+		t.Fatalf("hot histogram malformed after round trip: %+v", hotH)
+	}
+	if !math.IsInf(hotH.Buckets[0].Le, 1) {
+		t.Fatalf("overflow bucket edge decoded as %v, want +Inf", hotH.Buckets[0].Le)
+	}
+	coldH := back.Histograms["cold.latency"]
+	if len(coldH.Buckets) != 1 || coldH.Buckets[0].Le != 0.01 {
+		t.Fatalf("cold histogram's finite bucket lost: %+v", coldH)
+	}
+	for _, b := range coldH.Buckets {
+		if math.IsInf(b.Le, 1) {
+			t.Fatal("cold histogram grew a phantom +Inf bucket through the merge")
+		}
 	}
 }

@@ -1,0 +1,256 @@
+package splitrt
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"shredder/internal/audit"
+	"shredder/internal/core"
+	"shredder/internal/obs"
+	"shredder/internal/tensor"
+)
+
+// auditRig serves one identity backend with a file-backed audit ledger and
+// a debug endpoint, returning the split, server, serving address, and the
+// ledger path for post-mortem reopening.
+func auditRig(t *testing.T, maxBatch int, maxDelay time.Duration) (*core.Split, *CloudServer, string, string) {
+	t.Helper()
+	split, _, _ := fleetRig(t, 0) // only want the shared split topology
+	path := filepath.Join(t.TempDir(), "audit.ledger")
+	fl, err := audit.OpenFileLedger(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fl.NoSync = true // no durability claims under test; keep CI fast
+	aud := audit.New(audit.Options{MaxBatch: maxBatch, MaxDelay: maxDelay, Ledger: fl})
+	srv := NewCloudServer(split, "cut", WithAudit(aud), WithDebugServer("127.0.0.1:0"))
+	addr, err := srv.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return split, srv, addr, path
+}
+
+// auditNoise is a one-member stored collection: enough for the client to
+// attach a real attribution note (mode, member, in-vivo 1/SNR).
+func auditNoise() *core.Collection {
+	noise := tensor.New(1, 2, 2)
+	for i := range noise.Data() {
+		noise.Data()[i] = 0.5 * float64(i) // non-constant: nonzero variance
+	}
+	return &core.Collection{Shape: []int{1, 2, 2}, Members: []*tensor.Tensor{noise}, InVivo: []float64{0.25}}
+}
+
+// waitRoots polls the audit endpoint until at least n roots are anchored
+// (anchoring is asynchronous behind sealing).
+func waitRoots(t *testing.T, base string, n int) []audit.AnchoredRoot {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		roots, err := audit.FetchRoots(base, nil)
+		if err == nil && len(roots) >= n {
+			return roots
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("anchored roots never reached %d (last: %d, err: %v)", n, len(roots), err)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestServerAuditEndToEnd is the acceptance path: serve requests with a
+// file-backed ledger, fetch the inclusion proof for the client's own trace
+// from /debug/audit, verify it against the anchored roots, then confirm the
+// roots survive a server shutdown and ledger reopen.
+func TestServerAuditEndToEnd(t *testing.T) {
+	split, srv, addr, path := auditRig(t, 4, 5*time.Millisecond)
+	noise := auditNoise()
+	mon := core.NewPrivacyMonitor(obs.NewRegistry(), noise, 1, 1)
+	client, err := Dial(addr, split, "cut", noise, 7, WithPrivacyTelemetry(mon))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	const requests = 9
+	x, _ := poolInput(3)
+	for i := 0; i < requests; i++ {
+		if _, err := client.Infer(x); err != nil {
+			t.Fatal(err)
+		}
+	}
+	trace := client.LastTrace()
+	if trace == 0 {
+		t.Fatal("client minted no trace ID")
+	}
+
+	srv.Auditor().Flush()
+	base := "http://" + srv.DebugAddr() + "/debug/audit"
+	roots := waitRoots(t, base, (requests+3)/4)
+	proof, err := audit.FetchProof(base, trace.String(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := proof.Verify()
+	if err != nil {
+		t.Fatalf("proof self-verification: %v", err)
+	}
+	if rec.Trace != uint64(trace) {
+		t.Fatalf("proof record trace %016x, want %s", rec.Trace, trace)
+	}
+	if rec.Model != "obsnet" || rec.Cut != "cut" {
+		t.Fatalf("record identifies %s/%s, want obsnet/cut", rec.Model, rec.Cut)
+	}
+	if rec.Mode != core.ModeStored {
+		t.Fatalf("record mode %q, want %q", rec.Mode, core.ModeStored)
+	}
+	if rec.Member != 0 {
+		t.Fatalf("record member %d, want 0 (single-member collection)", rec.Member)
+	}
+	if !rec.Sampled || rec.InVivo <= 0 {
+		t.Fatalf("record carries no in-vivo 1/SNR (sampled=%v invivo=%g)", rec.Sampled, rec.InVivo)
+	}
+	if _, err := proof.VerifyAgainst(roots); err != nil {
+		t.Fatalf("proof does not verify against anchored roots: %v", err)
+	}
+
+	// Shutdown drains every pending record, and the anchored chain is
+	// durable: reopening the ledger file replays the same roots and the
+	// proof still verifies against them.
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	reopened, err := audit.OpenFileLedger(path)
+	if err != nil {
+		t.Fatalf("reopen after clean shutdown: %v", err)
+	}
+	defer reopened.Close()
+	if reopened.Recovered != 0 {
+		t.Fatalf("clean shutdown left %d bytes of partial tail", reopened.Recovered)
+	}
+	persisted := reopened.Roots()
+	if len(persisted) < len(roots) {
+		t.Fatalf("reopened ledger has %d roots, served %d", len(persisted), len(roots))
+	}
+	total := 0
+	for _, r := range persisted {
+		total += r.Count
+	}
+	if total != requests {
+		t.Fatalf("persisted roots cover %d records, want %d", total, requests)
+	}
+	if _, err := proof.VerifyAgainst(persisted); err != nil {
+		t.Fatalf("proof does not verify against reopened ledger: %v", err)
+	}
+}
+
+// TestServerAuditLedgerTamperDetected flips one byte of the on-disk ledger
+// after shutdown and checks reopening fails with the typed corruption error.
+func TestServerAuditLedgerTamperDetected(t *testing.T) {
+	split, srv, addr, path := auditRig(t, 2, 2*time.Millisecond)
+	client, err := Dial(addr, split, "cut", auditNoise(), 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, _ := poolInput(4)
+	for i := 0; i < 4; i++ {
+		if _, err := client.Infer(x); err != nil {
+			t.Fatal(err)
+		}
+	}
+	client.Close()
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-10] ^= 0x40 // inside the last entry's root hash
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := audit.OpenFileLedger(path); !errors.Is(err, audit.ErrLedgerCorrupt) {
+		t.Fatalf("tampered ledger reopened with err=%v, want ErrLedgerCorrupt", err)
+	}
+}
+
+// TestGatewayAuditFanOut drives traffic through a gateway fronting audited
+// backends and checks the gateway's merged /debug/audit serves a proof for
+// the edge's trace that verifies against the fleet's root union — even
+// though the edge never learns which backend recorded it.
+func TestGatewayAuditFanOut(t *testing.T) {
+	seqSplit, _, _ := fleetRig(t, 0)
+	backends := make([]*CloudServer, 2)
+	addrs := make([]string, 2)
+	sources := make([]audit.Source, 2)
+	for i := range backends {
+		aud := audit.New(audit.Options{MaxBatch: 2, MaxDelay: 2 * time.Millisecond})
+		srv := NewCloudServer(seqSplit, "cut", WithAudit(aud), WithDebugServer("127.0.0.1:0"))
+		addr, err := srv.Serve("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { srv.Close() })
+		backends[i], addrs[i] = srv, addr
+		sources[i] = audit.HTTPSource{
+			Name: addr,
+			Base: "http://" + srv.DebugAddr() + "/debug/audit",
+		}
+	}
+
+	pool, err := NewPool(seqSplit, "cut", nil, 13, addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	gw := NewGateway(pool,
+		WithGatewayDebugServer("127.0.0.1:0"),
+		WithBackendAuditSources(sources...))
+	gwAddr, err := gw.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer gw.Close()
+
+	client, err := Dial(gwAddr, seqSplit, "cut", auditNoise(), 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	x, _ := poolInput(6)
+	for i := 0; i < 6; i++ {
+		if _, err := client.Infer(x); err != nil {
+			t.Fatal(err)
+		}
+	}
+	trace := client.LastTrace()
+	for _, b := range backends {
+		b.Auditor().Flush()
+	}
+
+	base := "http://" + gw.DebugAddr() + "/debug/audit"
+	roots := waitRoots(t, base, 1)
+	proof, err := audit.FetchProof(base, trace.String(), nil)
+	if err != nil {
+		t.Fatalf("gateway could not serve proof for edge trace: %v", err)
+	}
+	rec, err := proof.Verify()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Trace != uint64(trace) {
+		t.Fatalf("backend recorded trace %016x, want the edge's %s", rec.Trace, trace)
+	}
+	if rec.Mode != core.ModeStored {
+		t.Fatalf("audit note lost in relay: mode %q", rec.Mode)
+	}
+	if _, err := proof.VerifyAgainst(roots); err != nil {
+		t.Fatalf("proof does not verify against fleet root union: %v", err)
+	}
+}

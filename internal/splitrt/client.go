@@ -33,10 +33,11 @@ type EdgeClient struct {
 	split *core.Split
 	noise core.NoiseSource
 
-	// mu guards the RNG (tensor.RNG is not goroutine-safe), the connection
-	// state (conn/enc/dec/broken), and wireBits.
-	mu  sync.Mutex
-	rng *tensor.RNG
+	// mu guards the RNG (tensor.RNG is not goroutine-safe), the draw
+	// scratch, the connection state (conn/enc/dec/broken), and wireBits.
+	mu      sync.Mutex
+	rng     *tensor.RNG
+	scratch core.DrawScratch // reused by fitted sources: zero-alloc draws
 
 	addr     string
 	cutLayer string
@@ -53,9 +54,10 @@ type EdgeClient struct {
 	// survive reconnects. Every handle is an atomic obs metric, so Stats
 	// and a shared registry's Snapshot are always coherent reads — there is
 	// no torn-read window against an in-flight request.
-	reg    *obs.Registry // nil unless WithMetrics shared one
-	m      clientMetrics
-	nextID uint64
+	reg       *obs.Registry // nil unless WithMetrics shared one
+	m         clientMetrics
+	nextID    uint64
+	lastTrace uint64 // atomic: trace ID of the most recent request
 
 	wireBits int // 0 = dense float transport
 
@@ -148,6 +150,13 @@ func (c *EdgeClient) Stats() Stats {
 // Spans returns the client's span ring, or nil when WithSpans is not
 // configured.
 func (c *EdgeClient) Spans() *obs.SpanRing { return c.spans }
+
+// LastTrace returns the trace ID of the client's most recent request —
+// the key a caller hands to /debug/audit (or `shredder audit verify`)
+// to fetch the inclusion proof showing its query's noise was recorded.
+func (c *EdgeClient) LastTrace() obs.TraceID {
+	return obs.TraceID(atomic.LoadUint64(&c.lastTrace))
+}
 
 // SetWireQuantization switches the activation transport to linear
 // quantization with the given bit width (0 restores dense float transport).
@@ -363,18 +372,29 @@ func (c *EdgeClient) Infer(x *tensor.Tensor) (*tensor.Tensor, error) {
 // redialed with backoff when WithReconnect is configured.
 func (c *EdgeClient) InferContext(ctx context.Context, x *tensor.Tensor) (*tensor.Tensor, error) {
 	a := c.split.Local(x) // reentrant: runs outside the lock
+	var note *auditNote
 	c.mu.Lock()
 	if c.noise != nil {
+		// Member -2 = "not attributable": a multi-sample batch mixes draws,
+		// so no single member describes the request. Single-sample requests
+		// (the serving common case) carry the exact member.
+		note = &auditNote{Mode: c.noise.Mode(), Member: -2}
 		for i := 0; i < a.Dim(0); i++ {
-			d := c.noise.Draw(c.rng)
+			d := core.DrawReusing(c.noise, &c.scratch, c.rng)
 			// Telemetry sees the clean activation: realized SNR is defined
 			// against the signal the noise is about to cover.
-			c.monitor.ObserveDraw(d, a.Slice(i))
+			inv, sampled := c.monitor.ObserveDrawSampled(d, a.Slice(i))
+			if sampled {
+				note.InVivo, note.Sampled = inv, true
+			}
+			if a.Dim(0) == 1 {
+				note.Member = int32(d.Member)
+			}
 			d.ApplyInPlace(a.Slice(i))
 		}
 	}
 	c.mu.Unlock()
-	return c.InferActivation(ctx, a)
+	return c.inferActivation(ctx, a, note)
 }
 
 // InferActivation ships an already-prepared cut-layer activation batch to
@@ -386,6 +406,34 @@ func (c *EdgeClient) InferContext(ctx context.Context, x *tensor.Tensor) (*tenso
 // protection it needs; a client's own noise collection is applied only by
 // Infer/InferContext.
 func (c *EdgeClient) InferActivation(ctx context.Context, a *tensor.Tensor) (*tensor.Tensor, error) {
+	return c.inferActivation(ctx, a, nil)
+}
+
+// relayMeta carries a relayed request's original trace ID and audit
+// attribution through the pool's routing layers (balancing, reroutes,
+// hedges) to the backend client, so a fleet backend's audit record
+// names the edge's trace rather than a relay-minted one. It rides the
+// context because the relay path crosses several public signatures that
+// have no business knowing about audit plumbing.
+type relayMeta struct {
+	trace uint64
+	note  *auditNote
+}
+
+type relayMetaKey struct{}
+
+// withRelayMeta attaches relayed trace/audit attribution to a context.
+func withRelayMeta(ctx context.Context, trace uint64, note *auditNote) context.Context {
+	if trace == 0 && note == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, relayMetaKey{}, relayMeta{trace: trace, note: note})
+}
+
+// inferActivation is InferActivation with the optional audit attribution
+// riding the request (only InferContext, which applied the noise itself,
+// can truthfully fill one).
+func (c *EdgeClient) inferActivation(ctx context.Context, a *tensor.Tensor, note *auditNote) (*tensor.Tensor, error) {
 	c.mu.Lock()
 	wireBits := c.wireBits
 	c.mu.Unlock()
@@ -402,7 +450,16 @@ func (c *EdgeClient) InferActivation(ctx context.Context, a *tensor.Tensor) (*te
 		spanStart = time.Now()
 	}
 
-	req := request{ID: id, Trace: uint64(obs.NewTraceID())}
+	req := request{ID: id, Trace: uint64(obs.NewTraceID()), Audit: note}
+	if m, ok := ctx.Value(relayMetaKey{}).(relayMeta); ok {
+		if m.trace != 0 {
+			req.Trace = m.trace
+		}
+		if req.Audit == nil {
+			req.Audit = m.note
+		}
+	}
+	atomic.StoreUint64(&c.lastTrace, req.Trace)
 	if wireBits > 0 {
 		scheme, err := quantize.Fit(a, wireBits)
 		if err != nil {

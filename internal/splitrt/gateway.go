@@ -6,9 +6,11 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"net/http"
 	"sync"
 	"time"
 
+	"shredder/internal/audit"
 	"shredder/internal/obs"
 )
 
@@ -26,11 +28,12 @@ import (
 type Gateway struct {
 	pool *Pool
 
-	reg         *obs.Registry
-	debugAddr   string
-	sources     []obs.SnapshotSource
-	idleTimeout time.Duration
-	callTimeout time.Duration
+	reg          *obs.Registry
+	debugAddr    string
+	sources      []obs.SnapshotSource
+	auditSources []audit.Source
+	idleTimeout  time.Duration
+	callTimeout  time.Duration
 
 	mu       sync.Mutex // guards listener, conns, closed, debug
 	listener net.Listener
@@ -64,6 +67,17 @@ func WithGatewayDebugServer(addr string) GatewayOption {
 // gateway's merged debug snapshot.
 func WithBackendSources(sources ...obs.SnapshotSource) GatewayOption {
 	return func(g *Gateway) { g.sources = append(g.sources, sources...) }
+}
+
+// WithBackendAuditSources adds audit-evidence feeds (typically one
+// audit.HTTPSource per backend's /debug/audit) to the gateway's debug
+// surface: /debug/audit on the gateway fans proof-by-trace lookups out
+// across the fleet and serves the union of every backend's anchored
+// roots — the audit-ledger analogue of the metrics merge above. A
+// client that only ever spoke to the gateway can verify its inclusion
+// proof without knowing which backend served it.
+func WithBackendAuditSources(sources ...audit.Source) GatewayOption {
+	return func(g *Gateway) { g.auditSources = append(g.auditSources, sources...) }
 }
 
 // WithGatewayIdleTimeout closes a client connection when no request
@@ -125,7 +139,13 @@ func (g *Gateway) Serve(addr string) (string, error) {
 	startDebug := g.debugAddr != "" && g.debug == nil
 	g.mu.Unlock()
 	if startDebug {
-		d, err := obs.Debug{Metrics: g.reg, Sources: g.sources}.Serve(g.debugAddr)
+		dbg := obs.Debug{Metrics: g.reg, Sources: g.sources}
+		if len(g.auditSources) > 0 {
+			dbg.Extra = map[string]http.Handler{
+				"/debug/audit": audit.Handler(g.auditSources...),
+			}
+		}
+		d, err := dbg.Serve(g.debugAddr)
 		if err != nil {
 			g.mu.Lock()
 			g.listener = nil
@@ -246,7 +266,10 @@ func (g *Gateway) handle(ctx context.Context, req request) response {
 		ctx, cancel = context.WithTimeout(ctx, g.callTimeout)
 		defer cancel()
 	}
-	logits, err := g.pool.InferActivation(ctx, act)
+	// Relay the edge's trace and audit attribution to whichever backend
+	// serves the request, so its audit record is retrievable by the
+	// trace the edge actually holds.
+	logits, err := g.pool.InferActivation(withRelayMeta(ctx, req.Trace, req.Audit), act)
 	if err != nil {
 		g.failures.Inc()
 		resp.Err, resp.Kind = err.Error(), classifyPoolErr(err)

@@ -44,8 +44,9 @@ type Pool struct {
 	noise    core.NoiseSource
 	key      string // routing key: network "/" cut layer
 
-	mu  sync.Mutex // guards rng (noise sampling)
-	rng *tensor.RNG
+	mu      sync.Mutex // guards rng and scratch (noise sampling)
+	rng     *tensor.RNG
+	scratch core.DrawScratch // reused by fitted sources: zero-alloc draws
 
 	seed       int64
 	reg        *obs.Registry
@@ -291,7 +292,7 @@ func (p *Pool) InferContext(ctx context.Context, x *tensor.Tensor) (*tensor.Tens
 	if p.noise != nil {
 		p.mu.Lock()
 		for i := 0; i < a.Dim(0); i++ {
-			p.noise.Draw(p.rng).ApplyInPlace(a.Slice(i))
+			core.DrawReusing(p.noise, &p.scratch, p.rng).ApplyInPlace(a.Slice(i))
 		}
 		p.mu.Unlock()
 	}

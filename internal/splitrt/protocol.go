@@ -39,11 +39,28 @@ type helloAck struct {
 // be joined into one timeline. Zero means "untraced". The field is gob
 // backward compatible in both directions: an old peer that never sets it
 // decodes to zero here, and an old decoder skips the unknown field.
+// Audit, when non-nil, carries the edge's privacy attribution for the
+// server's tamper-evident audit trail (see internal/audit): which noise
+// mode and member perturbed this activation and the realized in-vivo
+// 1/SNR when the client's privacy monitor sampled one. Like Trace it is
+// gob backward compatible in both directions.
 type request struct {
 	ID         uint64
 	Trace      uint64         // trace ID, echoed in the response (0 = untraced)
 	Activation *tensor.Tensor // [N, ...] noisy activation batch
 	Quant      *quantPayload  // quantized wire format, when enabled
+	Audit      *auditNote     // privacy attribution for the audit ledger
+}
+
+// auditNote is the per-request privacy attribution an edge attaches for
+// the server's audit ledger. Member follows audit.Record's convention:
+// the stored-collection index, -1 for fresh fitted samples, -2 when the
+// batch mixed draws and no single member attributes it.
+type auditNote struct {
+	Mode    string
+	Member  int32
+	InVivo  float64
+	Sampled bool
 }
 
 // quantPayload is the quantized wire representation of an activation

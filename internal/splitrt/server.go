@@ -2,13 +2,17 @@ package splitrt
 
 import (
 	"context"
+	"encoding/binary"
 	"encoding/gob"
 	"errors"
 	"fmt"
+	"math"
 	"net"
+	"net/http"
 	"sync"
 	"time"
 
+	"shredder/internal/audit"
 	"shredder/internal/core"
 	"shredder/internal/nn"
 	"shredder/internal/obs"
@@ -54,6 +58,8 @@ type CloudServer struct {
 	dtype      *nn.Dtype       // WithDtype: compile the remote part at this dtype
 	compiled   *nn.CompiledNet // non-nil once compilation succeeded
 	compileErr error           // deferred to Serve so construction stays infallible
+
+	auditor *audit.Auditor // nil = audit trail disabled
 
 	obs       *serverObs    // nil = observability disabled (hot path pays nil checks only)
 	debugAddr string        // "" = no debug HTTP endpoint
@@ -167,6 +173,20 @@ func WithProfiling() ServerOption {
 	return func(s *CloudServer) { s.profiling = true }
 }
 
+// WithAudit attaches a tamper-evident audit trail: every successfully
+// served request emits an audit.Record — trace ID, receive timestamp,
+// model and cut, the edge's noise attribution (mode, member, sampled
+// in-vivo 1/SNR), and a SHA-256 digest of the activation payload the
+// server actually received — into the auditor's Merkle batcher.
+// Inclusion proofs are served at /debug/audit (with WithDebugServer)
+// and batch roots anchor through the auditor's ledger. The server takes
+// ownership of the auditor: Close drains it after every in-flight
+// request has finished — all emitted records are sealed and anchored
+// before Close returns — and closes its ledger.
+func WithAudit(a *audit.Auditor) ServerOption {
+	return func(s *CloudServer) { s.auditor = a }
+}
+
 // WithSpanJoin gives the server the client-side span ring to join against:
 // /debug/spans?join=1 then serves merged seven-stage client↔server
 // timelines for requests present in both rings. Pair it with an EdgeClient
@@ -249,6 +269,10 @@ func (s *CloudServer) JoinedSpans() []obs.JoinedSpan {
 	return s.obs.joiner.Joined()
 }
 
+// Auditor returns the server's audit trail, or nil when WithAudit is
+// not configured.
+func (s *CloudServer) Auditor() *audit.Auditor { return s.auditor }
+
 // DebugAddr returns the bound address of the debug HTTP endpoint, or ""
 // when WithDebugServer was not configured or Serve has not started it yet.
 func (s *CloudServer) DebugAddr() string {
@@ -290,10 +314,16 @@ func (s *CloudServer) Serve(addr string) (string, error) {
 	startDebug := s.debugAddr != "" && s.debug == nil
 	s.mu.Unlock()
 	if startDebug {
-		d, err := obs.Debug{
+		dbg := obs.Debug{
 			Metrics: s.obs.reg, Spans: s.obs.spans,
 			Profile: s.obs.prof, Join: s.obs.joiner,
-		}.Serve(s.debugAddr)
+		}
+		if s.auditor != nil {
+			dbg.Extra = map[string]http.Handler{
+				"/debug/audit": audit.Handler(audit.LocalSource{Auditor: s.auditor}),
+			}
+		}
+		d, err := dbg.Serve(s.debugAddr)
 		if err != nil {
 			s.mu.Lock()
 			s.listener = nil
@@ -491,7 +521,55 @@ func (s *CloudServer) handle(ctx context.Context, req request) response {
 	}
 	resp.Logits = logits
 	o.finish(req, &resp, t0, si, computeStart)
+	s.auditRecord(req)
 	return resp
+}
+
+// auditRecord emits one request's evidence record into the audit trail.
+// Called only for successfully served requests, synchronously inside
+// handle — so Close's wg.Wait → auditor.Close ordering guarantees every
+// emitted record is sealed and anchored before shutdown completes.
+func (s *CloudServer) auditRecord(req request) {
+	if s.auditor == nil {
+		return
+	}
+	rec := audit.Record{
+		Trace:     req.Trace,
+		UnixNanos: time.Now().UnixNano(),
+		Model:     s.split.Net.Name(),
+		Cut:       s.cutLayer,
+		Mode:      "none",
+		Member:    -2,
+		ActDigest: digestRequest(req),
+	}
+	if n := req.Audit; n != nil {
+		rec.Mode, rec.Member, rec.InVivo, rec.Sampled = n.Mode, n.Member, n.InVivo, n.Sampled
+	}
+	// The only Append failure modes are a closed auditor (impossible
+	// here: Close drains connections first) and an unencodable record
+	// (bounded fields throughout); neither should fail the request.
+	_ = s.auditor.Append(rec)
+}
+
+// digestRequest hashes the activation payload exactly as received:
+// quantized requests digest the packed level bytes under their scheme,
+// dense requests the float64 activation bits. The digest commits the
+// server to what the cloud actually saw — the noised bytes — without
+// the ledger ever storing the activation itself.
+func digestRequest(req request) [32]byte {
+	if req.Quant != nil {
+		tag := fmt.Sprintf("quant/%d/%g/%g", req.Quant.Bits, req.Quant.Lo, req.Quant.Hi)
+		return audit.DigestActivation(tag, req.Quant.Shape, req.Quant.Packed)
+	}
+	if req.Activation == nil {
+		return audit.DigestActivation("none", nil, nil)
+	}
+	data := req.Activation.Data()
+	buf := make([]byte, 8*len(data))
+	for i, v := range data {
+		binary.LittleEndian.PutUint64(buf[i*8:], math.Float64bits(v))
+	}
+	return audit.DigestActivation("dense", req.Activation.Shape(), buf)
 }
 
 // decodeRequestActivation32 is the float32 twin of decodeRequestActivation
@@ -695,6 +773,13 @@ func (s *CloudServer) Close() error {
 		c.Close()
 	}
 	s.wg.Wait()
+	if s.auditor != nil {
+		// Every serving goroutine has returned, so every record is already
+		// appended; draining the auditor seals the in-progress batch and
+		// anchors every sealed batch before the ledger closes — a server
+		// killed mid-batch loses nothing it acknowledged.
+		s.auditor.Close()
+	}
 	if s.profiling {
 		// Detach the profiler this server attached so a shared network does
 		// not keep paying the instrumented path after the server is gone.

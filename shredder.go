@@ -22,6 +22,7 @@ import (
 	"os"
 	"sync"
 
+	"shredder/internal/audit"
 	"shredder/internal/core"
 	"shredder/internal/mi"
 	"shredder/internal/model"
@@ -133,8 +134,9 @@ type System struct {
 	noiseMode  string               // Config.NoiseMode, validated
 	noiseKind  noisedist.Kind       // Config.NoiseDist, parsed
 	monitor    *core.PrivacyMonitor // nil = privacy telemetry disabled
-	rngMu      sync.Mutex           // guards rng: tensor.RNG is not goroutine-safe
+	rngMu      sync.Mutex           // guards rng and scratch: neither is goroutine-safe
 	rng        *tensor.RNG
+	scratch    core.DrawScratch // reused fitted-draw buffers for the serving hot path
 	seed       int64
 	dtype      *nn.Dtype       // Config.Dtype parsed; nil = stock float64 path
 	fullPlan   *nn.CompiledNet // compiled whole net for ClassifyBaseline; nil = stock
@@ -456,13 +458,16 @@ func (s *System) Classify(pixels []float64) (int, error) {
 		return 0, err
 	}
 	a := s.split.Local(x)
+	// Fitted sources draw into the system's reusable scratch buffers
+	// (core.DrawScratch) instead of allocating per query; the draw stays
+	// valid only until the next one, so it is consumed under the lock.
 	s.rngMu.Lock()
-	d := s.noise.Draw(s.rng)
-	s.rngMu.Unlock()
+	d := core.DrawReusing(s.noise, &s.scratch, s.rng)
 	// Telemetry observes the clean activation — realized SNR is defined
 	// against the signal the noise is about to cover.
 	s.monitor.ObserveDraw(d, a.Slice(0))
 	d.ApplyInPlace(a.Slice(0))
+	s.rngMu.Unlock()
 	logits := s.split.RemoteInferCompiled(a)
 	return logits.Slice(0).Argmax(), nil
 }
@@ -554,6 +559,10 @@ func (h *CloudHandle) Metrics() *obs.Registry { return h.srv.Metrics() }
 // DebugAddr returns the bound address of the server's debug HTTP endpoint
 // (splitrt.WithDebugServer), or "" when none is configured.
 func (h *CloudHandle) DebugAddr() string { return h.srv.DebugAddr() }
+
+// Auditor returns the server's tamper-evident audit batcher
+// (splitrt.WithAudit), or nil when auditing is disabled.
+func (h *CloudHandle) Auditor() *audit.Auditor { return h.srv.Auditor() }
 
 // ServeCloud starts a TCP server for the system's remote part on addr
 // (e.g. "127.0.0.1:0") and returns its handle with the bound address.
@@ -656,6 +665,11 @@ func (h *EdgeHandle) BytesSent() int64 { return h.client.Stats().BytesSent }
 // Spans returns the client-side span ring (splitrt.WithSpans), or nil when
 // span recording is not configured.
 func (h *EdgeHandle) Spans() *obs.SpanRing { return h.client.Spans() }
+
+// LastTrace returns the trace ID of the most recent request — the key
+// `shredder audit verify` takes to fetch this query's inclusion proof
+// from an audited server's /debug/audit endpoint.
+func (h *EdgeHandle) LastTrace() obs.TraceID { return h.client.LastTrace() }
 
 // Classify runs one image through the remote pipeline.
 func (h *EdgeHandle) Classify(pixels []float64) (int, error) {
