@@ -1,12 +1,12 @@
 GO ?= go
 
-.PHONY: ci fmt vet build test race bench bench-obs bench-profile bench-pool bench-kernels bench-fitted bench-audit
+.PHONY: ci fmt vet build test race bench bench-obs bench-profile bench-pool bench-kernels bench-fitted bench-audit bench-window
 
 ## ci: the full gate — formatting, vet, build, tests, the race suite over
 ## the concurrency-sensitive packages, and the observability-, profiler-,
-## fleet-serving, dtype-kernel, fitted-noise, and audit-ledger smoke
-## benchmarks. Run before every push.
-ci: fmt vet build test race bench-obs bench-profile bench-pool bench-kernels bench-fitted bench-audit
+## fleet-serving, dtype-kernel, fitted-noise, audit-ledger, and
+## sliding-window smoke benchmarks. Run before every push.
+ci: fmt vet build test race bench-obs bench-profile bench-pool bench-kernels bench-fitted bench-audit bench-window
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -22,7 +22,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/sched/... ./internal/splitrt/... ./internal/tensor/... ./internal/nn/... ./internal/core/... ./internal/experiments/... ./internal/obs/... ./internal/audit/...
+	$(GO) test -race ./internal/sched/... ./internal/splitrt/... ./internal/tensor/... ./internal/nn/... ./internal/core/... ./internal/experiments/... ./internal/obs/... ./internal/audit/... ./cmd/shredder/...
 
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkCloudServerThroughput|BenchmarkServeBatched' -benchtime 200x .
@@ -63,3 +63,10 @@ bench-fitted:
 ## run committed as results_bench_audit.txt).
 bench-audit:
 	$(GO) test -run '^$$' -bench BenchmarkAuditOverhead -benchtime 50x .
+
+## bench-window: smoke-run the sliding-window overhead benchmark (the
+## windowed hot path must stay within noise of cumulative-only — windows
+## derive from snapshots, they add no per-observation work; reference run
+## committed as results_bench_window.txt).
+bench-window:
+	$(GO) test -run '^$$' -bench BenchmarkWindowOverhead -benchtime 50000x ./internal/obs/

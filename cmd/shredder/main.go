@@ -18,6 +18,7 @@
 //	shredder serve       -net lenet -addr 127.0.0.1:7777 [-dtype float32] [-audit-ledger audit.bin]
 //	shredder gateway     -net lenet -backends host1:7777,host2:7777 -addr :9000
 //	shredder audit       verify -url http://host:port/debug/audit -trace <hex id>
+//	shredder top         -url http://host:port [-interval 2s] [-n 0]
 //	shredder infer       -net lenet -addr 127.0.0.1:7777 [-noise noise.gob] [-n 16]
 //	shredder profile     -net lenet [-n 50] [-csv profile.csv] [-dtype float32]
 package main
@@ -65,6 +66,8 @@ func main() {
 		err = cmdAttack(os.Args[2:])
 	case "audit":
 		err = cmdAudit(os.Args[2:])
+	case "top":
+		err = cmdTop(os.Args[2:])
 	case "help", "-h", "--help":
 		usage()
 	default:
@@ -92,6 +95,7 @@ commands:
   profile      time every layer over N warm inferences, per cutting point
   attack       measure inversion/gallery attack resistance of learned noise
   audit        verify an inclusion proof against a server's anchored roots
+  top          live dashboard over a serve or gateway debug endpoint
 
 networks: lenet, cifar, svhn, alexnet`)
 }
@@ -231,6 +235,11 @@ func cmdServe(args []string) error {
 	batchDelay := fs.Duration("batch-delay", 2*time.Millisecond, "max queueing behind an in-flight batch before a partial batch flushes")
 	debugAddr := fs.String("debug-addr", "", "serve /debug/metrics, /debug/spans and pprof on this HTTP address (empty = off)")
 	profile := fs.Bool("profile", false, "attach the per-layer profiler (table at /debug/profile; see -debug-addr)")
+	window := fs.Duration("window", 0, "sliding-window span for windowed rates and quantiles in /debug/metrics (0 = off unless an -slo-* flag is set)")
+	windowBucket := fs.Duration("window-bucket", 5*time.Second, "bucket granularity at which old observations age out of the window")
+	sloIvl := fs.Duration("slo-interval", 0, "SLO evaluation cadence (0 = the window bucket)")
+	sloP99 := fs.Duration("slo-p99", 0, "fire an SLO event when the windowed p99 serving latency exceeds this (0 = off)")
+	sloPrivacy := fs.Float64("slo-privacy", 0, "fire an SLO event when the windowed mean in-vivo 1/SNR relayed by telemetry-enabled clients drops below this floor (0 = off, negative = the benchmark's tuned privacy target)")
 	auditOn := fs.Bool("audit", false, "keep a tamper-evident in-memory audit ledger of served requests (implied by -audit-ledger)")
 	auditLedger := fs.String("audit-ledger", "", "append-only file anchoring the audit ledger's Merkle roots (enables -audit)")
 	auditBatch := fs.Int("audit-batch", 0, "records per sealed audit batch (0 = default 64)")
@@ -253,6 +262,33 @@ func cmdServe(args []string) error {
 	}
 	if *profile {
 		opts = append(opts, splitrt.WithProfiling())
+	}
+	var objectives []obs.Objective
+	if *sloP99 > 0 {
+		objectives = append(objectives, obs.Objective{
+			Name: "latency.p99", Metric: "server.latency_seconds",
+			Aggregate: obs.AggP99, Op: obs.OpAtMost, Target: sloP99.Seconds(), MinCount: 8,
+		})
+	}
+	if *sloPrivacy != 0 {
+		target := *sloPrivacy
+		if target < 0 {
+			target = sys.PrivacyTarget()
+		}
+		objectives = append(objectives, obs.Objective{
+			Name: "privacy.invivo", Metric: "privacy.invivo",
+			Aggregate: obs.AggMean, Op: obs.OpAtLeast, Target: target, MinCount: 8,
+		})
+	}
+	if *window > 0 || len(objectives) > 0 {
+		opt := obs.WindowOptions{Bucket: *windowBucket}
+		if *window > 0 && *windowBucket > 0 {
+			opt.Buckets = int(*window / *windowBucket)
+		}
+		opts = append(opts, splitrt.WithWindows(opt))
+	}
+	if len(objectives) > 0 {
+		opts = append(opts, splitrt.WithSLO(*sloIvl, objectives...))
 	}
 	if *auditOn || *auditLedger != "" {
 		aopts := audit.Options{MaxBatch: *auditBatch, MaxDelay: *auditDelay}
@@ -282,6 +318,9 @@ func cmdServe(args []string) error {
 	}
 	if d := cloud.DebugAddr(); d != "" {
 		fmt.Printf("debug endpoint on http://%s/debug/metrics\n", d)
+		if len(objectives) > 0 {
+			fmt.Printf("SLO events on http://%s/debug/events (%d objectives)\n", d, len(objectives))
+		}
 		if cloud.Auditor() != nil {
 			fmt.Printf("audit proofs on http://%s/debug/audit\n", d)
 		}
@@ -310,6 +349,11 @@ func cmdGateway(args []string) error {
 	debugAddr := fs.String("debug-addr", "", "serve the merged fleet /debug/metrics on this HTTP address (empty = off)")
 	backendDebug := fs.String("backend-debug", "", "comma-separated backend /debug/metrics URLs to fold into the merged snapshot, ordered like -backends")
 	backendAudit := fs.String("backend-audit", "", "comma-separated backend /debug/audit URLs; the gateway then serves fleet-wide proof lookups and the anchored-root union at its own /debug/audit")
+	backendEvents := fs.String("backend-events", "", "comma-separated backend /debug/events URLs; the gateway then serves the fleet's merged SLO event stream at its own /debug/events, ordered like -backends")
+	window := fs.Duration("window", 0, "sliding-window span for windowed rates and quantiles in the merged /debug/metrics (0 = off unless -slo-privacy is set)")
+	windowBucket := fs.Duration("window-bucket", 5*time.Second, "bucket granularity at which old observations age out of the window")
+	sloIvl := fs.Duration("slo-interval", 0, "SLO evaluation cadence (0 = the window bucket)")
+	sloPrivacy := fs.Float64("slo-privacy", 0, "fire an SLO event when the fleet's windowed mean relayed in-vivo 1/SNR drops below this floor (0 = off, negative = the benchmark's tuned privacy target)")
 	fs.Parse(args)
 	if *backends == "" {
 		return fmt.Errorf("gateway: -backends is required")
@@ -342,6 +386,27 @@ func cmdGateway(args []string) error {
 		splitrt.WithGatewayIdleTimeout(*idle),
 		splitrt.WithGatewayCallTimeout(*timeout),
 	}
+	var objectives []obs.Objective
+	if *sloPrivacy != 0 {
+		target := *sloPrivacy
+		if target < 0 {
+			target = sys.PrivacyTarget()
+		}
+		objectives = append(objectives, obs.Objective{
+			Name: "privacy.invivo", Metric: "privacy.invivo",
+			Aggregate: obs.AggMean, Op: obs.OpAtLeast, Target: target, MinCount: 8,
+		})
+	}
+	if *window > 0 || len(objectives) > 0 {
+		opt := obs.WindowOptions{Bucket: *windowBucket}
+		if *window > 0 && *windowBucket > 0 {
+			opt.Buckets = int(*window / *windowBucket)
+		}
+		gwOpts = append(gwOpts, splitrt.WithGatewayWindows(opt))
+	}
+	if len(objectives) > 0 {
+		gwOpts = append(gwOpts, splitrt.WithGatewaySLO(*sloIvl, objectives...))
+	}
 	if *debugAddr != "" {
 		gwOpts = append(gwOpts, splitrt.WithGatewayDebugServer(*debugAddr))
 		if *backendDebug != "" {
@@ -366,6 +431,17 @@ func cmdGateway(args []string) error {
 			}
 			gwOpts = append(gwOpts, splitrt.WithBackendAuditSources(sources...))
 		}
+		if *backendEvents != "" {
+			var sources []obs.EventSource
+			for i, u := range strings.Split(*backendEvents, ",") {
+				label := fmt.Sprintf("backend.%d", i)
+				if i < len(addrs) {
+					label = "backend." + addrs[i]
+				}
+				sources = append(sources, obs.HTTPEventSource(label, u))
+			}
+			gwOpts = append(gwOpts, splitrt.WithBackendEventSources(sources...))
+		}
 	}
 	gw := splitrt.NewGateway(pool.Pool(), gwOpts...)
 	bound, err := gw.Serve(*addr)
@@ -379,6 +455,9 @@ func cmdGateway(args []string) error {
 	}
 	if d := gw.DebugAddr(); d != "" {
 		fmt.Printf("merged fleet metrics on http://%s/debug/metrics\n", d)
+		if len(objectives) > 0 || *backendEvents != "" {
+			fmt.Printf("fleet SLO events on http://%s/debug/events\n", d)
+		}
 		if *backendAudit != "" {
 			fmt.Printf("fleet audit proofs on http://%s/debug/audit\n", d)
 		}

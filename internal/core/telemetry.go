@@ -22,6 +22,19 @@ var DefPrivacyBuckets = []float64{
 	0.01, 0.02, 0.05, 0.1, 0.2, 0.5, 1, 2, 4, 8, 16, 32, 64,
 }
 
+// Privacy metric names, exported so SLO objectives, dashboards, and the
+// serving layer reference the monitor's series without magic strings.
+const (
+	// MetricInVivo is the histogram of sampled in-vivo 1/SNR values — the
+	// metric a privacy SLO watches ("the windowed mean 1/SNR must stay at
+	// or above the deployment's target").
+	MetricInVivo = "privacy.invivo"
+	// MetricInVivoLast is the gauge holding the most recent sampled 1/SNR.
+	MetricInVivoLast = "privacy.invivo.last"
+	// MetricPrivacyAlerts counts sampled 1/SNR values below the target.
+	MetricPrivacyAlerts = "privacy.alerts"
+)
+
 // PrivacyMonitor measures the privacy a deployment is actually delivering,
 // query by query: every noise application is counted per collection member
 // (sampling balance), and every sampleEvery-th query computes the realized
@@ -94,9 +107,9 @@ func NewPrivacyMonitor(reg *obs.Registry, col *Collection, target float64, sampl
 		every:   uint64(sampleEvery),
 		queries: reg.Counter("privacy.queries"),
 		sampled: reg.Counter("privacy.sampled"),
-		alerts:  reg.Counter("privacy.alerts"),
-		invivo:  reg.Histogram("privacy.invivo", DefPrivacyBuckets...),
-		lastInv: reg.Gauge("privacy.invivo.last"),
+		alerts:  reg.Counter(MetricPrivacyAlerts),
+		invivo:  reg.Histogram(MetricInVivo, DefPrivacyBuckets...),
+		lastInv: reg.Gauge(MetricInVivoLast),
 		lastSNR: reg.Gauge("privacy.snr.last"),
 	}
 	m.members = make([]memberTelemetry, col.Len())
@@ -141,9 +154,9 @@ func NewPrivacyMonitorSource(reg *obs.Registry, src NoiseSource, target float64,
 			every:   uint64(sampleEvery),
 			queries: reg.Counter("privacy.queries"),
 			sampled: reg.Counter("privacy.sampled"),
-			alerts:  reg.Counter("privacy.alerts"),
-			invivo:  reg.Histogram("privacy.invivo", DefPrivacyBuckets...),
-			lastInv: reg.Gauge("privacy.invivo.last"),
+			alerts:  reg.Counter(MetricPrivacyAlerts),
+			invivo:  reg.Histogram(MetricInVivo, DefPrivacyBuckets...),
+			lastInv: reg.Gauge(MetricInVivoLast),
 			lastSNR: reg.Gauge("privacy.snr.last"),
 			fitted:  s,
 		}

@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"strconv"
+	"time"
 )
 
 // Debug bundles the data sources behind the debug HTTP surface. Any field
@@ -18,6 +19,20 @@ type Debug struct {
 	Profile *Profiler   // /debug/profile per-layer table
 	Join    *SpanJoiner // /debug/spans?join=1 joined timelines
 
+	// Windows, when set, attaches the sliding-window aggregate to every
+	// /debug/metrics payload (the snapshot's "window" field / the prom
+	// *_window_* gauges). Each scrape advances the window's leading edge,
+	// so a scrape-driven deployment needs no background ticker.
+	Windows *Windows
+
+	// Events, when set, serves the SLO event ring at /debug/events.
+	Events *EventRing
+
+	// EventSources are extra labelled event feeds merged into
+	// /debug/events — the fan-out twin of Sources, how a gateway serves
+	// its whole fleet's alert stream from one endpoint.
+	EventSources []EventSource
+
 	// Sources are extra labelled metric feeds merged into /debug/metrics
 	// under "<label>." prefixes — how a gateway re-exports its whole
 	// backend fleet's metrics from one endpoint. Fetch failures surface as
@@ -26,27 +41,89 @@ type Debug struct {
 
 	// Extra mounts additional handlers on the debug mux by pattern
 	// (e.g. "/debug/audit") — how subsystem endpoints join the surface
-	// without obs importing them. Patterns must not collide with the
-	// built-in routes.
+	// without obs importing them. A pattern that collides with a built-in
+	// route panics in Handler.
 	Extra map[string]http.Handler
+}
+
+// debugBuiltins are the routes Handler always mounts; Extra patterns must
+// not collide with them.
+var debugBuiltins = map[string]bool{
+	"/":                    true,
+	"/debug/metrics":       true,
+	"/debug/spans":         true,
+	"/debug/profile":       true,
+	"/debug/events":        true,
+	"/debug/vars":          true,
+	"/debug/pprof/":        true,
+	"/debug/pprof/cmdline": true,
+	"/debug/pprof/profile": true,
+	"/debug/pprof/symbol":  true,
+	"/debug/pprof/trace":   true,
+}
+
+// snapshot builds the /debug/metrics payload: the base registry's
+// cumulative state, the attached window's aggregate over it, and every
+// source's snapshot folded in under its label.
+func (d Debug) snapshot(now time.Time) Snapshot {
+	snap := d.Metrics.Snapshot()
+	snap.Window = d.Windows.AdvanceWith(now, snap)
+	for _, src := range d.Sources {
+		if src.Fetch == nil {
+			continue
+		}
+		s, err := src.Fetch()
+		if err != nil {
+			snap.Counters["merge.failed."+src.Label] = 1
+			continue
+		}
+		MergeSnapshot(&snap, src.Label, s)
+	}
+	return snap
 }
 
 // Handler serves the debug surface:
 //
-//	/debug/metrics        JSON Snapshot of every registered metric
-//	/debug/spans          JSON list of recent completed spans (?n= limits, newest kept)
-//	/debug/spans?join=1   client and server spans joined per trace ID
-//	/debug/profile        cumulative per-layer compute profile (?format=csv|text)
-//	/debug/vars           the process's expvar map (memstats, cmdline)
-//	/debug/pprof/*        the standard pprof profiles
+//	/debug/metrics              JSON Snapshot of every registered metric
+//	/debug/metrics?format=prom  the same snapshot as Prometheus text exposition
+//	/debug/spans                JSON list of recent completed spans (?n= limits, newest kept)
+//	/debug/spans?join=1         client and server spans joined per trace ID
+//	/debug/profile              cumulative per-layer compute profile (?format=csv|text)
+//	/debug/events               SLO transition events (JSON, ?after=seq)
+//	/debug/vars                 the process's expvar map (memstats, cmdline)
+//	/debug/pprof/*              the standard pprof profiles
+//
+// A registry attached via Metrics also gets the process.* runtime gauges
+// registered (idempotently) so every debug surface exports them.
 func (d Debug) Handler() http.Handler {
+	RegisterProcessMetrics(d.Metrics)
 	mux := http.NewServeMux()
 	mux.HandleFunc("/debug/metrics", func(w http.ResponseWriter, r *http.Request) {
-		if len(d.Sources) > 0 {
-			writeJSON(w, MergedSnapshot(d.Metrics, d.Sources))
+		snap := d.snapshot(time.Now())
+		if r.URL.Query().Get("format") == "prom" {
+			w.Header().Set("Content-Type", PromContentType)
+			if err := WriteProm(w, snap); err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+			}
 			return
 		}
-		writeJSON(w, d.Metrics.Snapshot())
+		writeJSON(w, snap)
+	})
+	mux.HandleFunc("/debug/events", func(w http.ResponseWriter, r *http.Request) {
+		var out []Event
+		if len(d.EventSources) > 0 {
+			out = MergedEvents(d.Events, d.EventSources)
+		} else if q := r.URL.Query().Get("after"); q != "" {
+			if after, err := strconv.ParseUint(q, 10, 64); err == nil {
+				out = d.Events.Since(after)
+			}
+		} else {
+			out = d.Events.Snapshot()
+		}
+		if out == nil {
+			out = []Event{}
+		}
+		writeJSON(w, out)
 	})
 	mux.HandleFunc("/debug/spans", func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Query().Get("join") == "1" {
@@ -87,8 +164,11 @@ func (d Debug) Handler() http.Handler {
 		}
 	})
 	extra := ""
-	for pattern, h := range d.Extra {
-		mux.Handle(pattern, h)
+	for _, pattern := range sortedKeys(d.Extra) {
+		if debugBuiltins[pattern] {
+			panic(fmt.Sprintf("obs: Debug.Extra pattern %q collides with a built-in debug route", pattern))
+		}
+		mux.Handle(pattern, d.Extra[pattern])
 		extra += pattern + "\n"
 	}
 	mux.Handle("/debug/vars", expvar.Handler())
@@ -100,10 +180,11 @@ func (d Debug) Handler() http.Handler {
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprint(w, "shredder debug endpoint\n\n"+
-			"/debug/metrics        metrics snapshot (JSON)\n"+
+			"/debug/metrics        metrics snapshot (JSON, ?format=prom for Prometheus text)\n"+
 			"/debug/spans          recent request spans (JSON, ?n=N)\n"+
 			"/debug/spans?join=1   joined client+server timelines (JSON)\n"+
 			"/debug/profile        per-layer compute profile (JSON, ?format=csv|text)\n"+
+			"/debug/events         SLO transition events (JSON, ?after=seq)\n"+
 			"/debug/vars           expvar\n"+
 			"/debug/pprof/         profiles\n"+extra)
 	})

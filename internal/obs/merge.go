@@ -42,6 +42,26 @@ func MergeSnapshot(dst *Snapshot, label string, src Snapshot) {
 	for name, h := range src.Histograms {
 		dst.Histograms[prefix+name] = h
 	}
+	if src.Window == nil {
+		return
+	}
+	// A source's windowed series fold in under the same prefix. Covered
+	// spans can differ per source (a just-restarted backend's window is
+	// still filling), so each source's span lands as a prefixed gauge
+	// rather than overwriting the merged window's own.
+	if dst.Window == nil {
+		dst.Window = &WindowSnapshot{
+			Counters:   map[string]WindowCounter{},
+			Histograms: map[string]WindowHistogram{},
+		}
+	}
+	for name, v := range src.Window.Counters {
+		dst.Window.Counters[prefix+name] = v
+	}
+	for name, h := range src.Window.Histograms {
+		dst.Window.Histograms[prefix+name] = h
+	}
+	dst.Gauges[prefix+"window.seconds"] = src.Window.Seconds
 }
 
 // HTTPSnapshotSource builds a SnapshotSource that pulls a remote

@@ -1,0 +1,42 @@
+package obs
+
+import (
+	"runtime"
+	"time"
+)
+
+// Process-level runtime gauges, refreshed lazily via an OnSnapshot hook:
+// nobody polls, yet every consumer of the registry — debug scrapes, window
+// ticks, SLO evaluations — sees current values.
+//
+//	process.uptime_seconds           seconds since registration
+//	process.goroutines               live goroutine count
+//	process.heap_bytes               bytes of allocated heap objects
+//	process.gc_pause_total_seconds   cumulative stop-the-world pause time
+//	process.gc_cycles                completed GC cycles
+
+// processHook names the OnSnapshot hook RegisterProcessMetrics installs.
+const processHook = "process"
+
+// RegisterProcessMetrics installs the process.* runtime gauges on reg.
+// Idempotent (a second call on the same registry is a no-op) and nil-safe.
+func RegisterProcessMetrics(reg *Registry) {
+	if reg == nil || reg.HasSnapshotHook(processHook) {
+		return
+	}
+	start := time.Now()
+	uptime := reg.Gauge("process.uptime_seconds")
+	goroutines := reg.Gauge("process.goroutines")
+	heap := reg.Gauge("process.heap_bytes")
+	gcPause := reg.Gauge("process.gc_pause_total_seconds")
+	gcCycles := reg.Gauge("process.gc_cycles")
+	reg.OnSnapshot(processHook, func() {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		uptime.Set(time.Since(start).Seconds())
+		goroutines.Set(float64(runtime.NumGoroutine()))
+		heap.Set(float64(ms.HeapAlloc))
+		gcPause.Set(float64(ms.PauseTotalNs) / 1e9)
+		gcCycles.Set(float64(ms.NumGC))
+	})
+}

@@ -1,0 +1,137 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// OpenMetrics/Prometheus text exposition (format 0.0.4) for a Snapshot, so
+// the same /debug/metrics endpoint that serves the JSON payload can be
+// scraped by a standard collector with ?format=prom. Counters and gauges
+// map directly; histograms emit the conventional cumulative _bucket series
+// (always ending in le="+Inf"), _sum, and _count; windowed aggregates —
+// which Prometheus cannot derive from our JSON shape — are exported as
+// plain gauges under a _window_ suffix.
+
+// PromContentType is the Content-Type of the text exposition format.
+const PromContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// promName sanitizes a registry metric name into a legal Prometheus metric
+// name: every character outside [a-zA-Z0-9_:] becomes '_', and a leading
+// digit gets a '_' prefix.
+func promName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name) + 1)
+	for i, c := range name {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+			b.WriteRune(c)
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteRune(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// promFloat renders a float the way the exposition format expects,
+// including the literal "+Inf".
+func promFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// WriteProm writes s in the Prometheus text exposition format. Output is
+// deterministic (sorted by metric name) so scrapes diff cleanly.
+func WriteProm(w io.Writer, s Snapshot) error {
+	for _, name := range sortedKeys(s.Counters) {
+		n := promName(name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", n, n, s.Counters[name]); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(s.Gauges) {
+		n := promName(name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n", n, n, promFloat(s.Gauges[name])); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(s.Histograms) {
+		h := s.Histograms[name]
+		n := promName(name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", n); err != nil {
+			return err
+		}
+		// Snapshot buckets are sparse per-bucket counts; the exposition
+		// format wants cumulative counts per upper edge, ending at +Inf.
+		cum := int64(0)
+		for _, b := range h.Buckets {
+			cum += b.Count
+			if b.Le >= floatInf {
+				break // the +Inf line below always carries the full count
+			}
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", n, promFloat(b.Le), cum); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n%s_sum %s\n%s_count %d\n",
+			n, h.Count, n, promFloat(h.Sum), n, h.Count); err != nil {
+			return err
+		}
+	}
+	if s.Window == nil {
+		return nil
+	}
+	// Windowed aggregates as gauges: a scraper gets this process's rolling
+	// rates and quantiles without needing recording rules.
+	if _, err := fmt.Fprintf(w, "# TYPE window_seconds gauge\nwindow_seconds %s\n", promFloat(s.Window.Seconds)); err != nil {
+		return err
+	}
+	for _, name := range sortedKeys(s.Window.Counters) {
+		n := promName(name) + "_window_rate"
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n", n, n, promFloat(s.Window.Counters[name].Rate)); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(s.Window.Histograms) {
+		h := s.Window.Histograms[name]
+		base := promName(name) + "_window"
+		for _, q := range []struct {
+			suffix string
+			v      float64
+		}{
+			{"_rate", h.Rate}, {"_mean", h.Mean},
+			{"_p50", h.P50}, {"_p95", h.P95}, {"_p99", h.P99},
+		} {
+			n := base + q.suffix
+			if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n", n, n, promFloat(q.v)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -166,10 +166,11 @@ func (h *Histogram) Quantile(p float64) float64 {
 // is a valid "observability disabled" registry: it hands out nil handles
 // and snapshots empty.
 type Registry struct {
-	mu     sync.Mutex
-	counts map[string]*Counter
-	gauges map[string]*Gauge
-	hists  map[string]*Histogram
+	mu       sync.Mutex
+	counts   map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+	updaters map[string]func() // named refresh hooks, run before each Snapshot
 }
 
 // NewRegistry creates an empty registry.
@@ -250,11 +251,46 @@ type HistogramSnapshot struct {
 }
 
 // Snapshot is a point-in-time copy of every registered metric, shaped for
-// JSON encoding (the /debug/metrics payload).
+// JSON encoding (the /debug/metrics payload). Window, when present, carries
+// the sliding-window complement of the cumulative values (see Windows).
 type Snapshot struct {
 	Counters   map[string]int64             `json:"counters"`
 	Gauges     map[string]float64           `json:"gauges"`
 	Histograms map[string]HistogramSnapshot `json:"histograms"`
+	Window     *WindowSnapshot              `json:"window,omitempty"`
+}
+
+// OnSnapshot registers a named refresh hook that runs (outside the
+// registry lock) at the start of every Snapshot — how lazily computed
+// gauges such as the process.* runtime series stay current for any
+// consumer, from debug scrapes to window ticks, without a poller.
+// Re-registering a name replaces its hook; a nil f removes it. No-op on a
+// nil registry.
+func (r *Registry) OnSnapshot(name string, f func()) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.updaters == nil {
+		r.updaters = map[string]func(){}
+	}
+	if f == nil {
+		delete(r.updaters, name)
+		return
+	}
+	r.updaters[name] = f
+}
+
+// HasSnapshotHook reports whether a refresh hook is registered under name.
+func (r *Registry) HasSnapshotHook(name string) bool {
+	if r == nil {
+		return false
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	_, ok := r.updaters[name]
+	return ok
 }
 
 // Snapshot captures every metric. Values are read atomically per metric;
@@ -268,6 +304,17 @@ func (r *Registry) Snapshot() Snapshot {
 	}
 	if r == nil {
 		return s
+	}
+	r.mu.Lock()
+	updaters := make([]func(), 0, len(r.updaters))
+	for _, f := range r.updaters {
+		updaters = append(updaters, f)
+	}
+	r.mu.Unlock()
+	// Hooks run outside the lock: they typically Set gauges, which is
+	// atomic, and may even register new metrics without deadlocking.
+	for _, f := range updaters {
+		f()
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()

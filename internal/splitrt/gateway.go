@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"shredder/internal/audit"
+	"shredder/internal/core"
 	"shredder/internal/obs"
 )
 
@@ -32,8 +33,17 @@ type Gateway struct {
 	debugAddr    string
 	sources      []obs.SnapshotSource
 	auditSources []audit.Source
+	eventSources []obs.EventSource
 	idleTimeout  time.Duration
 	callTimeout  time.Duration
+
+	windowOpts *obs.WindowOptions
+	sloIvl     time.Duration
+	sloObjs    []obs.Objective
+	windows    *obs.Windows
+	slo        *obs.SLO
+	sloErr     error  // deferred to Serve so construction stays infallible
+	stopObs    func() // stops the window/SLO ticker, set by Serve
 
 	mu       sync.Mutex // guards listener, conns, closed, debug
 	listener net.Listener
@@ -44,6 +54,8 @@ type Gateway struct {
 
 	requests *obs.Counter
 	failures *obs.Counter
+	invivo   *obs.Histogram // fleet-wide view of relayed in-vivo 1/SNR
+	invivoG  *obs.Gauge
 }
 
 // GatewayOption configures a Gateway.
@@ -80,6 +92,38 @@ func WithBackendAuditSources(sources ...audit.Source) GatewayOption {
 	return func(g *Gateway) { g.auditSources = append(g.auditSources, sources...) }
 }
 
+// WithBackendEventSources adds labelled event feeds (typically one
+// obs.HTTPEventSource per backend's /debug/events) to the gateway's
+// /debug/events endpoint, which then serves the union of its own SLO
+// transitions and every backend's — each event stamped with its source
+// label, and a dead backend surfacing as a synthetic "event-source"
+// firing event rather than silently vanishing from the stream.
+func WithBackendEventSources(sources ...obs.EventSource) GatewayOption {
+	return func(g *Gateway) { g.eventSources = append(g.eventSources, sources...) }
+}
+
+// WithGatewayWindows attaches sliding-window aggregation to the gateway's
+// registry — the gateway-side twin of the server's WithWindows. The
+// windowed series cover the gateway's own metrics (gateway.*, pool.*, and
+// the relayed privacy.invivo histogram), giving fleet-level rolling rates
+// and quantiles even when backends export nothing.
+func WithGatewayWindows(opt obs.WindowOptions) GatewayOption {
+	return func(g *Gateway) { g.windowOpts = &opt }
+}
+
+// WithGatewaySLO attaches an objective engine over the gateway's sliding
+// window, evaluated every interval (0 = the window's bucket duration) —
+// the gateway-side twin of the server's WithSLO. A privacy objective here
+// watches the whole fleet's relayed in-vivo 1/SNR, since every request
+// the gateway relays contributes its audit note to the gateway's own
+// privacy.invivo histogram. Invalid objectives surface from Serve.
+func WithGatewaySLO(interval time.Duration, objectives ...obs.Objective) GatewayOption {
+	return func(g *Gateway) {
+		g.sloIvl = interval
+		g.sloObjs = append(g.sloObjs, objectives...)
+	}
+}
+
 // WithGatewayIdleTimeout closes a client connection when no request
 // arrives within d (0 = wait forever).
 func WithGatewayIdleTimeout(d time.Duration) GatewayOption {
@@ -105,11 +149,30 @@ func NewGateway(pool *Pool, opts ...GatewayOption) *Gateway {
 	}
 	g.requests = g.reg.Counter("gateway.requests")
 	g.failures = g.reg.Counter("gateway.errors")
+	g.invivo = g.reg.Histogram(core.MetricInVivo, core.DefPrivacyBuckets...)
+	g.invivoG = g.reg.Gauge(core.MetricInVivoLast)
+	if g.windowOpts != nil || len(g.sloObjs) > 0 {
+		if g.windowOpts == nil {
+			g.windowOpts = &obs.WindowOptions{}
+		}
+		g.windows = obs.NewWindows(g.reg, *g.windowOpts)
+		if len(g.sloObjs) > 0 {
+			g.slo, g.sloErr = obs.NewSLO(g.windows, nil, g.sloObjs...)
+		}
+	}
 	return g
 }
 
 // Registry returns the gateway's metrics registry.
 func (g *Gateway) Registry() *obs.Registry { return g.reg }
+
+// Windows returns the gateway's sliding-window aggregator, or nil when
+// WithGatewayWindows (or WithGatewaySLO) is not configured.
+func (g *Gateway) Windows() *obs.Windows { return g.windows }
+
+// SLO returns the gateway's objective engine, or nil when WithGatewaySLO
+// is not configured.
+func (g *Gateway) SLO() *obs.SLO { return g.slo }
 
 // DebugAddr returns the bound debug endpoint address, or "" when none is
 // serving.
@@ -125,6 +188,9 @@ func (g *Gateway) DebugAddr() string {
 // Serve starts listening on addr (e.g. ":9000") and returns the bound
 // address. Connections are served on background goroutines until Close.
 func (g *Gateway) Serve(addr string) (string, error) {
+	if g.sloErr != nil {
+		return "", fmt.Errorf("splitrt: %w", g.sloErr)
+	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", fmt.Errorf("splitrt: gateway listen: %w", err)
@@ -139,7 +205,11 @@ func (g *Gateway) Serve(addr string) (string, error) {
 	startDebug := g.debugAddr != "" && g.debug == nil
 	g.mu.Unlock()
 	if startDebug {
-		dbg := obs.Debug{Metrics: g.reg, Sources: g.sources}
+		dbg := obs.Debug{
+			Metrics: g.reg, Sources: g.sources,
+			Windows: g.windows, Events: g.slo.Events(),
+			EventSources: g.eventSources,
+		}
 		if len(g.auditSources) > 0 {
 			dbg.Extra = map[string]http.Handler{
 				"/debug/audit": audit.Handler(g.auditSources...),
@@ -157,6 +227,16 @@ func (g *Gateway) Serve(addr string) (string, error) {
 		g.debug = d
 		g.mu.Unlock()
 	}
+	g.mu.Lock()
+	if g.stopObs == nil {
+		switch {
+		case g.slo != nil:
+			g.stopObs = g.slo.Start(g.sloIvl)
+		case g.windows != nil:
+			g.stopObs = g.windows.Start()
+		}
+	}
+	g.mu.Unlock()
 	g.wg.Add(1)
 	go g.acceptLoop(ln)
 	return ln.Addr().String(), nil
@@ -278,6 +358,13 @@ func (g *Gateway) handle(ctx context.Context, req request) response {
 	resp.Logits = logits
 	resp.SrvRecvUnixNanos = recv.UnixNano()
 	resp.SrvElapsedNs = int64(time.Since(recv))
+	if n := req.Audit; n != nil && n.Sampled {
+		// Every relayed request's sampled in-vivo 1/SNR lands in the
+		// gateway's own privacy histogram, so a fleet-level privacy SLO
+		// needs no backend scraping.
+		g.invivo.Observe(n.InVivo)
+		g.invivoG.Set(n.InVivo)
+	}
 	return resp
 }
 
@@ -309,6 +396,8 @@ func (g *Gateway) Close() error {
 	g.listener = nil
 	debug := g.debug
 	g.debug = nil
+	stopObs := g.stopObs
+	g.stopObs = nil
 	conns := make([]net.Conn, 0, len(g.conns))
 	for c := range g.conns {
 		conns = append(conns, c)
@@ -316,6 +405,9 @@ func (g *Gateway) Close() error {
 	g.mu.Unlock()
 	if ln != nil {
 		ln.Close()
+	}
+	if stopObs != nil {
+		stopObs()
 	}
 	debug.Close()
 	for _, c := range conns {

@@ -3,6 +3,7 @@ package splitrt
 import (
 	"time"
 
+	"shredder/internal/core"
 	"shredder/internal/obs"
 	"shredder/internal/sched"
 )
@@ -66,6 +67,8 @@ type serverObs struct {
 	queue     *obs.Histogram
 	compute   *obs.Histogram
 	occupancy *obs.Gauge
+	invivo    *obs.Histogram // server-side view of relayed in-vivo 1/SNR
+	invivoG   *obs.Gauge
 
 	prof   *obs.Profiler   // per-layer profiler (WithProfiling), nil otherwise
 	joiner *obs.SpanJoiner // client↔server span joining (WithSpanJoin), nil otherwise
@@ -84,11 +87,29 @@ func newServerObs(reg *obs.Registry, spans *obs.SpanRing) *serverObs {
 		queue:     reg.Histogram("server.queue_seconds"),
 		compute:   reg.Histogram("server.compute_seconds"),
 		occupancy: reg.Gauge("server.batch.occupancy"),
+		invivo:    reg.Histogram(core.MetricInVivo, core.DefPrivacyBuckets...),
+		invivoG:   reg.Gauge(core.MetricInVivoLast),
 	}
 	for k := range o.errs {
 		o.errs[k] = reg.Counter("server.errors." + ErrKind(k).String())
 	}
 	return o
+}
+
+// observeAudit folds one served request's relayed privacy attribution into
+// the server-side privacy.invivo histogram. Noise is applied on the edge,
+// so the server cannot measure 1/SNR itself — but the audit note every
+// telemetry-enabled client attaches carries the sampled value, and
+// recording it here gives the serving side a continuously updated privacy
+// distribution that windows and SLOs can watch without importing the
+// client. Unsampled notes (the client only counted that query) carry no
+// evidence and are skipped.
+func (o *serverObs) observeAudit(n *auditNote) {
+	if o == nil || n == nil || !n.Sampled {
+		return
+	}
+	o.invivo.Observe(n.InVivo)
+	o.invivoG.Set(n.InVivo)
 }
 
 // finish records one completed request: per-kind outcome counters, latency

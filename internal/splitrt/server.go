@@ -66,6 +66,14 @@ type CloudServer struct {
 	profiling bool          // WithProfiling: attach a per-layer profiler to the remote net
 	joinRing  *obs.SpanRing // WithSpanJoin: client-side ring to join against
 
+	windowOpts *obs.WindowOptions // WithWindows: sliding-window aggregation
+	sloIvl     time.Duration      // WithSLO: evaluation cadence (0 = window bucket)
+	sloObjs    []obs.Objective
+	windows    *obs.Windows
+	slo        *obs.SLO
+	sloErr     error  // deferred to Serve so construction stays infallible
+	stopObs    func() // stops the window/SLO ticker, set by Serve
+
 	mu       sync.Mutex // guards listener, conns, closed, debug — never held across inference
 	listener net.Listener
 	conns    map[net.Conn]struct{}
@@ -187,6 +195,44 @@ func WithAudit(a *audit.Auditor) ServerOption {
 	return func(s *CloudServer) { s.auditor = a }
 }
 
+// WithWindows attaches sliding-window aggregation to the server's
+// registry: /debug/metrics payloads gain a "window" field with per-window
+// counter rates and histogram p50/p95/p99, and Serve starts a background
+// ticker that ages old observations out on the bucket cadence (the zero
+// WindowOptions means 12 buckets of 5s — a one-minute window). It implies
+// WithObservability when none was configured. Windowing adds no
+// instrumentation to the serving hot path — aggregates are derived from
+// the cumulative registry at snapshot boundaries.
+func WithWindows(opt obs.WindowOptions) ServerOption {
+	return func(s *CloudServer) { s.windowOpts = &opt }
+}
+
+// WithSLO attaches a service-level-objective engine evaluating the given
+// objectives against the server's sliding window every interval (0 = the
+// window's bucket duration), emitting firing/resolved events into the
+// ring served at /debug/events and mirroring live state as slo.* metrics.
+// It implies WithWindows (and hence WithObservability) when none was
+// configured. Invalid objectives surface as an error from Serve.
+//
+// The canonical privacy objective watches the server-side view of the
+// fleet's realized noise level — the in-vivo 1/SNR relayed by
+// telemetry-enabled edge clients in their audit notes:
+//
+//	obs.Objective{
+//		Name:      "privacy.invivo",
+//		Metric:    core.MetricInVivo,
+//		Aggregate: obs.AggMean,
+//		Op:        obs.OpAtLeast,
+//		Target:    bench.PrivacyTarget,
+//		MinCount:  8,
+//	}
+func WithSLO(interval time.Duration, objectives ...obs.Objective) ServerOption {
+	return func(s *CloudServer) {
+		s.sloIvl = interval
+		s.sloObjs = append(s.sloObjs, objectives...)
+	}
+}
+
 // WithSpanJoin gives the server the client-side span ring to join against:
 // /debug/spans?join=1 then serves merged seven-stage client↔server
 // timelines for requests present in both rings. Pair it with an EdgeClient
@@ -212,8 +258,18 @@ func NewCloudServer(split *core.Split, cutLayer string, opts ...ServerOption) *C
 			s.compiled = cn
 		}
 	}
-	if (s.debugAddr != "" || s.profiling || s.joinRing != nil) && s.obs == nil {
+	if (s.debugAddr != "" || s.profiling || s.joinRing != nil ||
+		s.windowOpts != nil || len(s.sloObjs) > 0) && s.obs == nil {
 		s.obs = newServerObs(obs.NewRegistry(), obs.NewSpanRing(defaultSpanRing))
+	}
+	if s.obs != nil && (s.windowOpts != nil || len(s.sloObjs) > 0) {
+		if s.windowOpts == nil {
+			s.windowOpts = &obs.WindowOptions{}
+		}
+		s.windows = obs.NewWindows(s.obs.reg, *s.windowOpts)
+		if len(s.sloObjs) > 0 {
+			s.slo, s.sloErr = obs.NewSLO(s.windows, nil, s.sloObjs...)
+		}
 	}
 	if s.profiling {
 		s.obs.prof = obs.NewProfiler(s.obs.reg)
@@ -273,6 +329,13 @@ func (s *CloudServer) JoinedSpans() []obs.JoinedSpan {
 // not configured.
 func (s *CloudServer) Auditor() *audit.Auditor { return s.auditor }
 
+// Windows returns the sliding-window aggregator, or nil when WithWindows
+// (or WithSLO) is not configured.
+func (s *CloudServer) Windows() *obs.Windows { return s.windows }
+
+// SLO returns the objective engine, or nil when WithSLO is not configured.
+func (s *CloudServer) SLO() *obs.SLO { return s.slo }
+
 // DebugAddr returns the bound address of the debug HTTP endpoint, or ""
 // when WithDebugServer was not configured or Serve has not started it yet.
 func (s *CloudServer) DebugAddr() string {
@@ -300,6 +363,9 @@ func (s *CloudServer) Serve(addr string) (string, error) {
 	if s.compileErr != nil {
 		return "", s.compileErr
 	}
+	if s.sloErr != nil {
+		return "", fmt.Errorf("splitrt: %w", s.sloErr)
+	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", fmt.Errorf("splitrt: listen: %w", err)
@@ -317,6 +383,7 @@ func (s *CloudServer) Serve(addr string) (string, error) {
 		dbg := obs.Debug{
 			Metrics: s.obs.reg, Spans: s.obs.spans,
 			Profile: s.obs.prof, Join: s.obs.joiner,
+			Windows: s.windows, Events: s.slo.Events(),
 		}
 		if s.auditor != nil {
 			dbg.Extra = map[string]http.Handler{
@@ -335,6 +402,19 @@ func (s *CloudServer) Serve(addr string) (string, error) {
 		s.debug = d
 		s.mu.Unlock()
 	}
+	s.mu.Lock()
+	if s.stopObs == nil {
+		// The SLO ticker advances the window as part of each evaluation, so
+		// one background goroutine keeps both fresh; without objectives the
+		// window runs its own ticker on the bucket cadence.
+		switch {
+		case s.slo != nil:
+			s.stopObs = s.slo.Start(s.sloIvl)
+		case s.windows != nil:
+			s.stopObs = s.windows.Start()
+		}
+	}
+	s.mu.Unlock()
 	s.wg.Add(1)
 	go s.acceptLoop(ln)
 	return ln.Addr().String(), nil
@@ -521,6 +601,7 @@ func (s *CloudServer) handle(ctx context.Context, req request) response {
 	}
 	resp.Logits = logits
 	o.finish(req, &resp, t0, si, computeStart)
+	o.observeAudit(req.Audit)
 	s.auditRecord(req)
 	return resp
 }
@@ -753,6 +834,8 @@ func (s *CloudServer) Close() error {
 	s.listener = nil
 	debug := s.debug
 	s.debug = nil
+	stopObs := s.stopObs
+	s.stopObs = nil
 	conns := make([]net.Conn, 0, len(s.conns))
 	for c := range s.conns {
 		conns = append(conns, c)
@@ -760,6 +843,9 @@ func (s *CloudServer) Close() error {
 	s.mu.Unlock()
 	if ln != nil {
 		ln.Close()
+	}
+	if stopObs != nil {
+		stopObs()
 	}
 	if debug != nil {
 		debug.Close()
